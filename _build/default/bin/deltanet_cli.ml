@@ -1,0 +1,378 @@
+(* deltanet — command-line front end for the ∆-scheduler delay-bound
+   analysis and the tandem-network simulator.
+
+   Subcommands:
+     bound           end-to-end probabilistic delay bound for one setting
+     sweep           bound as a function of utilization or path length (CSV)
+     simulate        packet-level tandem simulation with delay quantiles
+     schedulability  deterministic single-node check (Theorem 2)           *)
+
+module Scenario = Deltanet.Scenario
+module Classes = Scheduler.Classes
+module Delta = Scheduler.Delta
+module Tandem = Netsim.Tandem
+
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+type sched_choice = S_fifo | S_bmux | S_sp | S_edf
+
+let sched_conv =
+  let parse = function
+    | "fifo" -> Ok S_fifo
+    | "bmux" -> Ok S_bmux
+    | "sp" -> Ok S_sp
+    | "edf" -> Ok S_edf
+    | s -> Error (`Msg (Fmt.str "unknown scheduler %S (fifo|bmux|sp|edf)" s))
+  in
+  let print ppf = function
+    | S_fifo -> Fmt.string ppf "fifo"
+    | S_bmux -> Fmt.string ppf "bmux"
+    | S_sp -> Fmt.string ppf "sp"
+    | S_edf -> Fmt.string ppf "edf"
+  in
+  Arg.conv (parse, print)
+
+let sched_arg =
+  Arg.(
+    value
+    & opt sched_conv S_fifo
+    & info [ "s"; "scheduler" ] ~docv:"SCHED" ~doc:"Scheduler: fifo, bmux, sp, or edf.")
+
+let hops_arg =
+  Arg.(value & opt int 5 & info [ "H"; "hops" ] ~docv:"H" ~doc:"Path length (nodes).")
+
+let u0_arg =
+  Arg.(
+    value
+    & opt float 0.15
+    & info [ "u0" ] ~docv:"FRAC" ~doc:"Through-traffic utilization (fraction).")
+
+let uc_arg =
+  Arg.(
+    value
+    & opt float 0.35
+    & info [ "uc" ] ~docv:"FRAC" ~doc:"Cross-traffic utilization per node (fraction).")
+
+let epsilon_arg =
+  Arg.(
+    value
+    & opt float 1e-9
+    & info [ "e"; "epsilon" ] ~docv:"EPS" ~doc:"Target violation probability.")
+
+let edf_ratio_arg =
+  Arg.(
+    value
+    & opt float 10.
+    & info [ "edf-ratio" ] ~docv:"R"
+        ~doc:"EDF deadline ratio d*_cross / d*_through (fixed point on the bound).")
+
+let s_points_arg =
+  Arg.(
+    value
+    & opt int 24
+    & info [ "s-points" ] ~docv:"N"
+        ~doc:"Grid resolution for the effective-bandwidth parameter search.")
+
+(* ---------------- bound ---------------- *)
+
+let compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio = function
+  | S_fifo ->
+    Scenario.delay_bound ~s_points ~scheduler:Classes.Fifo
+      { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
+  | S_bmux ->
+    Scenario.delay_bound ~s_points ~scheduler:Classes.Bmux
+      { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
+  | S_sp ->
+    Scenario.delay_bound ~s_points ~scheduler:Classes.Sp_through_high
+      { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
+  | S_edf ->
+    (Scenario.delay_bound_edf ~s_points
+       { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
+       ~spec:{ Scenario.cross_over_through = edf_ratio })
+      .Scenario.bound
+
+let bound_cmd =
+  let run h u0 uc epsilon s_points edf_ratio sched metric =
+    let scenario =
+      { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
+    in
+    let (d, unit_) =
+      match metric with
+      | "delay" -> (compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio sched, "ms")
+      | "backlog" ->
+        let scheduler =
+          match sched with
+          | S_fifo -> Classes.Fifo
+          | S_bmux -> Classes.Bmux
+          | S_sp -> Classes.Sp_through_high
+          | S_edf ->
+            (* use the delay fixed point to set the gap, then bound backlog *)
+            let r =
+              Scenario.delay_bound_edf ~s_points scenario
+                ~spec:{ Scenario.cross_over_through = edf_ratio }
+            in
+            Classes.Edf_gap (r.Scenario.d_through -. r.Scenario.d_cross)
+        in
+        (Scenario.backlog_bound ~s_points ~scheduler scenario, "kb")
+      | other ->
+        Fmt.epr "unknown metric %S (delay|backlog)@." other;
+        exit 2
+    in
+    if Float.is_finite d then Fmt.pr "%.4f %s@." d unit_
+    else begin
+      Fmt.epr "path is overloaded (no finite bound)@.";
+      exit 1
+    end
+  in
+  let metric_arg =
+    Arg.(
+      value
+      & opt string "delay"
+      & info [ "metric" ] ~docv:"METRIC" ~doc:"Bound to compute: delay (ms) or backlog (kb).")
+  in
+  let term =
+    Term.(
+      const run $ hops_arg $ u0_arg $ uc_arg $ epsilon_arg $ s_points_arg $ edf_ratio_arg
+      $ sched_arg $ metric_arg)
+  in
+  Cmd.v
+    (Cmd.info "bound"
+       ~doc:
+         "End-to-end probabilistic delay bound for the paper's workload (on-off \
+          Markov sources on equal-capacity 100 Mbps links).")
+    term
+
+(* ---------------- sweep ---------------- *)
+
+let sweep_cmd =
+  let run h u0 epsilon s_points edf_ratio dimension =
+    Fmt.pr "# %s sweep, u0=%g, eps=%g@." dimension u0 epsilon;
+    (match dimension with
+    | "utilization" ->
+      Fmt.pr "u,bmux,fifo,edf@.";
+      List.iter
+        (fun u_pct ->
+          let uc = (float_of_int u_pct /. 100.) -. u0 in
+          let d s = compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio s in
+          Fmt.pr "%d,%.4f,%.4f,%.4f@." u_pct (d S_bmux) (d S_fifo) (d S_edf))
+        [ 20; 30; 40; 50; 60; 70; 80; 90; 95 ]
+    | "hops" ->
+      Fmt.pr "h,bmux,fifo,edf@.";
+      List.iter
+        (fun h ->
+          let d s = compute_bound ~h ~u0 ~uc:u0 ~epsilon ~s_points ~edf_ratio s in
+          Fmt.pr "%d,%.4f,%.4f,%.4f@." h (d S_bmux) (d S_fifo) (d S_edf))
+        [ 1; 2; 3; 4; 5; 6; 8; 10; 15; 20; 25; 30 ]
+    | other -> Fmt.epr "unknown sweep dimension %S (utilization|hops)@." other);
+    ()
+  in
+  let dim_arg =
+    Arg.(
+      value
+      & pos 0 string "utilization"
+      & info [] ~docv:"DIM" ~doc:"Sweep dimension: utilization or hops.")
+  in
+  let term =
+    Term.(const run $ hops_arg $ u0_arg $ epsilon_arg $ s_points_arg $ edf_ratio_arg $ dim_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"CSV sweep of the delay bound over utilization or path length.")
+    term
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let run h u0 uc slots seed sched edf_ratio =
+    let mean = Envelope.Mmpp.mean_rate Envelope.Mmpp.paper_source in
+    let n_through = int_of_float (Float.round (u0 *. 100. /. mean)) in
+    let n_cross = int_of_float (Float.round (uc *. 100. /. mean)) in
+    let scheduler =
+      match sched with
+      | S_fifo -> Classes.Fifo
+      | S_bmux -> Classes.Bmux
+      | S_sp -> Classes.Sp_through_high
+      | S_edf -> Classes.Edf_gap (10. *. (1. -. edf_ratio))
+    in
+    let r =
+      Tandem.run
+        {
+          Tandem.default_config with
+          Tandem.h;
+          n_through;
+          n_cross;
+          slots;
+          drain_limit = slots / 10;
+          scheduler;
+          through_deadline = 10.;
+          cross_deadline = 10. *. edf_ratio;
+          seed = Int64.of_int seed;
+        }
+    in
+    Fmt.pr "through flows: %d, cross flows/node: %d, slots: %d@." n_through n_cross slots;
+    Fmt.pr "through data: %.0f kb (censored %.0f kb)@." r.Tandem.through_kb
+      r.Tandem.censored_kb;
+    Array.iteri (fun i u -> Fmt.pr "node %d utilization: %.1f%%@." i (100. *. u))
+      r.Tandem.utilization;
+    List.iter
+      (fun q ->
+        Fmt.pr "delay quantile %-7g: %6.1f ms@." q (Tandem.delay_quantile r q))
+      [ 0.5; 0.9; 0.99; 0.999; 0.9999 ];
+    Fmt.pr "delay max         : %6.1f ms@."
+      (Desim.Stats.Sample.max r.Tandem.delays)
+  in
+  let slots_arg =
+    Arg.(value & opt int 100_000 & info [ "slots" ] ~docv:"N" ~doc:"Arrival horizon (1 ms slots).")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let term =
+    Term.(
+      const run $ hops_arg $ u0_arg $ uc_arg $ slots_arg $ seed_arg $ sched_arg
+      $ edf_ratio_arg)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Packet-level tandem simulation with empirical delay quantiles.")
+    term
+
+(* ---------------- schedulability ---------------- *)
+
+let schedulability_cmd =
+  let flow_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ r; b ] -> (
+        try Ok (float_of_string r, float_of_string b, Delta.Fin 0.)
+        with _ -> Error (`Msg "expected RATE:BURST[:DELTA]"))
+      | [ r; b; d ] -> (
+        try
+          let delta =
+            match d with
+            | "inf" -> Delta.Pos_inf
+            | "-inf" -> Delta.Neg_inf
+            | _ -> Delta.fin (float_of_string d)
+          in
+          Ok (float_of_string r, float_of_string b, delta)
+        with _ -> Error (`Msg "expected RATE:BURST[:DELTA]"))
+      | _ -> Error (`Msg "expected RATE:BURST[:DELTA]")
+    in
+    let print ppf (r, b, d) = Fmt.pf ppf "%g:%g:%a" r b Delta.pp d in
+    Arg.conv (parse, print)
+  in
+  let run capacity flows =
+    match flows with
+    | [] -> Fmt.epr "no flows given@."
+    | _ ->
+      let sched_flows =
+        List.map
+          (fun (rate, burst, delta) ->
+            { Deltanet.Schedulability.envelope = Minplus.Curve.affine ~rate ~burst; delta })
+          flows
+      in
+      let d = Deltanet.Schedulability.min_delay ~capacity sched_flows in
+      if Float.is_finite d then Fmt.pr "minimum guaranteeable delay: %.6f ms@." d
+      else begin
+        Fmt.epr "overloaded: no finite worst-case delay@.";
+        exit 1
+      end
+  in
+  let capacity_arg =
+    Arg.(value & opt float 100. & info [ "C"; "capacity" ] ~docv:"C" ~doc:"Link capacity (kb/ms).")
+  in
+  let flows_arg =
+    Arg.(
+      value
+      & pos_all flow_conv []
+      & info [] ~docv:"FLOW"
+          ~doc:
+            "Leaky-bucket flows RATE:BURST[:DELTA].  The first flow is the tagged one \
+             (delta 0); DELTA is the precedence constant of the others (number, inf, \
+             -inf).")
+  in
+  let term = Term.(const run $ capacity_arg $ flows_arg) in
+  Cmd.v
+    (Cmd.info "schedulability"
+       ~doc:"Deterministic single-node minimum delay via Theorem 2 (Eq. 24).")
+    term
+
+(* ---------------- admission ---------------- *)
+
+let admission_cmd =
+  let run h u0 epsilon deadline edf_ratio =
+    let request =
+      {
+        Deltanet.Admission.base =
+          Scenario.of_utilization ~h ~u_through:u0 ~u_cross:0.;
+        guarantee = { Deltanet.Admission.deadline; epsilon };
+      }
+    in
+    Fmt.pr "max admissible cross utilization (H=%d, U0=%g, d=%g ms, eps=%g):@." h u0
+      deadline epsilon;
+    let pr name u = Fmt.pr "  %-8s %6.2f%%@." name (100. *. u) in
+    pr "bmux" (Deltanet.Admission.max_cross_utilization request ~scheduler:Classes.Bmux);
+    pr "fifo" (Deltanet.Admission.max_cross_utilization request ~scheduler:Classes.Fifo);
+    pr "edf"
+      (Deltanet.Admission.max_cross_utilization_edf request ~cross_over_through:edf_ratio);
+    pr "sp"
+      (Deltanet.Admission.max_cross_utilization request ~scheduler:Classes.Sp_through_high)
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt float 50.
+      & info [ "d"; "deadline" ] ~docv:"MS" ~doc:"End-to-end delay budget (ms).")
+  in
+  let term =
+    Term.(const run $ hops_arg $ u0_arg $ epsilon_arg $ deadline_arg $ edf_ratio_arg)
+  in
+  Cmd.v
+    (Cmd.info "admission"
+       ~doc:"Largest admissible cross load under an end-to-end delay guarantee, per scheduler.")
+    term
+
+(* ---------------- scaling ---------------- *)
+
+let scaling_cmd =
+  let run u0 epsilon =
+    let sc =
+      { (Scenario.of_utilization ~h:2 ~u_through:u0 ~u_cross:u0) with Scenario.epsilon }
+    in
+    Fmt.pr "# growth of the e2e bound in the path length (U0 = Uc = %g)@." u0;
+    List.iter
+      (fun (name, f) ->
+        let (points, e) = f () in
+        Fmt.pr "%-22s exponent %.3f  (" name e;
+        List.iter (fun (h, d) -> Fmt.pr " H=%.0f:%.1f" h d) points;
+        Fmt.pr " )@.")
+      [
+        ("FIFO (network curve)",
+         fun () -> Deltanet.Scaling.delay_growth ~scheduler:Classes.Fifo sc);
+        ("BMUX (network curve)",
+         fun () -> Deltanet.Scaling.delay_growth ~scheduler:Classes.Bmux sc);
+        ("BMUX (additive)", fun () -> Deltanet.Scaling.additive_growth sc);
+      ];
+    Fmt.pr "# Θ(H log H) appears as an exponent slightly above 1;@.";
+    Fmt.pr "# the additive baseline's exponent is >= 2.@."
+  in
+  let term = Term.(const run $ u0_arg $ epsilon_arg) in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:"Empirical growth exponents of the delay bounds in the path length.")
+    term
+
+let () =
+  let info =
+    Cmd.info "deltanet" ~version:"1.0.0"
+      ~doc:"Stochastic network-calculus delay bounds for ∆-schedulers on long paths."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            bound_cmd;
+            sweep_cmd;
+            simulate_cmd;
+            schedulability_cmd;
+            scaling_cmd;
+            admission_cmd;
+          ]))

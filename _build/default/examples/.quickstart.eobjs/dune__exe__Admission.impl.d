@@ -1,0 +1,1 @@
+examples/admission.ml: Deltanet Envelope Fmt Scheduler

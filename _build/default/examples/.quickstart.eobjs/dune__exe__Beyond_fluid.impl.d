@@ -1,0 +1,1 @@
+examples/beyond_fluid.ml: Fmt List Netsim Scheduler

@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: Array Deltanet Envelope Fmt Scheduler

@@ -1,0 +1,1 @@
+examples/long_path_study.ml: Deltanet Fmt List Minplus Scheduler

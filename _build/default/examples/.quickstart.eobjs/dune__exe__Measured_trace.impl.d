@@ -1,0 +1,1 @@
+examples/measured_trace.ml: Array Deltanet Desim Envelope Float Fmt List Netsim Scheduler

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Deltanet Fmt Scheduler

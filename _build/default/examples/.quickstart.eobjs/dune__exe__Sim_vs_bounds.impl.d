@@ -1,0 +1,1 @@
+examples/sim_vs_bounds.ml: Deltanet Desim Fmt List Netsim Scheduler

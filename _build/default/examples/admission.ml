@@ -1,0 +1,53 @@
+(* Admission control / provisioning example.
+
+   A carrier provisions a 5-hop path of 100 Mbps links for an aggregate of
+   delay-sensitive through flows (the paper's on-off voice-like sources,
+   1.5 Mbps peak / 0.15 Mbps mean) with an end-to-end deadline of 50 ms at
+   violation probability 1e-9.  How much cross traffic can each link carry
+   before the guarantee breaks — and how much does the link scheduler
+   change the answer?
+
+   Run with:  dune exec examples/admission.exe *)
+
+module Scenario = Deltanet.Scenario
+module Admission = Deltanet.Admission
+module Classes = Scheduler.Classes
+
+let request =
+  {
+    Admission.base = Scenario.of_utilization ~h:5 ~u_through:0.15 ~u_cross:0.;
+    guarantee = { Admission.deadline = 50.; epsilon = 1e-9 };
+  }
+
+let flows_of_u u = u *. 100. /. Envelope.Mmpp.mean_rate Envelope.Mmpp.paper_source
+
+let () =
+  Fmt.pr "Admission study: H=5, U0=15%%, e2e deadline 50 ms, eps=1e-9@.@.";
+  Fmt.pr "  %-28s %14s %12s@." "scheduler" "max cross util" "cross flows";
+  let report name u =
+    Fmt.pr "  %-28s %13.1f%% %12.0f@." name (100. *. u) (flows_of_u u)
+  in
+  report "blind multiplexing (BMUX)"
+    (Admission.max_cross_utilization request ~scheduler:Classes.Bmux);
+  report "FIFO" (Admission.max_cross_utilization request ~scheduler:Classes.Fifo);
+  report "EDF (d*_c = 10 d*_0)"
+    (Admission.max_cross_utilization_edf request ~cross_over_through:10.);
+  report "SP (through high priority)"
+    (Admission.max_cross_utilization request ~scheduler:Classes.Sp_through_high);
+  (* The dual question: how many guaranteed flows fit alongside 35% cross?
+     (With a 150 ms budget — at 35% cross the FIFO bound sits near 117 ms
+     regardless of the through count, so a 50 ms budget admits nothing and
+     a 150 ms budget admits flows until stability binds: the e2e bound is
+     dominated by the cross traffic, not by the guaranteed aggregate.) *)
+  let dual =
+    {
+      Admission.base = Scenario.of_utilization ~h:5 ~u_through:0. ~u_cross:0.35;
+      guarantee = { Admission.deadline = 150.; epsilon = 1e-9 };
+    }
+  in
+  Fmt.pr "@.  Dual: through flows within a 150 ms budget next to 35%% FIFO cross: %.0f@."
+    (Admission.max_through_flows dual ~scheduler:Classes.Fifo);
+  Fmt.pr
+    "@.Reading: the admissible cross load differs sharply across schedulers@.\
+     even on a 5-hop path — scheduling still matters for admission control,@.\
+     exactly the paper's conclusion for deadline-differentiating schedulers.@."

@@ -1,0 +1,61 @@
+(* Measurement-based provisioning — the workflow the paper's introduction
+   alludes to: tools that estimate available bandwidth on Internet paths
+   assume FIFO scheduling; the analysis here quantifies what the scheduler
+   actually changes.
+
+   We record arrival traces (here: from the simulator's on-off sources, in
+   practice: from a packet capture), characterize them empirically via the
+   effective-bandwidth estimator — no source model needed — and feed the
+   estimated EBB parameters into the end-to-end analysis under different
+   scheduler assumptions.
+
+   Run with:  dune exec examples/measured_trace.exe *)
+
+module Estimate = Envelope.Estimate
+module E2e = Deltanet.E2e
+module Delta = Scheduler.Delta
+
+let record_trace ~n ~slots ~seed =
+  let rng = Desim.Prng.create ~seed in
+  let agg = Netsim.Source.create Envelope.Mmpp.paper_source ~n ~rng in
+  Array.init slots (fun _ -> Netsim.Source.step agg)
+
+let () =
+  let slots = 200_000 in
+  let through_trace = record_trace ~n:100 ~slots ~seed:1L in
+  let cross_trace = record_trace ~n:233 ~slots ~seed:2L in
+  Fmt.pr "Recorded %d-slot traces: through mean %.1f kb/ms, cross mean %.1f kb/ms@.@."
+    slots
+    (Estimate.mean_rate_of_trace through_trace)
+    (Estimate.mean_rate_of_trace cross_trace);
+  (* Empirical characterization across a ladder of decays; pick the decay
+     minimizing the resulting bound, as the analysis does for models — but
+     only within the range where the finite trace can populate the tail of
+     the empirical MGF (beyond it the estimator is biased optimistic). *)
+  Fmt.pr "Fully reliable decay range at 100-ms windows: s <= %.4f@."
+    (Float.min
+       (Estimate.max_reliable_s through_trace ~tau:100)
+       (Estimate.max_reliable_s cross_trace ~tau:100));
+  Fmt.pr "(beyond it the estimator falls back to observed peak rates)@.@.";
+  let bound_for delta =
+    let best = ref infinity in
+    List.iter
+      (fun s ->
+        let through = Estimate.ebb_of_trace through_trace ~s in
+        let cross = Estimate.ebb_of_trace cross_trace ~s in
+        if through.Envelope.Ebb.rho +. cross.Envelope.Ebb.rho < 99. then begin
+          let p = E2e.homogeneous ~h:5 ~capacity:100. ~cross ~delta ~through in
+          let d = E2e.delay_bound ~epsilon:1e-6 p in
+          if d < !best then best := d
+        end)
+      [ 0.0125; 0.025; 0.05; 0.1; 0.2; 0.4; 0.8; 1.6 ];
+    !best
+  in
+  Fmt.pr "End-to-end bounds from the measured characterization (H=5, eps=1e-6):@.";
+  Fmt.pr "  %-24s %10.1f ms@." "FIFO assumption" (bound_for (Delta.Fin 0.));
+  Fmt.pr "  %-24s %10.1f ms@." "blind multiplexing" (bound_for Delta.Pos_inf);
+  Fmt.pr "  %-24s %10.1f ms@." "EDF (gap -50 ms)" (bound_for (Delta.Fin (-50.)));
+  Fmt.pr
+    "@.A bandwidth-estimation tool that assumes FIFO on a path whose routers@.\
+     actually blind-multiplex the probe traffic under-estimates the delay@.\
+     exposure; the gap quantifies how much the scheduler assumption buys.@."

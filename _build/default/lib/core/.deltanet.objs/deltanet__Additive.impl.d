@@ -1,0 +1,1 @@
+lib/core/additive.ml: Envelope List Output Scenario

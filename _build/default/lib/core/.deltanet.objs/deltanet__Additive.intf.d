@@ -1,0 +1,1 @@
+lib/core/additive.mli: Envelope Scenario

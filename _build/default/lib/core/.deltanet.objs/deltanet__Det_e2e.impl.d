@@ -1,0 +1,1 @@
+lib/core/det_e2e.ml: Float List Minplus Scheduler Service_curve

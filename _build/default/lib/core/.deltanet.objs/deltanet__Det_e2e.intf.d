@@ -1,0 +1,1 @@
+lib/core/det_e2e.mli: Minplus Scheduler

@@ -1,0 +1,1 @@
+lib/core/e2e.ml: Array Envelope Float List Minplus Scheduler

@@ -1,0 +1,1 @@
+lib/core/e2e.mli: Envelope Minplus Scheduler

@@ -1,0 +1,1 @@
+lib/core/multiclass.ml: Array E2e Envelope Float List Scheduler

@@ -1,0 +1,1 @@
+lib/core/multiclass.mli: E2e Envelope Scheduler

@@ -1,0 +1,1 @@
+lib/core/output.ml: Envelope Minplus

@@ -1,0 +1,1 @@
+lib/core/output.mli: Envelope Minplus

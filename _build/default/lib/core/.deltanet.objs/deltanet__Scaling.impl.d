@@ -1,0 +1,1 @@
+lib/core/scaling.ml: Additive Float List Scenario

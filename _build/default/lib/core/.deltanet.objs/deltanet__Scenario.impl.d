@@ -1,0 +1,1 @@
+lib/core/scenario.ml: E2e Envelope Float Scheduler

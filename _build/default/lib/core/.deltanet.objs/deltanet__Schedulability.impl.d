@@ -1,0 +1,1 @@
+lib/core/schedulability.ml: List Minplus Scheduler

@@ -1,0 +1,1 @@
+lib/core/schedulability.mli: Minplus Scheduler

@@ -1,0 +1,1 @@
+lib/core/service_curve.ml: Envelope Float List Minplus Scheduler

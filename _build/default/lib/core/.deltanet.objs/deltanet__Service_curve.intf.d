@@ -1,0 +1,1 @@
+lib/core/service_curve.mli: Envelope Minplus Scheduler

@@ -1,0 +1,1 @@
+lib/core/single_node.ml: Envelope List Minplus Schedulability Scheduler

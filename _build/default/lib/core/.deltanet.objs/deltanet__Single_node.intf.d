@@ -1,0 +1,1 @@
+lib/core/single_node.mli: Envelope Minplus Scheduler

@@ -1,0 +1,63 @@
+(* Admission control by bisection on the monotone delay bounds. *)
+
+type guarantee = { deadline : float; epsilon : float }
+type request = { base : Scenario.t; guarantee : guarantee }
+
+let scenario_with r ~u_cross =
+  let mean = Envelope.Mmpp.mean_rate r.base.Scenario.source in
+  {
+    r.base with
+    Scenario.n_cross = u_cross *. r.base.Scenario.capacity /. mean;
+    epsilon = r.guarantee.epsilon;
+  }
+
+let admissible r ~scheduler ~u_cross =
+  let d = Scenario.delay_bound ~s_points:16 ~scheduler (scenario_with r ~u_cross) in
+  d <= r.guarantee.deadline
+
+let bisect_max ~resolution ~hi fits =
+  if not (fits 0.) then 0.
+  else if fits hi then hi
+  else begin
+    let lo = ref 0. and hi = ref hi in
+    while !hi -. !lo > resolution do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if fits mid then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let max_cross_utilization ?(s_points = 16) ?(resolution = 1e-4) r ~scheduler =
+  let fits u_cross =
+    let d = Scenario.delay_bound ~s_points ~scheduler (scenario_with r ~u_cross) in
+    d <= r.guarantee.deadline
+  in
+  let mean = Envelope.Mmpp.mean_rate r.base.Scenario.source in
+  let u_through = r.base.Scenario.n_through *. mean /. r.base.Scenario.capacity in
+  bisect_max ~resolution ~hi:(Float.max 0. (1. -. u_through)) fits
+
+let max_cross_utilization_edf ?(s_points = 16) ?(resolution = 1e-4) r ~cross_over_through =
+  let fits u_cross =
+    let res =
+      Scenario.delay_bound_edf ~s_points (scenario_with r ~u_cross)
+        ~spec:{ Scenario.cross_over_through }
+    in
+    res.Scenario.bound <= r.guarantee.deadline
+  in
+  let mean = Envelope.Mmpp.mean_rate r.base.Scenario.source in
+  let u_through = r.base.Scenario.n_through *. mean /. r.base.Scenario.capacity in
+  bisect_max ~resolution ~hi:(Float.max 0. (1. -. u_through)) fits
+
+let max_through_flows ?(s_points = 16) r ~scheduler =
+  let fits n =
+    let sc =
+      { r.base with Scenario.n_through = n; epsilon = r.guarantee.epsilon }
+    in
+    Scenario.delay_bound ~s_points ~scheduler sc <= r.guarantee.deadline
+  in
+  let mean = Envelope.Mmpp.mean_rate r.base.Scenario.source in
+  let n_max =
+    Float.max 0.
+      ((r.base.Scenario.capacity /. mean) -. r.base.Scenario.n_cross)
+  in
+  bisect_max ~resolution:0.5 ~hi:n_max fits

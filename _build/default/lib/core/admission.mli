@@ -1,0 +1,43 @@
+(** Admission control on top of the end-to-end delay bounds: the largest
+    cross (or through) load a path can carry while a target end-to-end
+    guarantee [(deadline, epsilon)] still holds — the provisioning question
+    the paper's analysis is meant to answer. *)
+
+type guarantee = {
+  deadline : float;  (** end-to-end delay budget (ms) *)
+  epsilon : float;  (** violation probability *)
+}
+
+type request = {
+  base : Scenario.t;  (** template; its [epsilon] is overridden *)
+  guarantee : guarantee;
+}
+
+val admissible : request -> scheduler:Scheduler.Classes.two_class -> u_cross:float -> bool
+(** Does the guarantee hold with this cross utilization? *)
+
+val max_cross_utilization :
+  ?s_points:int ->
+  ?resolution:float ->
+  request ->
+  scheduler:Scheduler.Classes.two_class ->
+  float
+(** Largest admissible cross utilization (fraction of capacity at the mean
+    rate), by bisection to [resolution] (default 1e-4); [0.] if even an
+    empty link fails the guarantee.  The bound is monotone in the load, so
+    bisection is exact up to the resolution. *)
+
+val max_cross_utilization_edf :
+  ?s_points:int ->
+  ?resolution:float ->
+  request ->
+  cross_over_through:float ->
+  float
+(** Same for EDF with the paper's self-referential deadlines
+    ([d*_0 = bound /. H], [d*_c = ratio *. d*_0], re-solved at every probe
+    point). *)
+
+val max_through_flows :
+  ?s_points:int -> request -> scheduler:Scheduler.Classes.two_class -> float
+(** Dual question: with the cross load of [base] fixed, the largest number
+    of through flows meeting the guarantee. *)

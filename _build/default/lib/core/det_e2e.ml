@@ -1,0 +1,60 @@
+(* Deterministic end-to-end bounds via min-plus convolution (gamma = 0). *)
+
+module Curve = Minplus.Curve
+
+type node = {
+  capacity : float;
+  cross_envelope : Minplus.Curve.t;
+  delta : Scheduler.Delta.t;
+}
+
+let node_service nd ~theta =
+  Service_curve.deterministic ~capacity:nd.capacity ~theta
+    ~cross:[ (nd.cross_envelope, nd.delta) ]
+
+let path_service ~nodes ~thetas =
+  if nodes = [] then invalid_arg "Det_e2e.path_service: empty path";
+  if List.length nodes <> List.length thetas then
+    invalid_arg "Det_e2e.path_service: arity mismatch";
+  let curves = List.map2 (fun nd theta -> node_service nd ~theta) nodes thetas in
+  Minplus.Convolution.convolve_list curves
+
+let delay_bound ~nodes ~through ~thetas =
+  let service = path_service ~nodes ~thetas in
+  Minplus.Deviation.horizontal ~arrival:through ~service
+
+let additive_delay_bound ~nodes ~through =
+  let rec go envelope total = function
+    | [] -> total
+    | nd :: rest ->
+      let service = node_service nd ~theta:0. in
+      let d = Minplus.Deviation.horizontal ~arrival:envelope ~service in
+      if not (Float.is_finite d) then infinity
+      else
+        let out = Minplus.Convolution.deconvolve envelope service in
+        go out (total +. d) rest
+  in
+  go through 0. nodes
+
+let backlog_bound ~nodes ~through ~thetas =
+  let service = path_service ~nodes ~thetas in
+  Minplus.Deviation.vertical ~arrival:through ~service
+
+let delay_bound_uniform_theta ?(theta_points = 64) ~nodes through =
+  let f theta = delay_bound ~nodes ~through ~thetas:(List.map (fun _ -> theta) nodes) in
+  (* Bracket: a reasonable upper end for theta is the single-node FIFO-style
+     horizon burst/(C - rates); use the largest finite bound scale found by
+     doubling. *)
+  let d0 = f 0. in
+  let hi =
+    let rec grow hi tries = if tries = 0 then hi else grow (2. *. hi) (tries - 1) in
+    ignore grow;
+    Float.max 1. (if Float.is_finite d0 then 4. *. d0 else 1.)
+  in
+  let best = ref d0 in
+  for i = 1 to theta_points do
+    let theta = hi *. float_of_int i /. float_of_int theta_points in
+    let v = f theta in
+    if v < !best then best := v
+  done;
+  !best

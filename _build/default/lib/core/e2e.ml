@@ -1,0 +1,376 @@
+(* Section IV: stochastic end-to-end delay bounds for ∆-schedulers. *)
+
+module Exp = Envelope.Exponential
+
+type node = {
+  capacity : float;
+  cross_rho : float;
+  cross_m : float;
+  delta : Scheduler.Delta.t;
+}
+
+type path = { nodes : node array; through : Envelope.Ebb.t }
+
+let homogeneous ~h ~capacity ~cross ~delta ~through =
+  if h <= 0 then invalid_arg "E2e.homogeneous: non-positive path length";
+  if Float.abs (cross.Envelope.Ebb.alpha -. through.Envelope.Ebb.alpha)
+     > 1e-12 *. through.Envelope.Ebb.alpha
+  then invalid_arg "E2e.homogeneous: through and cross must share the EBB decay";
+  {
+    nodes =
+      Array.make h
+        { capacity; cross_rho = cross.Envelope.Ebb.rho; cross_m = cross.Envelope.Ebb.m; delta };
+    through;
+  }
+
+let hop_count p = Array.length p.nodes
+
+let gamma_max p =
+  let rho = p.through.Envelope.Ebb.rho in
+  let h = float_of_int (hop_count p) in
+  Array.fold_left
+    (fun acc nd ->
+      let margin =
+        match nd.delta with
+        | Scheduler.Delta.Neg_inf -> (nd.capacity -. rho) /. (h +. 1.)
+        | _ -> (nd.capacity -. nd.cross_rho -. rho) /. (h +. 1.)
+      in
+      Float.min acc margin)
+    infinity p.nodes
+
+(* --------------------------------------------------------------- *)
+(* Bounding function (Eq. 31 / 34, generalized to per-node constants) *)
+
+let stochastic_nodes p =
+  Array.to_list p.nodes |> List.filter (fun nd -> nd.delta <> Scheduler.Delta.Neg_inf)
+
+let total_bound p ~gamma =
+  if gamma <= 0. then invalid_arg "E2e.total_bound: non-positive gamma";
+  let alpha = p.through.Envelope.Ebb.alpha in
+  (* Statistical sample-path envelope of the through traffic (union bound). *)
+  let eps_g = Exp.geometric_sum (Envelope.Ebb.bounding p.through) ~gamma in
+  (* Per-node service-curve bounds (Eq. 29); in the network convolution
+     every node except the last stochastic one incurs a second union bound
+     over time (the inner sum of Eq. 31). *)
+  let stoch = stochastic_nodes p in
+  let n = List.length stoch in
+  let node_terms =
+    List.mapi
+      (fun i nd ->
+        let eps_h = Exp.geometric_sum (Exp.v ~m:nd.cross_m ~a:alpha) ~gamma in
+        if i < n - 1 then Exp.geometric_sum eps_h ~gamma else eps_h)
+      stoch
+  in
+  Exp.combine (eps_g :: node_terms)
+
+let sigma_for p ~gamma ~epsilon = Exp.invert (total_bound p ~gamma) ~epsilon
+
+(* --------------------------------------------------------------- *)
+(* The optimization problem of Eq. (38)                              *)
+
+(* Smallest feasible theta for the (0-indexed) node [h], given X = x:
+   (C -. h*gamma) (x +. theta) -. (rho_c +. gamma) (x +. min(delta,theta))_+
+   >= sigma. *)
+let theta_of_x p ~gamma ~sigma ~x h =
+  let nd = p.nodes.(h) in
+  let c_h = nd.capacity -. (float_of_int h *. gamma) in
+  if c_h <= 0. then infinity
+  else
+    match nd.delta with
+    | Scheduler.Delta.Neg_inf ->
+      (* cross traffic never precedes the through flow *)
+      Float.max 0. ((sigma /. c_h) -. x)
+    | Scheduler.Delta.Pos_inf ->
+      let margin = c_h -. nd.cross_rho -. gamma in
+      if margin <= 0. then infinity else Float.max 0. ((sigma /. margin) -. x)
+    | Scheduler.Delta.Fin d when d >= 0. ->
+      let margin = c_h -. nd.cross_rho -. gamma in
+      if margin *. x >= sigma then 0.
+      else if margin > 0. && (sigma /. margin) -. x <= d then (sigma /. margin) -. x
+      else
+        (* beyond theta = d the constraint grows at the full rate c_h *)
+        let theta2 = ((sigma +. ((nd.cross_rho +. gamma) *. (x +. d))) /. c_h) -. x in
+        Float.max theta2 d
+    | Scheduler.Delta.Fin d ->
+      (* d < 0: min(delta, theta) = d for all theta >= 0 *)
+      let cross_part = (nd.cross_rho +. gamma) *. Float.max 0. (x +. d) in
+      Float.max 0. (((sigma +. cross_part) /. c_h) -. x)
+
+let objective p ~gamma ~sigma x =
+  let acc = ref x in
+  for h = 0 to hop_count p - 1 do
+    acc := !acc +. theta_of_x p ~gamma ~sigma ~x h
+  done;
+  !acc
+
+(* Kink abscissae of X -> theta_h(X), per node. *)
+let x_candidates p ~gamma ~sigma =
+  let cands = ref [ 0. ] in
+  let push x = if Float.is_finite x && x >= 0. then cands := x :: !cands in
+  Array.iteri
+    (fun h nd ->
+      let c_h = nd.capacity -. (float_of_int h *. gamma) in
+      if c_h > 0. then begin
+        let margin = c_h -. nd.cross_rho -. gamma in
+        match nd.delta with
+        | Scheduler.Delta.Neg_inf -> push (sigma /. c_h)
+        | Scheduler.Delta.Pos_inf -> if margin > 0. then push (sigma /. margin)
+        | Scheduler.Delta.Fin d when d >= 0. ->
+          if margin > 0. then begin
+            push (sigma /. margin);
+            push ((sigma /. margin) -. d)
+          end
+        | Scheduler.Delta.Fin d ->
+          push (-.d);
+          push (sigma /. c_h);
+          if margin > 0. then push ((sigma +. ((nd.cross_rho +. gamma) *. d)) /. margin)
+      end)
+    p.nodes;
+  List.sort_uniq compare !cands
+
+let delay_given p ~gamma ~sigma =
+  if sigma < 0. then invalid_arg "E2e.delay_given: negative sigma";
+  let cands = x_candidates p ~gamma ~sigma in
+  (* The objective is piecewise linear with kinks exactly at the candidate
+     abscissae, so its minimum over X >= 0 is attained at one of them. *)
+  List.fold_left
+    (fun acc x -> Float.min acc (objective p ~gamma ~sigma x))
+    infinity cands
+
+let delay_at_gamma p ~gamma ~epsilon =
+  let sigma = sigma_for p ~gamma ~epsilon in
+  delay_given p ~gamma ~sigma
+
+let optimal_thetas p ~gamma ~sigma =
+  let cands = x_candidates p ~gamma ~sigma in
+  let best =
+    List.fold_left
+      (fun (bx, bv) x ->
+        let v = objective p ~gamma ~sigma x in
+        if v < bv then (x, v) else (bx, bv))
+      (0., objective p ~gamma ~sigma 0.)
+      cands
+  in
+  let x = fst best in
+  (Array.init (hop_count p) (fun h -> theta_of_x p ~gamma ~sigma ~x h), x)
+
+(* --------------------------------------------------------------- *)
+(* The network service curve as an explicit min-plus object          *)
+
+module Curve = Minplus.Curve
+
+(* S~^h_{(h-1)gamma}(t') = (C -. h' gamma)(t' +. theta_h)
+                           -. (rho_c +. gamma) [t' +. ∆(theta_h)]_+
+   for t' >= 0, as a curve (0-indexed h). *)
+let tilde_curve p ~gamma ~theta h =
+  let nd = p.nodes.(h) in
+  let c_h = nd.capacity -. (float_of_int h *. gamma) in
+  let base = Curve.v [ (0., c_h *. theta, c_h) ] in
+  match Scheduler.Delta.clip_fin nd.delta theta with
+  | None -> base
+  | Some clipped ->
+    let r = nd.cross_rho +. gamma in
+    let cross =
+      if clipped >= 0. then Curve.v [ (0., r *. clipped, r) ]
+      else Curve.v [ (0., 0., 0.); (-.clipped, 0., r) ]
+    in
+    Curve.sub_clip base cross
+
+let network_service_curve p ~gamma ~thetas =
+  if Array.length thetas <> hop_count p then
+    invalid_arg "E2e.network_service_curve: arity mismatch";
+  Array.iter
+    (fun th -> if th < 0. then invalid_arg "E2e.network_service_curve: negative theta")
+    thetas;
+  let total = Array.fold_left ( +. ) 0. thetas in
+  let shifted h =
+    Curve.hshift total (tilde_curve p ~gamma ~theta:thetas.(h) h)
+  in
+  let n = hop_count p in
+  let merged = ref (shifted 0) in
+  for h = 1 to n - 1 do
+    merged := Curve.min !merged (shifted h)
+  done;
+  Curve.gate total !merged
+
+let through_envelope_curve p ~gamma ~sigma =
+  Curve.affine ~rate:(p.through.Envelope.Ebb.rho +. gamma) ~burst:sigma
+
+let delay_via_curve p ~gamma ~sigma ~thetas =
+  let service = network_service_curve p ~gamma ~thetas in
+  Minplus.Deviation.horizontal
+    ~arrival:(through_envelope_curve p ~gamma ~sigma)
+    ~service
+
+let backlog_given p ~gamma ~sigma =
+  (* Any thetas yield a valid service curve; minimize the vertical
+     deviation over the same candidate X values as the delay problem. *)
+  let arrival = through_envelope_curve p ~gamma ~sigma in
+  let backlog_at x =
+    let thetas = Array.init (hop_count p) (fun h -> theta_of_x p ~gamma ~sigma ~x h) in
+    if Array.exists (fun t -> not (Float.is_finite t)) thetas then infinity
+    else
+      Minplus.Deviation.vertical ~arrival
+        ~service:(network_service_curve p ~gamma ~thetas)
+  in
+  List.fold_left
+    (fun acc x -> Float.min acc (backlog_at x))
+    infinity
+    (x_candidates p ~gamma ~sigma)
+
+let backlog_bound ?(gamma_points = 40) ~epsilon p =
+  if epsilon <= 0. || epsilon >= 1. then invalid_arg "E2e.backlog_bound: epsilon out of range";
+  let gmax = gamma_max p in
+  if gmax <= 0. then infinity
+  else begin
+    let f gamma =
+      let sigma = sigma_for p ~gamma ~epsilon in
+      backlog_given p ~gamma ~sigma
+    in
+    let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
+    let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
+    let best = ref (f lo) in
+    let g = ref lo in
+    for _ = 2 to gamma_points do
+      g := !g *. ratio;
+      let v = f !g in
+      if v < !best then best := v
+    done;
+    !best
+  end
+
+let golden_minimize f lo hi steps =
+  let phi = (sqrt 5. -. 1.) /. 2. in
+  let rec go a b n =
+    if n = 0 then 0.5 *. (a +. b)
+    else
+      let x1 = b -. (phi *. (b -. a)) and x2 = a +. (phi *. (b -. a)) in
+      if f x1 <= f x2 then go a x2 (n - 1) else go x1 b (n - 1)
+  in
+  go lo hi steps
+
+let delay_bound ?(gamma_points = 40) ~epsilon p =
+  if epsilon <= 0. || epsilon >= 1. then invalid_arg "E2e.delay_bound: epsilon out of range";
+  let gmax = gamma_max p in
+  if gmax <= 0. then infinity
+  else begin
+    let f gamma = delay_at_gamma p ~gamma ~epsilon in
+    (* Log-spaced coarse grid, then golden-section refinement around the
+       best grid point. *)
+    let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
+    let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
+    let best = ref (lo, f lo) in
+    let g = ref lo in
+    for _ = 2 to gamma_points do
+      g := !g *. ratio;
+      let v = f !g in
+      if v < snd !best then best := (!g, v)
+    done;
+    let center = fst !best in
+    let a = Float.max lo (center /. ratio) and b = Float.min hi (center *. ratio) in
+    let gstar = golden_minimize f a b 40 in
+    Float.min (snd !best) (f gstar)
+  end
+
+(* --------------------------------------------------------------- *)
+(* Closed forms and the paper's explicit K-procedure                 *)
+
+let require_homogeneous p name =
+  let nd0 = p.nodes.(0) in
+  Array.iter
+    (fun nd ->
+      if nd.capacity <> nd0.capacity || nd.cross_rho <> nd0.cross_rho
+         || not (Scheduler.Delta.equal nd.delta nd0.delta)
+      then invalid_arg (name ^ ": path is not homogeneous"))
+    p.nodes;
+  nd0
+
+let bmux_closed_form p ~gamma ~sigma =
+  let nd = require_homogeneous p "E2e.bmux_closed_form" in
+  if nd.delta <> Scheduler.Delta.Pos_inf then
+    invalid_arg "E2e.bmux_closed_form: not a BMUX path";
+  let h = float_of_int (hop_count p) in
+  let denom = nd.capacity -. nd.cross_rho -. (h *. gamma) in
+  if denom <= 0. then infinity else sigma /. denom
+
+(* Smallest K in 0..H satisfying Eq. (40):
+   sum_{h > K} (C -. rho_c -. h gamma) /. (C -. (h-1) gamma) < 1. *)
+let smallest_k ~extra_ok ~h ~c ~rho_c ~gamma =
+  let term k = (c -. rho_c -. (float_of_int k *. gamma)) /. (c -. (float_of_int (k - 1) *. gamma)) in
+  let rec suffix_sum k = if k > h then 0. else term k +. suffix_sum (k + 1) in
+  let rec find k =
+    if k > h then h
+    else if suffix_sum (k + 1) < 1. && extra_ok k then k
+    else find (k + 1)
+  in
+  find 0
+
+let fifo_closed_form p ~gamma ~sigma =
+  let nd = require_homogeneous p "E2e.fifo_closed_form" in
+  if not (Scheduler.Delta.equal nd.delta (Scheduler.Delta.Fin 0.)) then
+    invalid_arg "E2e.fifo_closed_form: not a FIFO path";
+  let h = hop_count p in
+  let c = nd.capacity and rho_c = nd.cross_rho in
+  let k = smallest_k ~extra_ok:(fun _ -> true) ~h ~c ~rho_c ~gamma in
+  if k = 0 then begin
+    (* At K = 0 the paper sets X = 0 (Eq. 41); each node's constraint then
+       reads (C - (h-1) gamma) theta_h >= sigma. *)
+    let acc = ref 0. in
+    for j = 1 to h do
+      acc := !acc +. (sigma /. (c -. (float_of_int (j - 1) *. gamma)))
+    done;
+    !acc
+  end
+  else begin
+    let denom = c -. rho_c -. (float_of_int k *. gamma) in
+    if denom <= 0. then infinity
+    else begin
+      let x = sigma /. denom in
+      let extra = ref 0. in
+      for j = k + 1 to h do
+        extra :=
+          !extra
+          +. (float_of_int (j - k) *. gamma /. (c -. (float_of_int (j - 1) *. gamma)))
+      done;
+      x *. (1. +. !extra)
+    end
+  end
+
+let k_procedure p ~gamma ~sigma =
+  let nd = require_homogeneous p "E2e.k_procedure" in
+  let h = hop_count p in
+  let c = nd.capacity and rho_c = nd.cross_rho in
+  match nd.delta with
+  | Scheduler.Delta.Pos_inf -> bmux_closed_form p ~gamma ~sigma
+  | Scheduler.Delta.Neg_inf ->
+    (* no cross precedence: theta = 0, X = sigma / (C -. (H-1) gamma) *)
+    let denom = c -. (float_of_int (h - 1) *. gamma) in
+    if denom <= 0. then infinity else sigma /. denom
+  | Scheduler.Delta.Fin d when d >= 0. ->
+    let x_of k =
+      if k = 0 then 0. else sigma /. (c -. rho_c -. (float_of_int k *. gamma))
+    in
+    let extra_ok k =
+      let x = x_of k in
+      let ok = ref true in
+      for j = k to h - 1 do
+        (* nodes with 1-indexed position j+1 > K must have theta > delta *)
+        if theta_of_x p ~gamma ~sigma ~x j <= d then ok := false
+      done;
+      !ok
+    in
+    let k = smallest_k ~extra_ok ~h ~c ~rho_c ~gamma in
+    let x = x_of k in
+    objective p ~gamma ~sigma x
+  | Scheduler.Delta.Fin d ->
+    (* d < 0, Eq. (42) *)
+    let x_of k =
+      if k = 0 then -.d
+      else
+        Float.max
+          (sigma /. (c -. (float_of_int (k - 1) *. gamma)))
+          ((sigma +. ((rho_c +. gamma) *. d)) /. (c -. rho_c -. (float_of_int k *. gamma)))
+    in
+    let k = smallest_k ~extra_ok:(fun _ -> true) ~h ~c ~rho_c ~gamma in
+    let x = x_of k in
+    objective p ~gamma ~sigma x

@@ -1,0 +1,118 @@
+(** Probabilistic end-to-end delay bounds for ∆-schedulers over a multi-node
+    path — Section IV of the paper.
+
+    The through flow is EBB [(m, rho, alpha)]; the cross aggregate at node
+    [h] is EBB [(cross_m, cross_rho, alpha)] (a common decay [alpha], as in
+    the paper where both sides are characterized by the same effective
+    bandwidth parameter).  Per-node sample-path envelopes use a slack rate
+    [gamma]; composing the [H] per-node service curves (Eq. 28) into a
+    network service curve (Eq. 30) costs a rate degradation of [gamma] per
+    node and yields the closed-form bounding function of Eq. (34).  The
+    delay bound is the optimization problem of Eq. (38),
+
+    minimize [X +. sum_h theta_h] subject to
+    [(C -. (h-1) gamma) (X +. theta_h)
+       -. (cross_rho +. gamma) (X +. ∆(theta_h))_+ >= sigma],
+
+    solved exactly here (the objective is piecewise linear in [X] once each
+    [theta_h] is taken as the smallest feasible solution, so enumerating
+    the kinks of [X -> X +. sum_h theta_h X] is exact), alongside the
+    paper's explicit near-optimal K-procedure (Eq. 40–42) and the closed
+    forms for blind multiplexing (Eq. 43) and FIFO (Eq. 44). *)
+
+type node = {
+  capacity : float;
+  cross_rho : float;
+  cross_m : float;
+  delta : Scheduler.Delta.t;  (** [∆_{0,c}] at this node *)
+}
+
+type path = {
+  nodes : node array;
+  through : Envelope.Ebb.t;
+}
+
+val homogeneous :
+  h:int ->
+  capacity:float ->
+  cross:Envelope.Ebb.t ->
+  delta:Scheduler.Delta.t ->
+  through:Envelope.Ebb.t ->
+  path
+(** @raise Invalid_argument if [h <= 0] or the EBB decays differ. *)
+
+val hop_count : path -> int
+
+val gamma_max : path -> float
+(** Largest admissible slack rate, [min_h (C_h -. rho_c^h -. rho) /. (H+1)]
+    (Eq. 32); non-positive means the path is overloaded. *)
+
+val total_bound : path -> gamma:float -> Envelope.Exponential.t
+(** The end-to-end violation bounding function: the through envelope bound
+    combined with the network service bound of Eq. (31)/(34). *)
+
+val sigma_for : path -> gamma:float -> epsilon:float -> float
+(** Invert {!total_bound} at the target violation probability. *)
+
+val theta_of_x : path -> gamma:float -> sigma:float -> x:float -> int -> float
+(** [theta_of_x p ~gamma ~sigma ~x h] — smallest feasible [theta_h] for the
+    0-indexed node [h] given [X = x]; [infinity] when node [h]'s constraint
+    is infeasible at every [theta]. *)
+
+val delay_given : path -> gamma:float -> sigma:float -> float
+(** Exact minimum of Eq. (38) over [X >= 0.] (piecewise-linear kink
+    enumeration); [infinity] when infeasible. *)
+
+val delay_at_gamma : path -> gamma:float -> epsilon:float -> float
+
+(** {1 The network service curve as an explicit min-plus object}
+
+    [delay_given] solves Eq. (38) without materializing the curve; the
+    functions below build the Eq. (30) network service curve explicitly,
+    which yields backlog bounds and an independent cross-check of the
+    optimizer. *)
+
+val network_service_curve : path -> gamma:float -> thetas:float array -> Minplus.Curve.t
+(** [S^net(t; theta) = min_h S~^h_{(h-1)gamma}(t -. T) · I(t > T)] with
+    [T = sum thetas] (the convolution already carried out in closed form,
+    Section IV).  @raise Invalid_argument on arity mismatch. *)
+
+val delay_via_curve : path -> gamma:float -> sigma:float -> thetas:float array -> float
+(** Horizontal deviation of the through envelope (plus [sigma]) against
+    {!network_service_curve} — must agree with the Eq.-38 constraint
+    machinery at the same [thetas]. *)
+
+val backlog_given : path -> gamma:float -> sigma:float -> float
+(** End-to-end backlog bound: vertical deviation of the through envelope
+    (plus [sigma]) against the network service curve, minimized over the
+    same candidate [X] values as {!delay_given}. *)
+
+val backlog_bound : ?gamma_points:int -> epsilon:float -> path -> float
+(** Probabilistic end-to-end backlog bound
+    [P (B > backlog_bound) <= epsilon], optimized over [gamma]. *)
+
+val optimal_thetas : path -> gamma:float -> sigma:float -> float array * float
+(** The minimizing [(thetas, X)] of Eq. (38) — the witness behind
+    {!delay_given}. *)
+
+val delay_bound : ?gamma_points:int -> epsilon:float -> path -> float
+(** End-to-end delay bound with numerical optimization over [gamma]
+    (coarse grid plus golden-section refinement), as prescribed by the
+    paper.  [infinity] when the path is overloaded. *)
+
+(** {1 Closed forms and the paper's explicit procedure}
+
+    These require a homogeneous path and are used to cross-validate
+    {!delay_given}. *)
+
+val bmux_closed_form : path -> gamma:float -> sigma:float -> float
+(** Eq. (43): [sigma /. (C -. rho_c -. H gamma)].
+    @raise Invalid_argument unless every node is BMUX ([Pos_inf]). *)
+
+val fifo_closed_form : path -> gamma:float -> sigma:float -> float
+(** Eq. (44).  @raise Invalid_argument unless every node is FIFO. *)
+
+val k_procedure : path -> gamma:float -> sigma:float -> float
+(** The paper's explicit choice of [K] and [X] (Eq. 40–42) followed by the
+    exact [theta_h X]; an upper bound on {!delay_given} that is near-optimal
+    in practice.  @raise Invalid_argument unless the path is homogeneous. *)

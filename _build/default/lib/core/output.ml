@@ -1,0 +1,14 @@
+(* Output characterization by deconvolution. *)
+
+module Exp = Envelope.Exponential
+module Ebb = Envelope.Ebb
+
+let ebb_through_node ~input ~service_rate ~service_bound ~gamma =
+  if gamma <= 0. then invalid_arg "Output.ebb_through_node: non-positive gamma";
+  let sp = Ebb.sample_path_envelope input ~gamma in
+  if sp.Ebb.envelope_rate > service_rate then
+    invalid_arg "Output.ebb_through_node: unstable node";
+  let combined = Exp.combine [ sp.Ebb.bound; service_bound ] in
+  Ebb.v ~m:combined.Exp.m ~rho:sp.Ebb.envelope_rate ~alpha:combined.Exp.a
+
+let deterministic ~arrival ~service = Minplus.Convolution.deconvolve arrival service

@@ -1,0 +1,23 @@
+(** Empirical scaling analysis — operationalizing the paper's asymptotic
+    claims: end-to-end delay bounds computed with the network service curve
+    grow as Θ(H log H) in the path length for every ∆-scheduler, while
+    adding per-node bounds grows as O(H³ log H) in discrete time. *)
+
+val growth_exponent : (float * float) list -> float
+(** [growth_exponent points] fits [y = c *. x ** e] through positive
+    [(x, y)] samples by least squares in log-log space and returns [e].
+    @raise Invalid_argument with fewer than two distinct points. *)
+
+val delay_growth :
+  ?hs:int list ->
+  scheduler:Scheduler.Classes.two_class ->
+  Scenario.t ->
+  (float * float) list * float
+(** Delay bound as a function of path length for the given scenario's load
+    (the [h] field is overridden by each element of [hs], default
+    [2, 4, 8, 16, 32]), plus the fitted growth exponent.  Θ(H log H)
+    appears as an exponent slightly above 1. *)
+
+val additive_growth : ?hs:int list -> Scenario.t -> (float * float) list * float
+(** Same for the node-by-node additive BMUX analysis; the exponent is
+    markedly above 2. *)

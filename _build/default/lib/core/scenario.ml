@@ -1,0 +1,129 @@
+(* The paper's numerical setup and the outer optimizations over s and gamma. *)
+
+type t = {
+  capacity : float;
+  source : Envelope.Mmpp.t;
+  n_through : float;
+  n_cross : float;
+  h : int;
+  epsilon : float;
+}
+
+let paper_defaults ~h ~n_through ~n_cross =
+  {
+    capacity = 100.;
+    source = Envelope.Mmpp.paper_source;
+    n_through;
+    n_cross;
+    h;
+    epsilon = 1e-9;
+  }
+
+let of_utilization ~h ~u_through ~u_cross =
+  let mean = Envelope.Mmpp.mean_rate Envelope.Mmpp.paper_source in
+  paper_defaults ~h
+    ~n_through:(u_through *. 100. /. mean)
+    ~n_cross:(u_cross *. 100. /. mean)
+
+let utilization t =
+  (t.n_through +. t.n_cross) *. Envelope.Mmpp.mean_rate t.source /. t.capacity
+
+let path_at t ~s ~delta =
+  let through = Envelope.Mmpp.ebb t.source ~n:t.n_through ~s in
+  let cross = Envelope.Mmpp.ebb t.source ~n:t.n_cross ~s in
+  E2e.homogeneous ~h:t.h ~capacity:t.capacity ~cross ~delta ~through
+
+(* Largest s keeping the path stable: total effective bandwidth (plus head
+   room for gamma) below capacity.  eb is increasing in s, so bisect. *)
+let s_stable_max t =
+  let stable s =
+    let eb = Envelope.Mmpp.effective_bandwidth t.source ~s in
+    ((t.n_through +. t.n_cross) *. eb) < t.capacity *. 0.9999
+  in
+  if not (stable 1e-6) then None
+  else begin
+    let rec grow hi tries =
+      if tries = 0 then hi else if stable hi then grow (2. *. hi) (tries - 1) else hi
+    in
+    let hi = grow 1e-6 60 in
+    let rec bisect lo hi n =
+      if n = 0 then lo
+      else
+        let mid = sqrt (lo *. hi) in
+        if stable mid then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+    in
+    Some (bisect 1e-6 hi 60)
+  end
+
+(* Minimize [f s] over the stable range of the effective-bandwidth
+   parameter: log grid plus a local geometric refinement. *)
+let minimize_over_s ~s_points t f =
+  match s_stable_max t with
+  | None -> infinity
+  | Some s_max ->
+    let lo = s_max *. 1e-4 and hi = s_max *. 0.999 in
+    let ratio = (hi /. lo) ** (1. /. float_of_int (s_points - 1)) in
+    let best = ref (lo, f lo) in
+    let s = ref lo in
+    for _ = 2 to s_points do
+      s := !s *. ratio;
+      let v = f !s in
+      if v < snd !best then best := (!s, v)
+    done;
+    let center = fst !best in
+    let a = Float.max lo (center /. ratio) and b = Float.min hi (center *. ratio) in
+    let refine_points = 12 in
+    let rr = (b /. a) ** (1. /. float_of_int (refine_points - 1)) in
+    let sbest = ref (snd !best) in
+    let sv = ref a in
+    for _ = 1 to refine_points do
+      let v = f !sv in
+      if v < !sbest then sbest := v;
+      sv := !sv *. rr
+    done;
+    !sbest
+
+let delay_bound ?(s_points = 32) ~scheduler t =
+  let delta = Scheduler.Classes.delta_through_cross scheduler in
+  minimize_over_s ~s_points t (fun s ->
+      E2e.delay_bound ~epsilon:t.epsilon (path_at t ~s ~delta))
+
+let backlog_bound ?(s_points = 32) ~scheduler t =
+  let delta = Scheduler.Classes.delta_through_cross scheduler in
+  minimize_over_s ~s_points t (fun s ->
+      E2e.backlog_bound ~epsilon:t.epsilon (path_at t ~s ~delta))
+
+type edf_spec = { cross_over_through : float }
+
+type edf_result = {
+  bound : float;
+  d_through : float;
+  d_cross : float;
+  iterations : int;
+}
+
+let delay_bound_edf ?(s_points = 32) ?(max_iter = 60) ~spec t =
+  if spec.cross_over_through <= 0. then
+    invalid_arg "Scenario.delay_bound_edf: non-positive deadline ratio";
+  let hf = float_of_int t.h in
+  let bound_for gap = delay_bound ~s_points t ~scheduler:(Scheduler.Classes.Edf_gap gap) in
+  let seed = delay_bound ~s_points t ~scheduler:Scheduler.Classes.Fifo in
+  if not (Float.is_finite seed) then
+    { bound = infinity; d_through = infinity; d_cross = infinity; iterations = 0 }
+  else begin
+    let gap_of d =
+      let d0 = d /. hf in
+      d0 *. (1. -. spec.cross_over_through)
+    in
+    let rec iterate d n =
+      if n >= max_iter then (d, n)
+      else
+        let d' = bound_for (gap_of d) in
+        if not (Float.is_finite d') then (d', n + 1)
+        else if Float.abs (d' -. d) <= 1e-6 *. d' then (d', n + 1)
+        else iterate d' (n + 1)
+    in
+    let (bound, iterations) = iterate seed 0 in
+    let d_through = bound /. hf in
+    { bound; d_through; d_cross = spec.cross_over_through *. d_through; iterations }
+  end

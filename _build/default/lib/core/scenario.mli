@@ -1,0 +1,60 @@
+(** The paper's experimental setup (Section V): homogeneous paths of
+    100 Mbps links fed by aggregates of identical on-off Markov sources
+    (1.5 Mbps peak, 0.15 Mbps mean per flow, 1 ms slots), with a violation
+    probability of 1e-9.
+
+    The EBB constants of an aggregate of [n] flows are
+    [(1., n *. eb s, s)]; the delay bound is minimized numerically over the
+    free parameters [s] (effective-bandwidth/decay) and [gamma]
+    (envelope slack). *)
+
+type t = {
+  capacity : float;  (** kb per ms (= Mbps) *)
+  source : Envelope.Mmpp.t;
+  n_through : float;
+  n_cross : float;  (** per node *)
+  h : int;
+  epsilon : float;
+}
+
+val paper_defaults : h:int -> n_through:float -> n_cross:float -> t
+(** [capacity = 100.], paper source, [epsilon = 1e-9]. *)
+
+val of_utilization : h:int -> u_through:float -> u_cross:float -> t
+(** Flow counts from link utilizations (fractions of capacity at the mean
+    rate), e.g. [u_through = 0.15] gives the paper's [N_0 = 100]. *)
+
+val utilization : t -> float
+(** Total mean-rate utilization [(N_0 +. N_c) *. mean /. C]. *)
+
+val path_at : t -> s:float -> delta:Scheduler.Delta.t -> E2e.path
+(** The {!E2e.path} for a given effective-bandwidth parameter [s]. *)
+
+val delay_bound : ?s_points:int -> scheduler:Scheduler.Classes.two_class -> t -> float
+(** End-to-end delay bound for FIFO / BMUX / SP (fixed [∆_{0,c}]),
+    minimized over [s] (log grid + refinement) and [gamma].
+    For [Edf_gap g] the gap is used as given.
+    [infinity] when no stable [s] exists. *)
+
+val backlog_bound : ?s_points:int -> scheduler:Scheduler.Classes.two_class -> t -> float
+(** End-to-end backlog bound (kb) of the through aggregate,
+    [P (B > bound) <= epsilon], minimized over [s] and [gamma] like
+    {!delay_bound}.  For [Edf_gap g] the gap is used as given. *)
+
+type edf_spec = {
+  cross_over_through : float;
+  (** deadline ratio [d*_c /. d*_0]; the paper's Example 1 uses [10.] *)
+}
+
+type edf_result = {
+  bound : float;  (** the fixed-point end-to-end delay bound *)
+  d_through : float;  (** resulting per-node deadline [d*_0 = bound /. H] *)
+  d_cross : float;
+  iterations : int;
+}
+
+val delay_bound_edf : ?s_points:int -> ?max_iter:int -> spec:edf_spec -> t -> edf_result
+(** The paper ties EDF deadlines to the computed bound itself
+    ([d*_0 = d_e2e /. H], [d*_c = ratio *. d*_0]), so the bound solves a
+    fixed-point equation; iterate from the FIFO bound until relative change
+    falls below 1e-6. *)

@@ -1,0 +1,60 @@
+(* Theorem 2: tight schedulability conditions. *)
+
+module Curve = Minplus.Curve
+
+type flow = { envelope : Minplus.Curve.t; delta : Scheduler.Delta.t }
+
+(* sum_{k in N_j} E_k (t +. ∆_{j,k}(d)) as a curve in t. *)
+let shifted_sum ~delay flows =
+  let shifted =
+    List.filter_map
+      (fun { envelope; delta } ->
+        match Scheduler.Delta.clip_fin delta delay with
+        | None -> None
+        | Some c ->
+          if c >= 0. then Some (Curve.lshift c envelope)
+          else Some (Curve.hshift (-.c) envelope))
+      flows
+  in
+  match shifted with
+  | [] -> Curve.zero
+  | c :: rest -> List.fold_left Curve.add c rest
+
+let slack ~capacity ~delay flows =
+  if capacity <= 0. then invalid_arg "Schedulability.slack: non-positive capacity";
+  if delay < 0. then invalid_arg "Schedulability.slack: negative delay";
+  let demand = shifted_sum ~delay flows in
+  let sup =
+    Minplus.Deviation.vertical ~arrival:demand ~service:(Curve.constant_rate capacity)
+  in
+  (capacity *. delay) -. sup
+
+let check ~capacity ~delay flows = slack ~capacity ~delay flows >= -1e-9
+
+let min_delay ?(tol = 1e-9) ~capacity flows =
+  let ok d = check ~capacity ~delay:d flows in
+  (* Bracket: grow the upper end geometrically; give up on overload. *)
+  let rec bracket hi tries =
+    if tries = 0 then None else if ok hi then Some hi else bracket (2. *. hi) (tries - 1)
+  in
+  match bracket 1. 80 with
+  | None -> infinity
+  | Some hi ->
+    let rec bisect lo hi =
+      if hi -. lo <= tol *. (1. +. hi) then hi
+      else
+        let mid = 0.5 *. (lo +. hi) in
+        if ok mid then bisect lo mid else bisect mid hi
+    in
+    bisect 0. hi
+
+let fifo_min_delay ~capacity flows =
+  let rates = List.fold_left (fun acc (r, _) -> acc +. r) 0. flows in
+  let bursts = List.fold_left (fun acc (_, b) -> acc +. b) 0. flows in
+  if rates > capacity then infinity else bursts /. capacity
+
+let sp_min_delay ~capacity ~tagged:(_, tagged_burst) ~higher =
+  let r_high = List.fold_left (fun acc (r, _) -> acc +. r) 0. higher in
+  let b_high = List.fold_left (fun acc (_, b) -> acc +. b) 0. higher in
+  if r_high >= capacity then infinity
+  else (tagged_burst +. b_high) /. (capacity -. r_high)

@@ -1,0 +1,70 @@
+(* Theorem 1: leftover service curves for ∆-schedulers. *)
+
+module Curve = Minplus.Curve
+
+type cross = {
+  envelope : Curve.t;
+  bound : Envelope.Exponential.t;
+  delta : Scheduler.Delta.t;
+}
+
+(* G_k (t -. theta +. ∆_{j,k}(theta)) as a right-shift of G_k by
+   [theta -. ∆_{j,k}(theta)] (non-negative since ∆(theta) <= theta). *)
+let shifted_envelope ~theta envelope delta =
+  match Scheduler.Delta.clip_fin delta theta with
+  | None -> None
+  | Some clipped ->
+    let shift = theta -. clipped in
+    assert (shift >= -1e-12);
+    Some (Curve.hshift (Float.max 0. shift) envelope)
+
+let build ~capacity ~theta shifted =
+  let line = Curve.constant_rate capacity in
+  let leftover =
+    match shifted with
+    | [] -> line
+    | c :: rest -> Curve.sub_clip line (List.fold_left Curve.add c rest)
+  in
+  Curve.gate theta leftover
+
+let statistical ~capacity ~theta ~cross =
+  if capacity <= 0. then invalid_arg "Service_curve.statistical: non-positive capacity";
+  if theta < 0. then invalid_arg "Service_curve.statistical: negative theta";
+  let included =
+    List.filter_map
+      (fun k ->
+        match shifted_envelope ~theta k.envelope k.delta with
+        | None -> None
+        | Some g -> Some (g, k.bound))
+      cross
+  in
+  let curve = build ~capacity ~theta (List.map fst included) in
+  let bound =
+    match included with
+    | [] -> Envelope.Exponential.v ~m:0. ~a:1.
+    | _ -> Envelope.Exponential.combine (List.map snd included)
+  in
+  (curve, bound)
+
+let deterministic ~capacity ~theta ~cross =
+  if capacity <= 0. then invalid_arg "Service_curve.deterministic: non-positive capacity";
+  if theta < 0. then invalid_arg "Service_curve.deterministic: negative theta";
+  let shifted =
+    List.filter_map (fun (env, delta) -> shifted_envelope ~theta env delta) cross
+  in
+  build ~capacity ~theta shifted
+
+let affine_leftover ~capacity ~theta ~cross_rate ~delta =
+  if capacity <= 0. then invalid_arg "Service_curve.affine_leftover: non-positive capacity";
+  if theta < 0. then invalid_arg "Service_curve.affine_leftover: negative theta";
+  if cross_rate < 0. then invalid_arg "Service_curve.affine_leftover: negative rate";
+  match Scheduler.Delta.clip_fin delta theta with
+  | None -> Curve.gate theta (Curve.constant_rate capacity)
+  | Some clipped ->
+    (* S(t) = (C t -. r (t -. shift))_+ for t > theta, with
+       shift = theta -. clipped >= 0.  The curve is 0 until it turns
+       positive, which for t > theta happens immediately when
+       C theta >= r (theta -. shift). *)
+    let shift = Float.max 0. (theta -. clipped) in
+    let cross_env = Curve.hshift shift (Curve.affine ~rate:cross_rate ~burst:0.) in
+    build ~capacity ~theta [ cross_env ]

@@ -1,0 +1,31 @@
+(** Probabilistic single-node delay bounds (Section III-B, Eq. 20–23).
+
+    Combining the Theorem-1 service curve (with [theta = d sigma]) and a
+    statistical sample-path envelope of the tagged flow yields the
+    condition (Eq. 23)
+
+    [sup_{t>0} (sum_{k in N_j} G_k (t +. ∆_{j,k} (d)) +. sigma -. C t)
+       <= C d,]
+
+    which has the same structure as the deterministic Theorem-2 condition
+    and recovers the schedulability conditions of Boorstyn et al. *)
+
+type flow = {
+  envelope : Minplus.Curve.t;  (** statistical sample-path envelope [G_k] *)
+  bound : Envelope.Exponential.t;
+  delta : Scheduler.Delta.t;  (** [∆_{j,k}]; the tagged flow has [Fin 0.] *)
+}
+
+val delay_for_sigma :
+  ?tol:float -> capacity:float -> sigma:float -> flow list -> float
+(** Smallest [d] satisfying Eq. (23) at the given [sigma], by bisection;
+    [infinity] on overload.  The tagged flow must be in [flows]. *)
+
+val delay_bound : ?tol:float -> capacity:float -> epsilon:float -> flow list -> float
+(** Full bound: [sigma] from the optimally-combined bounding functions of
+    all flows in [N_j] (Eq. 21 / 33), then {!delay_for_sigma}. *)
+
+val violation_probability :
+  capacity:float -> delay:float -> flow list -> float
+(** Inverse view: the smallest bound on [P (W > delay)] obtainable from
+    Eq. (23) by choosing [sigma] as large as the condition allows. *)

@@ -1,0 +1,1 @@
+lib/desim/prng.ml: Float Int64

@@ -1,0 +1,25 @@
+(** Polymorphic binary min-heap with a caller-supplied comparison.
+    Used for precedence queues in the network simulator. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, [None] when empty. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument when empty. *)
+
+val clear : 'a t -> unit
+
+val to_list_unordered : 'a t -> 'a list
+(** Current contents in internal (heap) order — for inspection only. *)
+
+val fold_unordered : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

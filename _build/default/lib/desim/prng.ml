@@ -1,0 +1,82 @@
+(* xoshiro256++ with splitmix64 seeding. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (z, logxor z (shift_right_logical z 31))
+
+let create ~seed =
+  let (x1, s0) = splitmix64 seed in
+  let (x2, s1) = splitmix64 x1 in
+  let (x3, s2) = splitmix64 x2 in
+  let (_, s3) = splitmix64 x3 in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create ~seed:(bits64 t)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+  (* Rejection sampling to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int b) in
+  let rec go () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    if r >= limit then go () else Int64.to_int (Int64.rem r b)
+  in
+  go ()
+
+let bernoulli t ~p =
+  if p < 0. || p > 1. then invalid_arg "Prng.bernoulli: p out of range";
+  float t < p
+
+let geometric t ~p =
+  if p <= 0. || p > 1. then invalid_arg "Prng.geometric: p out of range";
+  if p = 1. then 0
+  else
+    let u = float t in
+    let g = Float.to_int (Float.floor (Float.log1p (-.u) /. Float.log1p (-.p))) in
+    if g < 0 then 0 else g
+
+let binomial t ~n ~p =
+  if n < 0 then invalid_arg "Prng.binomial: negative n";
+  if p < 0. || p > 1. then invalid_arg "Prng.binomial: p out of range";
+  (* Count successes by skipping over geometric gaps; O(n*p) expected. *)
+  let count_successes p =
+    let rec go i count =
+      let gap = geometric t ~p in
+      let j = i + gap + 1 in
+      if j >= n then count else go j (count + 1)
+    in
+    go (-1) 0
+  in
+  if n = 0 || p = 0. then 0
+  else if p = 1. then n
+  else if p > 0.5 then n - count_successes (1. -. p)
+  else count_successes p
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Prng.exponential: non-positive rate";
+  -.Float.log1p (-.float t) /. rate

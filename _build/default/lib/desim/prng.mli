@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generation for reproducible
+    experiments: splitmix64 for seeding and xoshiro256++ as the main
+    generator, plus the samplers the network simulator needs. *)
+
+type t
+
+val create : seed:int64 -> t
+(** A generator whose whole state is derived from [seed] via splitmix64. *)
+
+val split : t -> t
+(** An independent generator forked from [t] (advances [t]). *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+(** Next 64 raw bits (xoshiro256++). *)
+
+val float : t -> float
+(** Uniform in [\[0., 1.)], 53-bit resolution. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [\[0, bound)].  @raise Invalid_argument on [bound <= 0]. *)
+
+val bernoulli : t -> p:float -> bool
+
+val binomial : t -> n:int -> p:float -> int
+(** Exact binomial sample by inversion on the smaller of [p] and
+    [1. -. p]; cost O(n *. min p (1. -. p)) expected, suitable for the
+    simulator's per-slot aggregate transitions. *)
+
+val exponential : t -> rate:float -> float
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success, [p] in (0, 1]. *)

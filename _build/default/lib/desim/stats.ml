@@ -1,0 +1,170 @@
+(* Simulation output statistics. *)
+
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let create () = { n = 0; mean = 0.; m2 = 0.; mn = infinity; mx = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.mean
+  let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.mn
+  let max t = t.mx
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+      in
+      { n; mean; m2; mn = Float.min a.mn b.mn; mx = Float.max a.mx b.mx }
+    end
+end
+
+module Sample = struct
+  type t = { mutable data : float array; mutable n : int; mutable sorted : bool }
+
+  let create () = { data = [||]; n = 0; sorted = true }
+
+  let add t x =
+    if t.n = Array.length t.data then begin
+      let cap = Stdlib.max 1024 (2 * Array.length t.data) in
+      let data = Array.make cap 0. in
+      Array.blit t.data 0 data 0 t.n;
+      t.data <- data
+    end;
+    t.data.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.sorted <- false
+
+  let count t = t.n
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let sub = Array.sub t.data 0 t.n in
+      Array.sort Float.compare sub;
+      Array.blit sub 0 t.data 0 t.n;
+      t.sorted <- true
+    end
+
+  let quantile t q =
+    if t.n = 0 then invalid_arg "Stats.Sample.quantile: empty sample";
+    if q < 0. || q > 1. then invalid_arg "Stats.Sample.quantile: q out of range";
+    ensure_sorted t;
+    let pos = q *. float_of_int (t.n - 1) in
+    let lo = Float.to_int (Float.floor pos) in
+    let hi = Stdlib.min (t.n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    ((1. -. frac) *. t.data.(lo)) +. (frac *. t.data.(hi))
+
+  let ccdf_at t x =
+    if t.n = 0 then 0.
+    else begin
+      ensure_sorted t;
+      (* Count of elements > x by binary search for the first index > x. *)
+      let lo = ref 0 and hi = ref t.n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.data.(mid) <= x then lo := mid + 1 else hi := mid
+      done;
+      float_of_int (t.n - !lo) /. float_of_int t.n
+    end
+
+  let max t =
+    if t.n = 0 then neg_infinity
+    else begin
+      ensure_sorted t;
+      t.data.(t.n - 1)
+    end
+
+  let mean t =
+    if t.n = 0 then nan
+    else begin
+      let s = ref 0. in
+      for i = 0 to t.n - 1 do
+        s := !s +. t.data.(i)
+      done;
+      !s /. float_of_int t.n
+    end
+
+  let to_sorted_array t =
+    ensure_sorted t;
+    Array.sub t.data 0 t.n
+end
+
+module Histogram = struct
+  type t = { width : float; tbl : (int, int) Hashtbl.t; mutable n : int }
+
+  let create ~bin_width =
+    if bin_width <= 0. then invalid_arg "Stats.Histogram.create: non-positive width";
+    { width = bin_width; tbl = Hashtbl.create 64; n = 0 }
+
+  let add t x =
+    let b = Float.to_int (Float.floor (x /. t.width)) in
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t.tbl b) in
+    Hashtbl.replace t.tbl b (cur + 1);
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let bins t =
+    Hashtbl.fold (fun b c acc -> (float_of_int b *. t.width, c) :: acc) t.tbl []
+    |> List.sort compare
+end
+
+(* Two-sided Student-t 0.975 quantiles for small degrees of freedom. *)
+let t_975 = function
+  | 1 -> 12.706
+  | 2 -> 4.303
+  | 3 -> 3.182
+  | 4 -> 2.776
+  | 5 -> 2.571
+  | 6 -> 2.447
+  | 7 -> 2.365
+  | 8 -> 2.306
+  | 9 -> 2.262
+  | 10 -> 2.228
+  | 15 -> 2.131
+  | 20 -> 2.086
+  | 25 -> 2.060
+  | df -> if df < 15 then 2.2 else if df < 30 then 2.05 else 1.96
+
+let batch_means xs ~batches =
+  let n = Array.length xs in
+  if batches <= 1 then invalid_arg "Stats.batch_means: need at least two batches";
+  if n < batches then invalid_arg "Stats.batch_means: fewer observations than batches";
+  let per = n / batches in
+  let means =
+    Array.init batches (fun b ->
+        let s = ref 0. in
+        for i = b * per to ((b + 1) * per) - 1 do
+          s := !s +. xs.(i)
+        done;
+        !s /. float_of_int per)
+  in
+  let acc = Online.create () in
+  Array.iter (Online.add acc) means;
+  let half =
+    t_975 (batches - 1) *. Online.stddev acc /. sqrt (float_of_int batches)
+  in
+  (Online.mean acc, half)

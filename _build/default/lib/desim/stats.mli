@@ -1,0 +1,60 @@
+(** Streaming and batch statistics for simulation output analysis. *)
+
+(** Welford's online mean / variance. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [nan] with fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val merge : t -> t -> t
+  (** Parallel (Chan) combination of two accumulators. *)
+end
+
+(** Exact empirical quantiles over a stored sample. *)
+module Sample : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val quantile : t -> float -> float
+  (** [quantile s q] with [q] in [\[0., 1.\]], by linear interpolation of
+      order statistics.  @raise Invalid_argument when empty or [q] out of
+      range. *)
+
+  val ccdf_at : t -> float -> float
+  (** Empirical [P (X > x)]. *)
+
+  val max : t -> float
+  val mean : t -> float
+  val to_sorted_array : t -> float array
+end
+
+(** Fixed-width histogram. *)
+module Histogram : sig
+  type t
+
+  val create : bin_width:float -> t
+  (** @raise Invalid_argument on non-positive width. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val bins : t -> (float * int) list
+  (** [(lower_edge, count)] for each non-empty bin, sorted. *)
+end
+
+val batch_means : float array -> batches:int -> float * float
+(** [(grand_mean, half_width95)] by the method of batch means with a
+    Student-t 95% half-width (t quantile approximated by the normal value
+    1.96 for >= 30 batches, a small lookup otherwise).
+    @raise Invalid_argument if there are fewer observations than batches. *)

@@ -1,0 +1,1 @@
+lib/envelope/cbr.ml: Ebb List Minplus

@@ -1,0 +1,1 @@
+lib/envelope/cbr.mli: Ebb Minplus

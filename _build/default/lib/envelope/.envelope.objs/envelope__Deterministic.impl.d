@@ -1,0 +1,1 @@
+lib/envelope/deterministic.ml: Ebb List Minplus

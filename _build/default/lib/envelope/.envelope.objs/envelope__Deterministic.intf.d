@@ -1,0 +1,1 @@
+lib/envelope/deterministic.mli: Ebb Minplus

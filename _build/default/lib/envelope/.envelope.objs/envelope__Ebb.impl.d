@@ -1,0 +1,1 @@
+lib/envelope/ebb.ml: Exponential Fmt List Minplus

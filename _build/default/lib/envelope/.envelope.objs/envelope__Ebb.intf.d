@@ -1,0 +1,1 @@
+lib/envelope/ebb.mli: Exponential Format Minplus

@@ -1,0 +1,1 @@
+lib/envelope/estimate.ml: Array Ebb Float List

@@ -1,0 +1,1 @@
+lib/envelope/estimate.mli: Ebb

@@ -1,0 +1,1 @@
+lib/envelope/exponential.ml: Float Fmt List

@@ -1,0 +1,1 @@
+lib/envelope/exponential.mli: Format

@@ -1,0 +1,1 @@
+lib/envelope/markov.ml: Array Ebb Float Mmpp

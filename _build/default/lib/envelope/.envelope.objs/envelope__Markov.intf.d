@@ -1,0 +1,1 @@
+lib/envelope/markov.mli: Ebb Mmpp

@@ -1,0 +1,1 @@
+lib/envelope/mmpp.ml: Ebb Float

@@ -1,0 +1,1 @@
+lib/envelope/mmpp.mli: Ebb

@@ -1,0 +1,1 @@
+lib/envelope/poisson.ml: Ebb Float

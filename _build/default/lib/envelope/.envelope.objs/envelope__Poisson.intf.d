@@ -1,0 +1,1 @@
+lib/envelope/poisson.mli: Ebb

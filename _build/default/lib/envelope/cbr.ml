@@ -1,0 +1,30 @@
+(* Periodic (CBR) sources: staircase envelopes and a Hoeffding EBB bound. *)
+
+type t = { period : float; burst : float }
+
+let v ~period ~burst =
+  if period <= 0. || burst <= 0. then invalid_arg "Cbr.v: non-positive parameter";
+  { period; burst }
+
+let rate { period; burst } = burst /. period
+
+let deterministic_envelope ?(steps = 32) src =
+  if steps < 1 then invalid_arg "Cbr.deterministic_envelope: need at least one step";
+  let b = src.burst and p = src.period in
+  let stair =
+    List.init steps (fun k ->
+        (* value (k+1) b on (k p, (k+1) p] — right-continuous pieces start
+           just after each multiple; we place the jump at k p. *)
+        (float_of_int k *. p, float_of_int (k + 1) *. b, 0.))
+  in
+  let tail_x = float_of_int steps *. p in
+  let tail = (tail_x, b +. (rate src *. tail_x), rate src) in
+  Minplus.Curve.v (stair @ [ tail ])
+
+let leaky_bucket_envelope src = Minplus.Curve.affine ~rate:(rate src) ~burst:src.burst
+
+let ebb src ~n ~s =
+  if n < 0. then invalid_arg "Cbr.ebb: negative flow count";
+  if s <= 0. then invalid_arg "Cbr.ebb: non-positive s";
+  let m = exp (n *. s *. s *. src.burst *. src.burst /. 2.) in
+  Ebb.v ~m ~rho:(n *. rate src) ~alpha:s

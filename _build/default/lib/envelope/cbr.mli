@@ -1,0 +1,37 @@
+(** Constant-bit-rate / periodic sources.
+
+    A CBR source emits [burst] kb every [period] ms (e.g. voice codecs).
+    Deterministically it is a staircase envelope (tightly relaxed by a
+    leaky bucket); an aggregate of [n] independent sources with uniformly
+    random phases satisfies an EBB bound by Hoeffding's lemma, which makes
+    CBR usable in the probabilistic end-to-end analysis. *)
+
+type t = { period : float; burst : float }
+
+val v : period:float -> burst:float -> t
+(** @raise Invalid_argument on non-positive parameters. *)
+
+val rate : t -> float
+(** [burst /. period] (kb/ms). *)
+
+val deterministic_envelope : ?steps:int -> t -> Minplus.Curve.t
+(** The staircase envelope [burst *. ceil (t /. period)]: exact for the
+    first [steps] periods (default 32), then relaxed to the affine
+    [burst +. rate *. t], which coincides with the staircase at period
+    multiples and dominates it in between. *)
+
+val leaky_bucket_envelope : t -> Minplus.Curve.t
+(** The concave relaxation [burst +. rate *. t] — the envelope to feed
+    Theorem 2 when the tight (necessary-and-sufficient) condition is
+    wanted. *)
+
+val ebb : t -> n:float -> s:float -> Ebb.t
+(** EBB bound for [n] independent phase-randomized sources.  Each source's
+    overshoot [O_i = A_i (s,t) -. rate *. (t -. s)] lies in [(-b, b)] with
+    zero mean (stationary phases), so Hoeffding's lemma gives
+    [E exp (s *. O_i) <= exp (s^2 b^2 /. 2.)] and
+
+    [P (A (s,t) > n *. rate *. (t -. s) +. sigma)
+       <= exp (n s^2 b^2 /. 2.) *. exp (-. s *. sigma)],
+
+    i.e. [A ~ (exp (n s^2 b^2 / 2), n *. rate, s)]. *)

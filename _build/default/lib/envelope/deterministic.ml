@@ -1,0 +1,28 @@
+(* Deterministic (worst-case) envelopes. *)
+
+module Curve = Minplus.Curve
+
+type leaky_bucket = { rate : float; burst : float }
+
+let leaky_bucket ~rate ~burst =
+  if rate < 0. || burst < 0. then invalid_arg "Deterministic.leaky_bucket: negative parameter";
+  { rate; burst }
+
+let lb_curve { rate; burst } = Curve.affine ~rate ~burst
+
+let of_buckets = function
+  | [] -> invalid_arg "Deterministic.of_buckets: empty list"
+  | bs -> Curve.token_buckets (List.map (fun b -> (b.rate, b.burst)) bs)
+
+let sum = function
+  | [] -> invalid_arg "Deterministic.sum: empty list"
+  | c :: rest -> List.fold_left Curve.add c rest
+
+let is_valid_envelope c =
+  (not (Curve.ultimately_infinite c))
+  && Curve.eval c 0. >= 0.
+  && List.for_all (fun (p : Curve.piece) -> p.Curve.r >= 0.) (Curve.pieces c)
+
+let of_ebb_deterministic (e : Ebb.t) ~burst =
+  if burst < 0. then invalid_arg "Deterministic.of_ebb_deterministic: negative burst";
+  Curve.affine ~rate:e.Ebb.rho ~burst

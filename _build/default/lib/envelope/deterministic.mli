@@ -1,0 +1,29 @@
+(** Deterministic sample-path envelopes (Eq. 1 of the paper): functions [e]
+    with [sup_{0 <= s <= t} A (s, t) -. e (t -. s) <= 0.] on every sample
+    path.  The workhorses are leaky buckets and their minima (concave
+    piecewise-linear envelopes), for which Theorem 2's schedulability
+    condition is exact. *)
+
+type leaky_bucket = { rate : float; burst : float }
+
+val leaky_bucket : rate:float -> burst:float -> leaky_bucket
+
+val lb_curve : leaky_bucket -> Minplus.Curve.t
+(** [t -> burst +. rate *. t] for [t > 0.], [0.] at [t <= 0.]. *)
+
+val of_buckets : leaky_bucket list -> Minplus.Curve.t
+(** Concave envelope: pointwise minimum of the buckets.
+    @raise Invalid_argument on an empty list. *)
+
+val sum : Minplus.Curve.t list -> Minplus.Curve.t
+(** Envelope of an aggregate: pointwise sum.
+    @raise Invalid_argument on an empty list. *)
+
+val is_valid_envelope : Minplus.Curve.t -> bool
+(** Non-negative, non-decreasing, finite, [0.] before the origin (holds by
+    representation) — sanity check used by the analysis entry points. *)
+
+val of_ebb_deterministic : Ebb.t -> burst:float -> Minplus.Curve.t
+(** The deterministic limit of the EBB model described in Section IV
+    ([m = exp (alpha *. burst)], [alpha -> inf]): a leaky bucket with the
+    EBB rate and the given burst. *)

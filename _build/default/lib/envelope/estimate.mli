@@ -1,0 +1,39 @@
+(** Empirical effective-bandwidth / EBB estimation from arrival traces.
+
+    Given a per-slot arrival trace, the empirical effective bandwidth at
+    decay [s] over a window of [tau] slots is
+
+    [eb_hat s tau = (1. /. (s *. tau)) *. log (mean_t exp (s *. A (t, t +. tau)))],
+
+    computed with log-sum-exp for stability.  Maximizing over a ladder of
+    windows gives an estimate of the EBB rate: for a stationary ergodic
+    source it converges from below to the true effective bandwidth (the
+    [tau -> inf] log-MGF rate).  This closes the loop between the
+    simulator and the analysis: a measured trace can be characterized and
+    fed to {!Deltanet.E2e} without knowing the source model. *)
+
+val windowed_sums : float array -> tau:int -> float array
+(** Sliding-window sums [A (t, t + tau)] for every feasible [t].
+    @raise Invalid_argument if [tau] exceeds the trace length or is
+    non-positive. *)
+
+val effective_bandwidth_of_trace :
+  ?windows:int list -> float array -> s:float -> float
+(** Empirical effective bandwidth: the maximum of [eb_hat s tau] over the
+    window ladder (default [1; 2; 5; 10; 20; 50; 100], truncated to the
+    trace length). *)
+
+val ebb_of_trace : ?windows:int list -> float array -> s:float -> Ebb.t
+(** [A ~ (1., eb_hat *. 1., s)] — the empirical analogue of
+    {!Mmpp.ebb}. *)
+
+val mean_rate_of_trace : float array -> float
+
+val max_reliable_s : float array -> tau:int -> float
+(** Largest decay [s] at which the empirical MGF over windows of [tau]
+    slots is trustworthy.  The estimator is biased low once the empirical
+    mean of [exp (s A)] is dominated by the single largest window (the
+    rare-event region the finite trace cannot populate); this happens
+    roughly when [s *. (max_window -. mean_window) > log n_windows].
+    Callers optimizing a bound over [s] should restrict the search to
+    [s <= max_reliable_s] — see [examples/measured_trace.ml]. *)

@@ -1,0 +1,38 @@
+(** General finite-state Markov-modulated fluid sources in discrete time.
+
+    The source occupies one of [n] states; in state [i] it emits
+    [rates.(i)] kb per slot and transitions according to the row-stochastic
+    matrix [p].  The effective bandwidth is
+
+    [eb s = (1. /. s) *. log (spectral_radius (P . diag (exp (s *. r_i))))],
+
+    computed by power iteration — the paper's two-state formula (see
+    {!Mmpp}) is the [n = 2] closed form of this quantity.  This module
+    makes the analysis applicable to arbitrary Markov-modulated workloads
+    (e.g. video sources with several activity levels). *)
+
+type t
+
+val v : p:float array array -> rates:float array -> t
+(** @raise Invalid_argument unless [p] is square and row-stochastic (rows
+    sum to 1 within 1e-9, entries in [\[0,1\]]), matches [rates] in size,
+    and rates are non-negative. *)
+
+val size : t -> int
+
+val stationary : t -> float array
+(** Stationary distribution by power iteration on the transpose. *)
+
+val mean_rate : t -> float
+val peak_rate : t -> float
+
+val effective_bandwidth : t -> s:float -> float
+(** Log spectral radius of the tilted matrix, divided by [s].  Between
+    {!mean_rate} and {!peak_rate}, non-decreasing in [s]. *)
+
+val ebb : t -> n:float -> s:float -> Ebb.t
+(** EBB constants [(1., n *. eb s, s)] of an aggregate of [n] iid copies. *)
+
+val of_mmpp : Mmpp.t -> t
+(** Embed a two-state on-off source (for cross-validation against the
+    closed form). *)

@@ -1,0 +1,17 @@
+(* Compound Poisson traffic (exact Chernoff / EBB constants). *)
+
+type t = { lambda : float; batch : float }
+
+let v ~lambda ~batch =
+  if lambda <= 0. || batch <= 0. then invalid_arg "Poisson.v: non-positive parameter";
+  { lambda; batch }
+
+let mean_rate { lambda; batch } = lambda *. batch
+
+let effective_bandwidth { lambda; batch } ~s =
+  if s <= 0. then invalid_arg "Poisson.effective_bandwidth: non-positive s";
+  lambda *. Float.expm1 (s *. batch) /. s
+
+let ebb src ~n ~s =
+  if n < 0. then invalid_arg "Poisson.ebb: negative flow count";
+  Ebb.v ~m:1. ~rho:(n *. effective_bandwidth src ~s) ~alpha:s

@@ -1,0 +1,20 @@
+(** Compound (batch) Poisson traffic: batches of [batch] kb arrive as a
+    Poisson process of intensity [lambda] per ms.  The classic memoryless
+    member of the EBB family (Yaron & Sidi): the moment generating function
+    is exact, so the EBB constants are tight Chernoff bounds. *)
+
+type t = { lambda : float; batch : float }
+
+val v : lambda:float -> batch:float -> t
+(** @raise Invalid_argument on non-positive parameters. *)
+
+val mean_rate : t -> float
+(** [lambda *. batch]. *)
+
+val effective_bandwidth : t -> s:float -> float
+(** [(1. /. s) *. lambda *. (exp (s *. batch) -. 1.)] — the exact
+    log-MGF rate; increasing in [s] from {!mean_rate}. *)
+
+val ebb : t -> n:float -> s:float -> Ebb.t
+(** [A ~ (1., n *. effective_bandwidth ~s, s)] for a superposition of [n]
+    independent copies (itself compound Poisson). *)

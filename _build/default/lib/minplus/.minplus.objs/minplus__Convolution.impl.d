@@ -1,0 +1,1 @@
+lib/minplus/convolution.ml: Curve Float List

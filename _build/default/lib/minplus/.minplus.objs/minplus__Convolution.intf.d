@@ -1,0 +1,1 @@
+lib/minplus/convolution.mli: Curve

@@ -1,0 +1,1 @@
+lib/minplus/curve.ml: Array Float Fmt List

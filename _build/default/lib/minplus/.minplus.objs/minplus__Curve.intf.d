@@ -1,0 +1,1 @@
+lib/minplus/curve.mli: Format

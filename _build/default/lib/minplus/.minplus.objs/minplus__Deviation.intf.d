@@ -1,0 +1,1 @@
+lib/minplus/deviation.mli: Curve

@@ -1,0 +1,176 @@
+(* Min-plus convolution and deconvolution on piecewise-linear curves. *)
+
+type interval_piece = {
+  a : float;  (* left end *)
+  b : float;  (* right end, possibly infinity *)
+  p : float;  (* value at [a] *)
+  r : float;  (* slope *)
+}
+
+(* Decompose a curve into interval pieces (a partition of [0, inf)).
+   Infinite-valued pieces are dropped: they contribute +inf to the inf. *)
+let interval_pieces (f : Curve.t) : interval_piece list =
+  let ps = Curve.pieces f in
+  let rec go = function
+    | [] -> []
+    | (pc : Curve.piece) :: rest ->
+      let b = match rest with [] -> infinity | q :: _ -> q.Curve.x in
+      if pc.Curve.y = infinity then go rest
+      else { a = pc.Curve.x; b; p = pc.Curve.y; r = pc.Curve.r } :: go rest
+  in
+  go ps
+
+(* Convolution of two interval-affine pieces: defined on [a1+a2, b1+b2],
+   starts at p1+p2, runs the smaller slope for the length of its piece,
+   then the larger slope for the remaining length. *)
+let conv_pieces (u : interval_piece) (v : interval_piece) : Curve.t =
+  let start = u.a +. v.a in
+  let stop = u.b +. v.b in
+  let base = u.p +. v.p in
+  let (lo_r, lo_len, hi_r) =
+    if u.r <= v.r then (u.r, u.b -. u.a, v.r) else (v.r, v.b -. v.a, u.r)
+  in
+  let mk_pieces =
+    let before = if start > 0. then [ (0., infinity, 0.) ] else [] in
+    let mid = start +. lo_len in
+    let body =
+      if lo_len = infinity || mid >= stop then [ (start, base, lo_r) ]
+      else if mid <= start then [ (start, base, hi_r) ]
+      else [ (start, base, lo_r); (mid, base +. (lo_r *. lo_len), hi_r) ]
+    in
+    let after = if stop < infinity then [ (stop, infinity, 0.) ] else [] in
+    before @ body @ after
+  in
+  (* Raw construction: the leading infinity piece makes this non-monotone,
+     which is fine as an operand of the pointwise minimum. *)
+  Curve.v_unsafe mk_pieces
+
+let convolve f g =
+  let fs = interval_pieces f and gs = interval_pieces g in
+  let candidates =
+    List.concat_map (fun u -> List.map (fun v -> conv_pieces u v) gs) fs
+  in
+  match candidates with
+  | [] ->
+    (* both curves are identically infinite beyond 0; approximate by delta *)
+    Curve.delta 0.
+  | c :: rest -> List.fold_left Curve.min c rest
+
+(* ------------------------------------------------------------------ *)
+(* Convex convolution by slope sorting                                 *)
+
+type segment = { len : float; slope : float }
+
+let segments_of_convex (f : Curve.t) : float * segment list * float option =
+  (* returns (f(0), finite-slope segments, Some domain_end if ultimately inf) *)
+  let ps = Curve.pieces f in
+  let y0 = Curve.eval f 0. in
+  let rec go = function
+    | [] -> ([], None)
+    | (pc : Curve.piece) :: rest ->
+      if pc.Curve.y = infinity then ([], Some pc.Curve.x)
+      else
+        let b = match rest with [] -> infinity | q :: _ -> q.Curve.x in
+        let (segs, dom) = go rest in
+        ({ len = b -. pc.Curve.x; slope = pc.Curve.r } :: segs, dom)
+  in
+  let (segs, dom) = go ps in
+  (y0, segs, dom)
+
+let convolve_convex f g =
+  if not (Curve.is_convex f) then invalid_arg "Convolution.convolve_convex: first arg not convex";
+  if not (Curve.is_convex g) then invalid_arg "Convolution.convolve_convex: second arg not convex";
+  let (y0f, sf, domf) = segments_of_convex f in
+  let (y0g, sg, domg) = segments_of_convex g in
+  let segs = List.sort (fun s1 s2 -> compare s1.slope s2.slope) (sf @ sg) in
+  let dom_end =
+    match (domf, domg) with
+    | Some a, Some b -> Some (a +. b)
+    | _ -> None
+  in
+  let rec emit x y = function
+    | [] -> []
+    | s :: rest ->
+      if s.len = infinity then [ (x, y, s.slope) ]
+      else if s.len <= 0. then emit x y rest
+      else (x, y, s.slope) :: emit (x +. s.len) (y +. (s.slope *. s.len)) rest
+  in
+  let body = emit 0. (y0f +. y0g) segs in
+  let body = if body = [] then [ (0., y0f +. y0g, 0.) ] else body in
+  let closed =
+    match dom_end with
+    | None -> body
+    | Some d ->
+      let trimmed = List.filter (fun (x, _, _) -> x < d) body in
+      trimmed @ [ (d, infinity, 0.) ]
+  in
+  Curve.v_unsafe closed
+
+let convolve_list = function
+  | [] -> Curve.delta 0.
+  | c :: rest -> List.fold_left convolve c rest
+
+let self_convolve f n =
+  if n < 0 then invalid_arg "Convolution.self_convolve: negative order";
+  let rec go acc k = if k = 0 then acc else go (convolve acc f) (k - 1) in
+  if n = 0 then Curve.delta 0. else go f (n - 1)
+
+let subadditive_closure ?(max_iterations = 32) f =
+  let rec go g k =
+    if k = 0 then g
+    else
+      let g' = Curve.min g (convolve g f) in
+      if Curve.equal ~tol:1e-12 g g' then g else go g' (k - 1)
+  in
+  go (Curve.min (Curve.delta 0.) f) max_iterations
+
+(* ------------------------------------------------------------------ *)
+(* Deconvolution                                                       *)
+
+let deconvolve_eval f g t =
+  let g_inf = Curve.ultimately_infinite g in
+  if Curve.ultimately_infinite f && not g_inf then infinity
+  else if (not g_inf) && Curve.ultimate_rate f > Curve.ultimate_rate g +. 1e-12 then infinity
+  else begin
+    let candidates =
+      0.
+      :: (Curve.breakpoints g
+         @ List.filter_map
+             (fun xf -> if xf -. t >= 0. then Some (xf -. t) else None)
+             (Curve.breakpoints f))
+    in
+    let phi u =
+      if u < 0. then neg_infinity
+      else
+        let right = Curve.eval f (t +. u) -. Curve.eval g u in
+        let left =
+          if u > 0. then Curve.eval_left f (t +. u) -. Curve.eval_left g u else neg_infinity
+        in
+        Float.max right left
+    in
+    List.fold_left (fun acc u -> Float.max acc (phi u)) neg_infinity candidates
+  end
+
+let deconvolve f g =
+  if Curve.ultimately_infinite f && not (Curve.ultimately_infinite g) then
+    invalid_arg "Convolution.deconvolve: divergent (f ultimately infinite)";
+  if (not (Curve.ultimately_infinite g))
+     && Curve.ultimate_rate f > Curve.ultimate_rate g +. 1e-12
+  then invalid_arg "Convolution.deconvolve: divergent (unstable rates)";
+  let xf = Curve.breakpoints f and xg = Curve.breakpoints g in
+  let ts =
+    (0. :: xf) @ List.concat_map (fun a -> List.filter_map (fun b ->
+         let d = a -. b in
+         if d >= 0. then Some d else None) xg) xf
+    |> List.sort_uniq compare
+  in
+  let vals = List.map (fun t -> (t, Float.max 0. (deconvolve_eval f g t))) ts in
+  let ult = Curve.ultimate_rate f in
+  let rec build = function
+    | [] -> []
+    | [ (t, v) ] -> [ (t, v, ult) ]
+    | (t, v) :: ((t', v') :: _ as rest) ->
+      let r = (v' -. v) /. (t' -. t) in
+      (t, v, r) :: build rest
+  in
+  Curve.v_unsafe (build vals)

@@ -1,0 +1,402 @@
+(* Piecewise-linear curves for the (min,+) network calculus.
+
+   Internal representation: an array of pieces sorted by strictly increasing
+   abscissa [x], the first at [0.].  Piece [{x; y; r}] covers [x, next_x)
+   with value [y +. r *. (t -. x)]; the final piece extends to +inf.  An
+   infinite value is encoded as [y = infinity, r = 0.].
+
+   Some intermediate computations (difference of curves) produce
+   non-monotone piece lists; those stay internal and are restored to
+   non-decreasing curves before being exposed. *)
+
+type piece = { x : float; y : float; r : float }
+
+type t = piece array
+
+let tol_default = 1e-9
+
+let value_at p t = if p.y = infinity then infinity else p.y +. (p.r *. (t -. p.x))
+
+(* Drop colinear continuations and merge runs of infinite pieces.  (No
+   truncation after an infinite piece: intermediate results of the curve
+   algebra may be infinite outside a bounded support.) *)
+let normalize (ps : piece list) : t =
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | p :: rest -> (
+      match acc with
+      | prev :: _
+        when prev.y <> infinity && p.y <> infinity
+             && Float.abs (value_at prev p.x -. p.y) <= 1e-12 *. (1. +. Float.abs p.y)
+             && Float.abs (prev.r -. p.r) <= 1e-12 *. (1. +. Float.abs prev.r) ->
+        merge acc rest
+      | prev :: _ when prev.y = infinity && p.y = infinity -> merge acc rest
+      | _ -> merge (p :: acc) rest)
+  in
+  Array.of_list (merge [] ps)
+
+let check_shape ps =
+  (match ps with
+  | [] -> invalid_arg "Curve.v: empty piece list"
+  | p0 :: _ -> if p0.x <> 0. then invalid_arg "Curve.v: first piece must start at 0.");
+  let rec go = function
+    | [] | [ _ ] -> ()
+    | p :: (q :: _ as rest) ->
+      if q.x <= p.x then invalid_arg "Curve.v: abscissae must be strictly increasing";
+      if p.x < 0. then invalid_arg "Curve.v: negative abscissa";
+      go rest
+  in
+  go ps;
+  List.iter
+    (fun p ->
+      if p.y = infinity && p.r <> 0. then invalid_arg "Curve.v: infinite value needs zero slope";
+      if Float.is_nan p.y || Float.is_nan p.r then invalid_arg "Curve.v: nan")
+    ps
+
+let check_monotone (ps : piece list) =
+  let rec go = function
+    | [] -> ()
+    | p :: rest ->
+      if p.y <> infinity && p.r < -1e-12 then invalid_arg "Curve.v: decreasing slope";
+      (match rest with
+      | q :: _ ->
+        let endv = value_at p q.x in
+        if q.y < endv -. (1e-9 *. (1. +. Float.abs endv)) then
+          invalid_arg "Curve.v: downward jump"
+      | [] -> ());
+      go rest
+  in
+  go ps
+
+let v triples =
+  let ps = List.map (fun (x, y, r) -> { x; y; r }) triples in
+  check_shape ps;
+  check_monotone ps;
+  normalize ps
+
+let v_unsafe triples =
+  let ps = List.map (fun (x, y, r) -> { x; y; r }) triples in
+  check_shape ps;
+  normalize ps
+
+let pieces (f : t) = Array.to_list f
+let breakpoints (f : t) = Array.to_list f |> List.map (fun p -> p.x)
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+
+let zero : t = [| { x = 0.; y = 0.; r = 0. } |]
+
+let affine ~rate ~burst =
+  if rate < 0. || burst < 0. then invalid_arg "Curve.affine: negative parameter";
+  [| { x = 0.; y = burst; r = rate } |]
+
+let constant_rate c =
+  if c < 0. then invalid_arg "Curve.constant_rate: negative rate";
+  [| { x = 0.; y = 0.; r = c } |]
+
+let rate_latency ~rate ~latency =
+  if rate < 0. || latency < 0. then invalid_arg "Curve.rate_latency: negative parameter";
+  if latency = 0. then constant_rate rate
+  else [| { x = 0.; y = 0.; r = 0. }; { x = latency; y = 0.; r = rate } |]
+
+let delta d =
+  if d < 0. then invalid_arg "Curve.delta: negative latency";
+  if d = 0. then [| { x = 0.; y = 0.; r = 0. }; { x = Float.min_float; y = infinity; r = 0. } |]
+  else [| { x = 0.; y = 0.; r = 0. }; { x = d; y = infinity; r = 0. } |]
+
+let step ~at ~height =
+  if at < 0. || height < 0. then invalid_arg "Curve.step: negative parameter";
+  if at = 0. then [| { x = 0.; y = height; r = 0. } |]
+  else [| { x = 0.; y = 0.; r = 0. }; { x = at; y = height; r = 0. } |]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+let index_of (f : t) t =
+  (* Largest i with f.(i).x <= t; requires t >= 0. *)
+  let lo = ref 0 and hi = ref (Array.length f - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if f.(mid).x <= t then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let eval (f : t) t = if t < 0. then 0. else value_at f.(index_of f t) t
+
+let eval_left (f : t) t =
+  if t <= 0. then 0.
+  else
+    let i = index_of f t in
+    if f.(i).x = t && i > 0 then value_at f.(i - 1) t else value_at f.(i) t
+
+let last (f : t) = f.(Array.length f - 1)
+let ultimate_rate (f : t) = (last f).r
+let ultimately_infinite (f : t) = (last f).y = infinity
+
+let inverse (f : t) y =
+  if y <= eval f 0. then 0.
+  else
+    let n = Array.length f in
+    let rec go i =
+      if i >= n then infinity
+      else
+        let p = f.(i) in
+        if p.y >= y then p.x
+        else
+          let reach = if p.r > 0. then p.x +. ((y -. p.y) /. p.r) else infinity in
+          let next_x = if i + 1 < n then f.(i + 1).x else infinity in
+          if reach <= next_x then reach else go (i + 1)
+    in
+    go 0
+
+(* ------------------------------------------------------------------ *)
+(* Merged-breakpoint machinery                                         *)
+
+let merged_xs (f : t) (g : t) =
+  let xs = List.sort_uniq compare (breakpoints f @ breakpoints g) in
+  xs
+
+(* Build the piece list of [combine f g] on each merged interval, adding the
+   interior crossing point required by pointwise min/max.  [pick] selects the
+   value and slope given the two local lines. *)
+let pointwise2 ~(pick : (float * float) -> (float * float) -> float * float) (f : t) (g : t) : t =
+  let xs = merged_xs f g in
+  let line (h : t) x =
+    (* The affine line of [h] valid on [x, next merged breakpoint). *)
+    let i = index_of h x in
+    (value_at h.(i) x, if h.(i).y = infinity then 0. else h.(i).r)
+  in
+  let out = ref [] in
+  let emit x (y, r) = out := { x; y; r } :: !out in
+  let rec go = function
+    | [] -> ()
+    | x :: rest ->
+      let (yf, rf) = line f x and (yg, rg) = line g x in
+      emit x (pick (yf, rf) (yg, rg));
+      (* Interior crossing of the two lines, if it falls strictly inside. *)
+      let next = match rest with [] -> infinity | x' :: _ -> x' in
+      (if yf <> infinity && yg <> infinity && rf <> rg then
+         let xc = x +. ((yg -. yf) /. (rf -. rg)) in
+         if xc > x +. 1e-15 && xc < next -. 1e-15 then
+           let yfc = yf +. (rf *. (xc -. x)) and ygc = yg +. (rg *. (xc -. x)) in
+           emit xc (pick (yfc, rf) (ygc, rg)));
+      go rest
+  in
+  go xs;
+  normalize (List.rev !out)
+
+(* Values within [eps] of each other (e.g. the two lines at a crossing
+   point, which differ by rounding) must be treated as equal so the slope
+   choice looks forward, not at noise. *)
+let pick_eps yf yg =
+  if yf = infinity || yg = infinity then 0.
+  else 1e-12 *. (1. +. Float.abs yf +. Float.abs yg)
+
+let min f g =
+  pointwise2 f g ~pick:(fun (yf, rf) (yg, rg) ->
+      let eps = pick_eps yf yg in
+      if yf < yg -. eps then (yf, rf)
+      else if yg < yf -. eps then (yg, rg)
+      else (Float.min yf yg, Float.min rf rg))
+
+let max f g =
+  pointwise2 f g ~pick:(fun (yf, rf) (yg, rg) ->
+      let eps = pick_eps yf yg in
+      if yf > yg +. eps then (yf, rf)
+      else if yg > yf +. eps then (yg, rg)
+      else (Float.max yf yg, Float.max rf rg))
+
+let token_buckets = function
+  | [] -> invalid_arg "Curve.token_buckets: empty list"
+  | (rate, burst) :: rest ->
+    List.fold_left
+      (fun acc (rate, burst) -> min acc (affine ~rate ~burst))
+      (affine ~rate ~burst) rest
+
+let add f g =
+  pointwise2 f g ~pick:(fun (yf, rf) (yg, rg) ->
+      if yf = infinity || yg = infinity then (infinity, 0.) else (yf +. yg, rf +. rg))
+
+(* Raw (possibly non-monotone) pointwise difference, as a piece list. *)
+let raw_sub (f : t) (g : t) : piece list =
+  let xs = merged_xs f g in
+  List.map
+    (fun x ->
+      let i = index_of f x and j = index_of g x in
+      let yf = value_at f.(i) x and yg = value_at g.(j) x in
+      let rf = if f.(i).y = infinity then 0. else f.(i).r
+      and rg = if g.(j).y = infinity then 0. else g.(j).r in
+      if yf = infinity then { x; y = infinity; r = 0. } else { x; y = yf -. yg; r = rf -. rg })
+    xs
+
+(* Clip a raw piece list at zero from below, adding crossing breakpoints. *)
+let raw_clip_pos (ps : piece list) : piece list =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      let next = match rest with [] -> infinity | q :: _ -> q.x in
+      if p.y = infinity then go ({ p with y = infinity; r = 0. } :: acc) rest
+      else
+        let y_end = if next = infinity then (if p.r >= 0. then infinity else neg_infinity)
+                    else value_at p next in
+        if p.y >= 0. && y_end >= 0. then go (p :: acc) rest
+        else if p.y <= 0. && y_end <= 0. then go ({ p with y = 0.; r = 0. } :: acc) rest
+        else
+          let xc = p.x +. (-.p.y /. p.r) in
+          if p.y < 0. then
+            (* rises through zero at xc *)
+            go ({ x = xc; y = 0.; r = p.r } :: { p with y = 0.; r = 0. } :: acc) rest
+          else
+            (* falls through zero at xc *)
+            go ({ x = xc; y = 0.; r = 0. } :: p :: acc) rest
+  in
+  go [] ps
+
+(* Largest non-decreasing function below a raw piece list:
+   m(t) = inf_{u >= t} f(u).  Right-to-left sweep. *)
+let monotone_minorant (ps : piece list) : piece list =
+  let arr = Array.of_list ps in
+  let n = Array.length arr in
+  let out = ref [] in
+  let minfuture = ref infinity in
+  (* After processing piece i, [minfuture] holds inf over [x_i, inf). *)
+  for i = n - 1 downto 0 do
+    let p = arr.(i) in
+    let next = if i + 1 < n then arr.(i + 1).x else infinity in
+    let inf_right = !minfuture in
+    if p.y = infinity then begin
+      (if inf_right = infinity || i + 1 >= n then out := { p with y = infinity; r = 0. } :: !out
+       else out := { p with y = inf_right; r = 0. } :: !out);
+      minfuture := Float.min inf_right infinity
+    end
+    else if p.r >= 0. then begin
+      (* increasing piece: follow f until it exceeds inf_right, then flat *)
+      let y_end = if next = infinity then infinity else value_at p next in
+      if y_end <= inf_right then begin
+        out := p :: !out;
+        minfuture := p.y
+      end
+      else if p.y >= inf_right then begin
+        out := { p with y = inf_right; r = 0. } :: !out;
+        minfuture := inf_right
+      end
+      else begin
+        let xc = p.x +. ((inf_right -. p.y) /. p.r) in
+        if xc < next then out := { x = xc; y = inf_right; r = 0. } :: !out;
+        out := p :: !out;
+        minfuture := p.y
+      end
+    end
+    else begin
+      (* decreasing piece: min over [t, next) is the right-end value *)
+      let y_end = if next = infinity then neg_infinity else value_at p next in
+      let m = Float.min y_end inf_right in
+      out := { p with y = m; r = 0. } :: !out;
+      minfuture := m
+    end
+  done;
+  !out
+
+let sub_clip f g =
+  let raw = raw_sub f g in
+  let clipped = raw_clip_pos raw in
+  normalize (raw_clip_pos (monotone_minorant clipped))
+
+let scale k (f : t) =
+  if k < 0. then invalid_arg "Curve.scale: negative factor";
+  Array.map (fun p -> if p.y = infinity then p else { p with y = k *. p.y; r = k *. p.r }) f
+
+let hshift d (f : t) =
+  if d < 0. then invalid_arg "Curve.hshift: negative shift";
+  if d = 0. then f
+  else
+    let shifted = Array.to_list f |> List.map (fun p -> { p with x = p.x +. d }) in
+    normalize ({ x = 0.; y = 0.; r = 0. } :: shifted)
+
+let vshift c (f : t) =
+  if c < 0. then invalid_arg "Curve.vshift: negative shift";
+  Array.map (fun p -> if p.y = infinity then p else { p with y = p.y +. c }) f
+
+let lshift c (f : t) =
+  if c < 0. then invalid_arg "Curve.lshift: negative shift";
+  if c = 0. then f
+  else
+    let i = index_of f c in
+    let head =
+      let p = f.(i) in
+      if p.y = infinity then { x = 0.; y = infinity; r = 0. }
+      else { x = 0.; y = value_at p c; r = p.r }
+    in
+    let tail =
+      Array.to_list f
+      |> List.filter (fun p -> p.x > c)
+      |> List.map (fun p -> { p with x = p.x -. c })
+    in
+    normalize (head :: tail)
+
+let gate theta (f : t) =
+  if theta < 0. then invalid_arg "Curve.gate: negative threshold";
+  if theta = 0. then f
+  else
+    let tail =
+      Array.to_list f
+      |> List.filter_map (fun p ->
+             let next = p.x in
+             if next > theta then Some p else None)
+    in
+    let at_theta =
+      let i = index_of f theta in
+      let p = f.(i) in
+      if p.y = infinity then { x = theta; y = infinity; r = 0. }
+      else { x = theta; y = value_at p theta; r = p.r }
+    in
+    normalize ({ x = 0.; y = 0.; r = 0. } :: at_theta :: tail)
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+
+let is_convex ?(tol = tol_default) (f : t) =
+  let ps = Array.to_list f in
+  let rec go = function
+    | [] | [ _ ] -> true
+    | p :: (q :: _ as rest) ->
+      if q.y = infinity then rest = [ q ]
+      else
+        let cont = Float.abs (value_at p q.x -. q.y) <= tol *. (1. +. Float.abs q.y) in
+        cont && p.r <= q.r +. tol && go rest
+  in
+  (match ps with [] -> true | p0 :: _ -> p0.y = 0. || p0.y = infinity || p0.y >= 0.) && go ps
+
+let is_concave ?(tol = tol_default) (f : t) =
+  let ps = Array.to_list f in
+  let rec go = function
+    | [] | [ _ ] -> true
+    | p :: (q :: _ as rest) ->
+      q.y <> infinity
+      && Float.abs (value_at p q.x -. q.y) <= tol *. (1. +. Float.abs q.y)
+      && p.r >= q.r -. tol
+      && go rest
+  in
+  (not (ultimately_infinite f)) && go ps
+
+let equal ?(tol = tol_default) f g =
+  let xs = merged_xs f g in
+  let close a b =
+    (a = infinity && b = infinity) || Float.abs (a -. b) <= tol *. (1. +. Float.max (Float.abs a) (Float.abs b))
+  in
+  let ok_at t = close (eval f t) (eval g t) in
+  let rec mids = function
+    | x :: (x' :: _ as rest) -> ok_at ((x +. x') /. 2.) && mids rest
+    | [ x ] -> ok_at (x +. 1.) && ok_at (x +. 10.)
+    | [] -> true
+  in
+  List.for_all ok_at xs && mids xs
+  && (close (ultimate_rate f) (ultimate_rate g) || ultimately_infinite f = ultimately_infinite g)
+
+let pp ppf (f : t) =
+  let pp_piece ppf p =
+    if p.y = infinity then Fmt.pf ppf "[%g,∞)" p.x
+    else Fmt.pf ppf "(%g: %g + %g·t)" p.x p.y p.r
+  in
+  Fmt.pf ppf "@[<h>%a@]" (Fmt.list ~sep:Fmt.sp pp_piece) (Array.to_list f)

@@ -1,0 +1,57 @@
+(* Horizontal / vertical deviations between piecewise-linear curves. *)
+
+let horizontal ~arrival:e ~service:s =
+  if Curve.ultimately_infinite e then
+    invalid_arg "Deviation.horizontal: arrival envelope is ultimately infinite";
+  let stable =
+    Curve.ultimately_infinite s
+    || Curve.ultimate_rate e <= Curve.ultimate_rate s +. 1e-12
+  in
+  if not stable then infinity
+  else begin
+    (* d(t) = inverse s (e t) - t.  Between candidate abscissae, e is affine
+       and e(t) stays within one inverse-piece of s, so d is affine and the
+       sup is attained on the candidate set. *)
+    let levels =
+      List.concat_map
+        (fun x -> [ Curve.eval s x; Curve.eval_left s x ])
+        (Curve.breakpoints s)
+    in
+    let candidates =
+      (0. :: Curve.breakpoints e)
+      @ List.filter_map
+          (fun y ->
+            let t = Curve.inverse e y in
+            if Float.is_finite t then Some t else None)
+          levels
+    in
+    let far =
+      1. +. List.fold_left Float.max 0. (Curve.breakpoints e @ Curve.breakpoints s)
+    in
+    let candidates = far :: candidates in
+    let d_at t =
+      let y = Curve.eval e t in
+      if y = 0. then 0. else Float.max 0. (Curve.inverse s y -. t)
+    in
+    List.fold_left (fun acc t -> Float.max acc (d_at t)) 0. candidates
+  end
+
+let vertical ~arrival:e ~service:s =
+  if Curve.ultimately_infinite e then
+    invalid_arg "Deviation.vertical: arrival envelope is ultimately infinite";
+  let stable =
+    Curve.ultimately_infinite s
+    || Curve.ultimate_rate e <= Curve.ultimate_rate s +. 1e-12
+  in
+  if not stable then infinity
+  else begin
+    let xs = List.sort_uniq compare (Curve.breakpoints e @ Curve.breakpoints s) in
+    let far = 1. +. List.fold_left Float.max 0. xs in
+    let gap t =
+      let right = Curve.eval e t -. Curve.eval s t in
+      let left = if t > 0. then Curve.eval_left e t -. Curve.eval_left s t else neg_infinity in
+      let fin x = if Float.is_nan x then neg_infinity else x in
+      Float.max (fin right) (fin left)
+    in
+    List.fold_left (fun acc t -> Float.max acc (gap t)) 0. (far :: xs)
+  end

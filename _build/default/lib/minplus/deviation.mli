@@ -1,0 +1,14 @@
+(** Horizontal and vertical deviations between an arrival envelope and a
+    service curve — the deterministic network-calculus delay and backlog
+    bounds. *)
+
+val horizontal : arrival:Curve.t -> service:Curve.t -> float
+(** [horizontal ~arrival:e ~service:s] is
+    [sup_{t >= 0.} inf { d >= 0. | e t <= s (t +. d) }] — the worst-case
+    delay bound.  Returns [infinity] when the system is unstable
+    (ultimate rate of [e] above that of [s]).
+    @raise Invalid_argument if [e] is ultimately infinite. *)
+
+val vertical : arrival:Curve.t -> service:Curve.t -> float
+(** [sup_{t >= 0.} (e t -. s t)] — the worst-case backlog bound, [infinity]
+    when unstable. *)

@@ -1,0 +1,1 @@
+lib/netsim/queue_node.ml: Array Desim Float Queue Scheduler

@@ -1,0 +1,1 @@
+lib/netsim/queue_node.mli: Scheduler

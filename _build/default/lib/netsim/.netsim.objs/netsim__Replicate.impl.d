@@ -1,0 +1,1 @@
+lib/netsim/replicate.ml: Array Desim

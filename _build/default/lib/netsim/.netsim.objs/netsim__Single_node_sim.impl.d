@@ -1,0 +1,1 @@
+lib/netsim/single_node_sim.ml: Array Desim Envelope Queue_node Scheduler Source

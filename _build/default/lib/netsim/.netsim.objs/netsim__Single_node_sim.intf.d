@@ -1,0 +1,1 @@
+lib/netsim/single_node_sim.mli: Desim Envelope Scheduler

@@ -1,0 +1,1 @@
+lib/netsim/source.ml: Desim Envelope

@@ -1,0 +1,1 @@
+lib/netsim/source.mli: Desim Envelope

@@ -1,0 +1,1 @@
+lib/netsim/tandem.ml: Array Desim Envelope Queue_node Scheduler Source

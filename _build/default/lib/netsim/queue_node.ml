@@ -1,0 +1,156 @@
+(* Capacity-C node with pluggable scheduling. *)
+
+type batch = {
+  key : Scheduler.Policy.key;
+  cls : int;
+  mutable size : float;
+}
+
+type discipline =
+  | Delta_policy of Scheduler.Policy.t
+  | Gps of Scheduler.Gps.t
+
+type state =
+  | Heap_state of Scheduler.Policy.t * batch Desim.Heap.t
+  | Gps_state of Scheduler.Gps.t * batch Queue.t array
+
+type t = {
+  capacity : float;
+  classes : int;
+  packet_size : float option;
+  state : state;
+  per_class_backlog : float array;
+  (* Non-preemptive mode: the packet currently on the wire, if any. *)
+  mutable in_service : batch option;
+}
+
+let create ?packet_size ~capacity ~classes discipline =
+  if capacity <= 0. then invalid_arg "Queue_node.create: non-positive capacity";
+  if classes <= 0 then invalid_arg "Queue_node.create: non-positive class count";
+  (match packet_size with
+  | Some l when l <= 0. -> invalid_arg "Queue_node.create: non-positive packet size"
+  | _ -> ());
+  let state =
+    match discipline with
+    | Delta_policy p ->
+      Heap_state
+        (p, Desim.Heap.create ~cmp:(fun a b -> Scheduler.Policy.compare_key a.key b.key))
+    | Gps g ->
+      if packet_size <> None then
+        invalid_arg "Queue_node.create: GPS is fluid (no packet size)";
+      Gps_state (g, Array.init classes (fun _ -> Queue.create ()))
+  in
+  {
+    capacity;
+    classes;
+    packet_size;
+    state;
+    per_class_backlog = Array.make classes 0.;
+    in_service = None;
+  }
+
+let capacity t = t.capacity
+
+let offer t ~now ~cls size =
+  if cls < 0 || cls >= t.classes then invalid_arg "Queue_node.offer: class out of range";
+  if size < 0. then invalid_arg "Queue_node.offer: negative size";
+  if size > 0. then begin
+    t.per_class_backlog.(cls) <- t.per_class_backlog.(cls) +. size;
+    match t.state with
+    | Heap_state (p, heap) ->
+      let push size =
+        let key = Scheduler.Policy.key p ~arrival:now ~cls ~size in
+        Desim.Heap.push heap { key; cls; size }
+      in
+      (match t.packet_size with
+      | None -> push size
+      | Some l ->
+        (* segment the batch into packets of at most l kb *)
+        let rec go remaining =
+          if remaining > 1e-12 then begin
+            push (Float.min l remaining);
+            go (remaining -. l)
+          end
+        in
+        go size)
+    | Gps_state (_, queues) ->
+      let key = Scheduler.Policy.key Scheduler.Policy.fifo ~arrival:now ~cls ~size in
+      Queue.push { key; cls; size } queues.(cls)
+  end
+
+(* Fluid (preemptive) service: always work on the globally most urgent
+   batch, splitting the head batch at the slot boundary. *)
+let serve_heap_fluid t heap =
+  let departed = Array.make t.classes 0. in
+  let budget = ref t.capacity in
+  let continue_ = ref true in
+  while !continue_ && !budget > 1e-12 do
+    match Desim.Heap.pop heap with
+    | None -> continue_ := false
+    | Some b ->
+      let served = Float.min b.size !budget in
+      budget := !budget -. served;
+      departed.(b.cls) <- departed.(b.cls) +. served;
+      t.per_class_backlog.(b.cls) <- t.per_class_backlog.(b.cls) -. served;
+      if b.size -. served > 1e-12 then begin
+        b.size <- b.size -. served;
+        Desim.Heap.push heap b
+      end
+  done;
+  departed
+
+(* Non-preemptive packetized service: finish the packet on the wire before
+   the next precedence decision. *)
+let serve_heap_packetized t heap =
+  let departed = Array.make t.classes 0. in
+  let budget = ref t.capacity in
+  let serve_packet (b : batch) =
+    let served = Float.min b.size !budget in
+    budget := !budget -. served;
+    departed.(b.cls) <- departed.(b.cls) +. served;
+    t.per_class_backlog.(b.cls) <- t.per_class_backlog.(b.cls) -. served;
+    if b.size -. served > 1e-12 then begin
+      b.size <- b.size -. served;
+      t.in_service <- Some b
+    end
+    else t.in_service <- None
+  in
+  (match t.in_service with Some b -> serve_packet b | None -> ());
+  let continue_ = ref true in
+  while !continue_ && t.in_service = None && !budget > 1e-12 do
+    match Desim.Heap.pop heap with
+    | None -> continue_ := false
+    | Some b -> serve_packet b
+  done;
+  departed
+
+let serve_gps t g queues =
+  let backlogs = Array.copy t.per_class_backlog in
+  let grants = Scheduler.Gps.allocate g ~capacity:t.capacity ~backlogs in
+  let departed = Array.make t.classes 0. in
+  Array.iteri
+    (fun cls grant ->
+      let remaining = ref grant in
+      while !remaining > 1e-12 && not (Queue.is_empty queues.(cls)) do
+        let b = Queue.peek queues.(cls) in
+        let served = Float.min b.size !remaining in
+        remaining := !remaining -. served;
+        departed.(cls) <- departed.(cls) +. served;
+        t.per_class_backlog.(cls) <- t.per_class_backlog.(cls) -. served;
+        if b.size -. served > 1e-12 then b.size <- b.size -. served
+        else ignore (Queue.pop queues.(cls))
+      done)
+    grants;
+  departed
+
+let serve_slot t =
+  match (t.state, t.packet_size) with
+  | (Heap_state (_, heap), None) -> serve_heap_fluid t heap
+  | (Heap_state (_, heap), Some _) -> serve_heap_packetized t heap
+  | (Gps_state (g, queues), _) -> serve_gps t g queues
+
+let backlog t = Array.fold_left ( +. ) 0. t.per_class_backlog
+
+let backlog_of t ~cls =
+  if cls < 0 || cls >= t.classes then invalid_arg "Queue_node.backlog_of: class out of range";
+  t.per_class_backlog.(cls)

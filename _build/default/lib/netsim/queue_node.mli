@@ -1,0 +1,39 @@
+(** A buffered link of fixed capacity serving traffic batches under a
+    pluggable scheduling discipline.
+
+    Time is slotted; each slot, [offer] enqueues the slot's arrivals and
+    [serve_slot] transmits up to [capacity] kb in precedence order (for a
+    ∆-policy) or by weighted fair shares (GPS).  Batches are fluid: the
+    head batch may be served partially.  All policies are locally FIFO. *)
+
+type discipline =
+  | Delta_policy of Scheduler.Policy.t
+  | Gps of Scheduler.Gps.t
+
+type t
+
+val create : ?packet_size:float -> capacity:float -> classes:int -> discipline -> t
+(** [packet_size] switches the node from fluid to packetized,
+    {e non-preemptive} service: arrivals are segmented into packets of at
+    most [packet_size] kb, and once a packet starts transmission it
+    finishes before the scheduler re-examines precedence (so an urgent
+    arrival can be blocked for up to one packet transmission time — the
+    effect the paper's fluid model deliberately ignores).  Not compatible
+    with {!Gps} (a fluid discipline by definition).
+    @raise Invalid_argument on non-positive capacity, class count, or
+    packet size, or when combining [packet_size] with [Gps]. *)
+
+val capacity : t -> float
+
+val offer : t -> now:float -> cls:int -> float -> unit
+(** Enqueue [size] kb of class [cls] arriving at time [now].  Zero-size
+    offers are ignored. *)
+
+val serve_slot : t -> float array
+(** Transmit up to one slot's capacity; returns the kb departed per class
+    in this slot. *)
+
+val backlog : t -> float
+(** Total queued kb. *)
+
+val backlog_of : t -> cls:int -> float

@@ -1,0 +1,25 @@
+(* Independent replications with confidence intervals. *)
+
+type summary = { mean : float; half_width95 : float; values : float array }
+
+let seeds ~runs ~base_seed =
+  let rng = Desim.Prng.create ~seed:base_seed in
+  Array.init runs (fun _ -> Desim.Prng.bits64 rng)
+
+let summarize values =
+  let acc = Desim.Stats.Online.create () in
+  Array.iter (Desim.Stats.Online.add acc) values;
+  let n = Array.length values in
+  (* batch_means with one observation per batch gives the t-based CI *)
+  let (mean, half_width95) = Desim.Stats.batch_means values ~batches:n in
+  ignore mean;
+  { mean = Desim.Stats.Online.mean acc; half_width95; values }
+
+let statistic_ci ~runs ~base_seed f =
+  if runs < 2 then invalid_arg "Replicate: need at least two runs";
+  let values = Array.map (fun seed -> f ~seed) (seeds ~runs ~base_seed) in
+  summarize values
+
+let quantile_ci ~runs ~base_seed ~q f =
+  statistic_ci ~runs ~base_seed (fun ~seed ->
+      Desim.Stats.Sample.quantile (f ~seed) q)

@@ -1,0 +1,27 @@
+(** Independent replications of a seeded experiment, with confidence
+    intervals on delay quantiles — the standard output-analysis layer on
+    top of {!Tandem} and {!Single_node_sim}. *)
+
+type summary = {
+  mean : float;
+  half_width95 : float;  (** Student-t 95%% half width across replications *)
+  values : float array;  (** the per-replication statistics *)
+}
+
+val quantile_ci :
+  runs:int ->
+  base_seed:int64 ->
+  q:float ->
+  (seed:int64 -> Desim.Stats.Sample.t) ->
+  summary
+(** [quantile_ci ~runs ~base_seed ~q experiment] runs [experiment] with
+    [runs] seeds derived from [base_seed] (splitmix64 stream) and
+    summarizes the [q]-quantile of each run's sample.
+    @raise Invalid_argument on [runs < 2]. *)
+
+val statistic_ci :
+  runs:int ->
+  base_seed:int64 ->
+  (seed:int64 -> float) ->
+  summary
+(** Same replication scheme for an arbitrary scalar statistic. *)

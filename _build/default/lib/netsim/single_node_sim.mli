@@ -1,0 +1,32 @@
+(** Single-node, multi-class simulation: one buffered link shared by any
+    number of traffic classes under a pluggable ∆-policy (multi-level SP,
+    multi-deadline EDF, FIFO, ...).  Measures the per-class virtual delay
+    [W_j t = inf { s | D_j (t +. s) >= A_j t }] (Eq. 6 of the paper) —
+    the operational counterpart of the {!Deltanet.Single_node} bounds. *)
+
+type class_spec = {
+  n_flows : int;
+  source : Envelope.Mmpp.t;
+}
+
+type config = {
+  capacity : float;  (** kb per slot *)
+  classes : class_spec array;
+  policy : Scheduler.Policy.t;
+  slots : int;
+  drain_limit : int;
+  seed : int64;
+}
+
+val default_config : config
+(** Two equal on-off classes under FIFO at 50%% load. *)
+
+type result = {
+  delays : Desim.Stats.Sample.t array;  (** per class, in slots *)
+  utilization : float;
+  offered_kb : float array;
+}
+
+val run : config -> result
+
+val quantile : result -> cls:int -> float -> float

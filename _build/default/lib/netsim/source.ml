@@ -1,0 +1,26 @@
+(* Aggregate on-off Markov source. *)
+
+type t = {
+  src : Envelope.Mmpp.t;
+  n : int;
+  mutable on : int;
+  rng : Desim.Prng.t;
+}
+
+let create src ~n ~rng =
+  if n < 0 then invalid_arg "Source.create: negative flow count";
+  let on = Desim.Prng.binomial rng ~n ~p:(Envelope.Mmpp.stationary_on src) in
+  { src; n; on; rng }
+
+let step t =
+  let emitted = float_of_int t.on *. t.src.Envelope.Mmpp.peak in
+  let stay_on = Desim.Prng.binomial t.rng ~n:t.on ~p:t.src.Envelope.Mmpp.p_stay_on in
+  let turn_on =
+    Desim.Prng.binomial t.rng ~n:(t.n - t.on) ~p:(1. -. t.src.Envelope.Mmpp.p_stay_off)
+  in
+  t.on <- stay_on + turn_on;
+  emitted
+
+let on_count t = t.on
+let flows t = t.n
+let mean_rate t = float_of_int t.n *. Envelope.Mmpp.mean_rate t.src

@@ -1,0 +1,1 @@
+lib/scheduler/classes.ml: Array Delta Float Fmt Fun List

@@ -1,0 +1,1 @@
+lib/scheduler/classes.mli: Delta Format

@@ -1,0 +1,1 @@
+lib/scheduler/delta.mli: Format

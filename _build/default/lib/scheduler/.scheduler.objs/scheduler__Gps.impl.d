@@ -1,0 +1,1 @@
+lib/scheduler/gps.ml: Array Float

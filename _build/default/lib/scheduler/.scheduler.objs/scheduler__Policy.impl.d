@@ -1,0 +1,1 @@
+lib/scheduler/policy.ml: Array Classes Float

@@ -1,0 +1,1 @@
+lib/scheduler/sced.ml: Array Float Policy

@@ -1,0 +1,31 @@
+(* Extended-real ∆ constants. *)
+
+type t = Neg_inf | Fin of float | Pos_inf
+
+let fin x =
+  if Float.is_nan x then invalid_arg "Delta.fin: nan"
+  else if x = infinity then Pos_inf
+  else if x = neg_infinity then Neg_inf
+  else Fin x
+
+let zero = Fin 0.
+
+let clip d y =
+  match d with
+  | Neg_inf -> Neg_inf
+  | Pos_inf -> Fin y
+  | Fin x -> Fin (Float.min x y)
+
+let clip_fin d y =
+  match clip d y with Neg_inf -> None | Fin x -> Some x | Pos_inf -> assert false
+
+let to_float = function Neg_inf -> neg_infinity | Pos_inf -> infinity | Fin x -> x
+let of_float = fin
+let is_finite = function Fin _ -> true | Neg_inf | Pos_inf -> false
+let compare a b = Float.compare (to_float a) (to_float b)
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Neg_inf -> Fmt.string ppf "-∞"
+  | Pos_inf -> Fmt.string ppf "+∞"
+  | Fin x -> Fmt.pf ppf "%g" x

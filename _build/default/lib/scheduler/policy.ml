@@ -1,0 +1,68 @@
+(* Packet-level scheduling policies realizing ∆-schedulers. *)
+
+type key = { major : float; minor : float; tie : int }
+
+let compare_key a b =
+  match Float.compare a.major b.major with
+  | 0 -> (
+    match Float.compare a.minor b.minor with 0 -> compare a.tie b.tie | c -> c)
+  | c -> c
+
+type t = {
+  name : string;
+  key : arrival:float -> cls:int -> size:float -> key;
+  matrix : n:int -> Classes.matrix option;
+}
+
+let name p = p.name
+let key p = p.key
+
+let make ~name ~key ?(matrix = fun ~n:_ -> None) () = { name; key; matrix }
+
+let fifo =
+  {
+    name = "FIFO";
+    key = (fun ~arrival ~cls ~size:_ -> { major = arrival; minor = 0.; tie = cls });
+    matrix = (fun ~n -> Some (Classes.fifo ~n));
+  }
+
+let static_priority ~priorities =
+  {
+    name = "SP";
+    key =
+      (fun ~arrival ~cls ~size:_ ->
+        { major = -.float_of_int priorities.(cls); minor = arrival; tie = cls });
+    matrix =
+      (fun ~n ->
+        if n <> Array.length priorities then None
+        else Some (Classes.static_priority ~priorities));
+  }
+
+let edf ~deadlines =
+  {
+    name = "EDF";
+    key =
+      (fun ~arrival ~cls ~size:_ ->
+        { major = arrival +. deadlines.(cls); minor = arrival; tie = cls });
+    matrix =
+      (fun ~n ->
+        if n <> Array.length deadlines then None else Some (Classes.edf ~deadlines));
+  }
+
+let bmux ~tagged =
+  {
+    name = "BMUX";
+    key =
+      (fun ~arrival ~cls ~size:_ ->
+        { major = (if cls = tagged then 1. else 0.); minor = arrival; tie = cls });
+    matrix = (fun ~n -> Some (Classes.bmux ~n ~tagged));
+  }
+
+let of_two_class (tc : Classes.two_class) ~through_deadline ~cross_deadline =
+  match tc with
+  | Classes.Fifo -> fifo
+  | Classes.Bmux -> bmux ~tagged:0
+  | Classes.Sp_through_high -> static_priority ~priorities:[| 1; 0 |]
+  | Classes.Edf_gap _ -> edf ~deadlines:[| through_deadline; cross_deadline |]
+
+let is_delta_realizable p ~n = p.matrix ~n

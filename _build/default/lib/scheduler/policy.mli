@@ -1,0 +1,53 @@
+(** Operational (packet-level) scheduling policies for the simulator.
+
+    A policy maps a batch's class and arrival time at the node to a
+    precedence key; the node serves backlogged batches in increasing key
+    order (ties broken by arrival time, then by class index, which keeps
+    every policy locally FIFO).  These are the operational counterparts of
+    the ∆-matrices in {!Classes}; {!of_two_class} connects the two. *)
+
+type key = { major : float; minor : float; tie : int }
+
+val compare_key : key -> key -> int
+
+type t
+
+val name : t -> string
+
+val key : t -> arrival:float -> cls:int -> size:float -> key
+(** Precedence key of a batch of [size] kb of class [cls] arriving at the
+    node at [arrival].  Lower keys are served first.  Most policies ignore
+    [size]; SCED-style policies (whose deadlines advance with the amount
+    of guaranteed service) do not.  Policies may carry per-node mutable
+    state, so a fresh value must be used per node (see {!Sced.policy}). *)
+
+val make :
+  name:string ->
+  key:(arrival:float -> cls:int -> size:float -> key) ->
+  ?matrix:(n:int -> Classes.matrix option) ->
+  unit ->
+  t
+(** General constructor for custom (possibly stateful) policies; [matrix]
+    defaults to [fun ~n:_ -> None] (not a ∆-scheduler, or unknown). *)
+
+val fifo : t
+(** Serve in global arrival order (classes interleaved). *)
+
+val static_priority : priorities:int array -> t
+(** Higher integer = higher priority = served first; FIFO within a level. *)
+
+val edf : deadlines:float array -> t
+(** Serve by [arrival +. deadline.(cls)], FIFO within equal deadlines. *)
+
+val bmux : tagged:int -> t
+(** The tagged class always yields to all other traffic. *)
+
+val of_two_class : Classes.two_class -> through_deadline:float -> cross_deadline:float -> t
+(** The two-class policy (class 0 = through, class 1 = cross) matching a
+    {!Classes.two_class} analysis descriptor.  The deadlines are used only
+    by the EDF case. *)
+
+val is_delta_realizable : t -> n:int -> Classes.matrix option
+(** The ∆-matrix realized by this policy over [n] classes, when one exists
+    ([None] would indicate a non-∆ policy; all policies constructed here
+    are ∆-schedulers). *)

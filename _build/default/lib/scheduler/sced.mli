@@ -1,0 +1,21 @@
+(** SCED — Service Curve Earliest Deadline (Cruz; cited as [8] in the
+    paper): each class is assigned a target service curve and every bit is
+    stamped with the latest time the target would serve it; transmission is
+    in deadline order.
+
+    For rate-latency targets [beta_{R,T}] the deadline assignment reduces
+    to a per-class virtual-finish clock: a batch of [size] kb arriving at
+    [a] gets deadline [max (a +. latency) previous_finish +. size /. rate].
+
+    Like GPS, SCED is generally {e not} a ∆-scheduler: the deadline of an
+    arrival depends on its class's past workload through the virtual
+    clock, so no fixed constants [∆_{j,k}] bound which arrivals have
+    precedence.  It is included as the paper's second example of a
+    scheduler defined through service curves rather than through ∆
+    constants. *)
+
+type target = { rate : float; latency : float }
+
+val policy : targets:target array -> unit -> Policy.t
+(** A fresh (stateful) SCED policy instance; create one per node.
+    @raise Invalid_argument on a non-positive rate or negative latency. *)

@@ -1,0 +1,1 @@
+test/test_convolution.ml: Alcotest Float Fmt List Minplus QCheck QCheck_alcotest

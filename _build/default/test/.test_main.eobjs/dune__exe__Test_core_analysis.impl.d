@@ -1,0 +1,1 @@
+test/test_core_analysis.ml: Alcotest Deltanet Envelope Float Fmt Gen List Minplus QCheck QCheck_alcotest Scheduler

@@ -1,0 +1,1 @@
+test/test_desim.ml: Alcotest Array Desim Float Gen List QCheck QCheck_alcotest

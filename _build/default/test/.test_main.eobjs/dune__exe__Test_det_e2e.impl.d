@@ -1,0 +1,1 @@
+test/test_det_e2e.ml: Alcotest Deltanet Desim Float Fmt List Minplus Netsim Scheduler

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Deltanet Envelope Float Fmt List Minplus Scheduler

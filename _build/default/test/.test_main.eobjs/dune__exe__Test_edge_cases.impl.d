@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Deltanet Desim Envelope Float Fmt Minplus Netsim Scheduler

@@ -1,0 +1,1 @@
+test/test_envelope.ml: Alcotest Desim Envelope Float List Minplus

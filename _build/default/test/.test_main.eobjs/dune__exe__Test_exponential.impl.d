@@ -1,0 +1,1 @@
+test/test_exponential.ml: Alcotest Envelope Float Fmt Gen List QCheck QCheck_alcotest

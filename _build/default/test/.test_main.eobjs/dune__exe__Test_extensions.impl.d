@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Deltanet Envelope Float Fmt List Minplus Netsim Scheduler

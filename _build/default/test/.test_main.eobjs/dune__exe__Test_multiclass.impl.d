@@ -1,0 +1,1 @@
+test/test_multiclass.ml: Alcotest Deltanet Envelope Float Fmt List Scheduler

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Desim Envelope Float Fmt Netsim Scheduler

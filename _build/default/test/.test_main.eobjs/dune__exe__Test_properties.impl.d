@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Deltanet Envelope Float Fmt Fun List QCheck QCheck_alcotest Scheduler

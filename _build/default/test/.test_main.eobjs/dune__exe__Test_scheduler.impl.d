@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array Float Fmt List Netsim QCheck QCheck_alcotest Scheduler

@@ -1,0 +1,1 @@
+test/test_sources_output.ml: Alcotest Array Deltanet Desim Envelope Float Fmt List Minplus Netsim Scheduler

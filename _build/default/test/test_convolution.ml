@@ -1,0 +1,218 @@
+(* Tests for min-plus convolution and deconvolution. *)
+
+module Curve = Minplus.Curve
+module Conv = Minplus.Convolution
+
+let feq ?(tol = 1e-9) a b =
+  (a = infinity && b = infinity)
+  || Float.abs (a -. b) <= tol *. (1. +. Float.max (Float.abs a) (Float.abs b))
+
+let check_float ?tol name expected got =
+  if not (feq ?tol expected got) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+
+(* Brute-force convolution on a grid: exact lower reference up to grid
+   resolution (the infimum over a finer set is smaller, so brute >= exact;
+   we check both directions with a slack matched to the grid). *)
+let brute_convolve f g t =
+  let n = 2000 in
+  let best = ref infinity in
+  for i = 0 to n do
+    let s = t *. float_of_int i /. float_of_int n in
+    let v = Curve.eval f s +. Curve.eval g (t -. s) in
+    if v < !best then best := v
+  done;
+  !best
+
+let test_conv_rate_latency () =
+  (* Classic: (R1,T1) * (R2,T2) = (min R1 R2, T1 + T2). *)
+  let f = Curve.rate_latency ~rate:10. ~latency:2. in
+  let g = Curve.rate_latency ~rate:6. ~latency:3. in
+  let c = Conv.convolve f g in
+  let expected = Curve.rate_latency ~rate:6. ~latency:5. in
+  Alcotest.(check bool) "rate-latency composition" true (Curve.equal ~tol:1e-9 c expected);
+  let cc = Conv.convolve_convex f g in
+  Alcotest.(check bool) "convex variant agrees" true (Curve.equal ~tol:1e-9 cc expected)
+
+let test_conv_constant_rates () =
+  let f = Curve.constant_rate 4. and g = Curve.constant_rate 7. in
+  let c = Conv.convolve f g in
+  Alcotest.(check bool) "C1 * C2 = min C" true
+    (Curve.equal c (Curve.constant_rate 4.))
+
+let test_conv_neutral_delta0 () =
+  let f = Curve.rate_latency ~rate:3. ~latency:1. in
+  let c = Conv.convolve f (Curve.delta 0.) in
+  List.iter
+    (fun t -> check_float (Fmt.str "t=%g" t) (Curve.eval f t) (Curve.eval c t))
+    [ 0.; 0.5; 1.; 2.; 10. ]
+
+let test_conv_delta_shifts () =
+  (* f * delta_d = f shifted right by d (for f continuous at the origin). *)
+  let f = Curve.rate_latency ~rate:2. ~latency:1. in
+  let c = Conv.convolve f (Curve.delta 3.) in
+  List.iter
+    (fun t ->
+      check_float (Fmt.str "t=%g" t) (Curve.eval (Curve.hshift 3. f) t) (Curve.eval c t))
+    [ 0.; 2.9; 3.1; 5.; 20. ]
+
+let test_conv_delta_burst_convention () =
+  (* With the right-continuous convention a leaky bucket has f(0) = burst,
+     so (f * delta_d)(t) = burst for t < d — the burst travels to t = 0. *)
+  let f = Curve.affine ~rate:2. ~burst:1. in
+  let c = Conv.convolve f (Curve.delta 3.) in
+  check_float "before shift" 1. (Curve.eval c 1.);
+  check_float "after shift" (1. +. (2. *. 2.)) (Curve.eval c 5.)
+
+let test_conv_affine_concave () =
+  (* Two leaky buckets: conv(gamma_{r1,b1}, gamma_{r2,b2})(t)
+     = min over splits; for t > 0 equals min(b1 + r1 t, b2 + r2 t)
+     + no... brute-force check instead. *)
+  let f = Curve.affine ~rate:1. ~burst:5. in
+  let g = Curve.affine ~rate:3. ~burst:1. in
+  let c = Conv.convolve f g in
+  List.iter
+    (fun t -> check_float ~tol:1e-3 (Fmt.str "t=%g" t) (brute_convolve f g t) (Curve.eval c t))
+    [ 0.; 0.5; 1.; 2.; 5.; 11. ]
+
+let test_deconv_output_envelope () =
+  (* Leaky bucket through a rate-latency server:
+     (gamma_{r,b} ⊘ beta_{R,T})(t) = b +. r (t +. T) for r <= R. *)
+  let e = Curve.affine ~rate:2. ~burst:5. in
+  let s = Curve.rate_latency ~rate:10. ~latency:3. in
+  let d = Conv.deconvolve e s in
+  List.iter
+    (fun t -> check_float (Fmt.str "t=%g" t) (5. +. (2. *. (t +. 3.))) (Curve.eval d t))
+    [ 0.; 1.; 4.; 10. ]
+
+let test_deconv_divergent () =
+  let e = Curve.affine ~rate:5. ~burst:0. in
+  let s = Curve.constant_rate 2. in
+  check_float "divergent eval" infinity (Conv.deconvolve_eval e s 1.);
+  Alcotest.check_raises "divergent deconvolve"
+    (Invalid_argument "Convolution.deconvolve: divergent (unstable rates)") (fun () ->
+      ignore (Conv.deconvolve e s))
+
+let test_self_convolve () =
+  let f = Curve.rate_latency ~rate:4. ~latency:1. in
+  let c3 = Conv.self_convolve f 3 in
+  Alcotest.(check bool) "triple rate-latency" true
+    (Curve.equal c3 (Curve.rate_latency ~rate:4. ~latency:3.));
+  let c0 = Conv.self_convolve f 0 in
+  check_float "neutral at 5" (Curve.eval (Curve.delta 0.) 5.) (Curve.eval c0 5.)
+
+let test_closure_concave_fixed () =
+  (* A leaky bucket is subadditive: the closure only pins the origin. *)
+  let f = Curve.affine ~rate:2. ~burst:3. in
+  let c = Conv.subadditive_closure f in
+  check_float "closure origin" 0. (Curve.eval c 0.);
+  List.iter
+    (fun t -> check_float (Fmt.str "t=%g" t) (Curve.eval f t) (Curve.eval c t))
+    [ 0.5; 1.; 4.; 10. ]
+
+let test_closure_rate_latency_collapses () =
+  (* beta_{R,T}^{(n)} = beta_{R,nT} pointwise decreases to 0: the closure
+     of a rate-latency curve is identically 0 (within the iteration cap the
+     tail keeps a positive rate far out, which is the sound direction). *)
+  let f = Curve.rate_latency ~rate:4. ~latency:1. in
+  let c = Conv.subadditive_closure ~max_iterations:64 f in
+  List.iter
+    (fun t -> check_float (Fmt.str "t=%g" t) 0. (Curve.eval c t))
+    [ 0.5; 3.; 10.; 40. ]
+
+let test_closure_subadditive_property () =
+  (* closure(f)(a + b) <= closure(f)(a) + closure(f)(b) on a grid *)
+  let f = Curve.v [ (0., 1., 0.5); (2., 4., 3.) ] in
+  let c = Conv.subadditive_closure f in
+  List.iter
+    (fun (a, b) ->
+      let lhs = Curve.eval c (a +. b) in
+      let rhs = Curve.eval c a +. Curve.eval c b in
+      if lhs > rhs +. 1e-9 then Alcotest.failf "not subadditive at %g + %g" a b)
+    [ (0.5, 0.5); (1., 2.); (2., 2.); (0.3, 4.); (3., 5.) ]
+
+(* ---------------- property tests ---------------- *)
+
+let gen_convex_curve =
+  let open QCheck.Gen in
+  let* latency = float_range 0. 3. in
+  let* n = int_range 1 4 in
+  let* gaps = list_repeat n (float_range 0.2 3.) in
+  let* slope_incs = list_repeat n (float_range 0.1 2.) in
+  (* increasing slopes starting from a base *)
+  let* base = float_range 0.1 2. in
+  let rec build acc x y r = function
+    | [], _ | _, [] -> List.rev acc
+    | g :: gs, dr :: drs ->
+      let x' = x +. g and y' = y +. (r *. g) in
+      build ((x', y', r +. dr) :: acc) x' y' (r +. dr) (gs, drs)
+  in
+  let head = if latency > 0. then [ (0., 0., 0.); (latency, 0., base) ] else [ (0., 0., base) ] in
+  let (lx, ly, lr) = List.nth head (List.length head - 1) in
+  let tail = build [] lx ly lr (gaps, slope_incs) in
+  return (Curve.v (head @ tail))
+
+let arb_convex = QCheck.make ~print:(Fmt.to_to_string Curve.pp) gen_convex_curve
+
+let prop_convex_conv_matches_general =
+  QCheck.Test.make ~name:"convolve_convex agrees with convolve" ~count:100
+    (QCheck.pair arb_convex arb_convex) (fun (f, g) ->
+      let a = Conv.convolve f g and b = Conv.convolve_convex f g in
+      Curve.equal ~tol:1e-7 a b)
+
+let prop_conv_commutes =
+  QCheck.Test.make ~name:"convolution commutes" ~count:100
+    (QCheck.pair arb_convex arb_convex) (fun (f, g) ->
+      Curve.equal ~tol:1e-7 (Conv.convolve f g) (Conv.convolve g f))
+
+let prop_conv_below_both =
+  QCheck.Test.make ~name:"f*g <= min(f + g(0), g + f(0)) pointwise" ~count:100
+    (QCheck.pair arb_convex arb_convex) (fun (f, g) ->
+      let c = Conv.convolve f g in
+      List.for_all
+        (fun t ->
+          Curve.eval c t <= Curve.eval f t +. Curve.eval g 0. +. 1e-7
+          && Curve.eval c t <= Curve.eval g t +. Curve.eval f 0. +. 1e-7)
+        [ 0.; 0.7; 1.3; 4.; 9.; 20. ])
+
+let prop_conv_brute_force =
+  QCheck.Test.make ~name:"convolution matches brute force" ~count:60
+    (QCheck.pair arb_convex arb_convex) (fun (f, g) ->
+      let c = Conv.convolve f g in
+      List.for_all
+        (fun t ->
+          let b = brute_convolve f g t in
+          (* grid reference is an upper bound on the true inf *)
+          Curve.eval c t <= b +. 1e-6 && b <= Curve.eval c t +. 0.05)
+        [ 0.5; 1.5; 3.; 8. ])
+
+let prop_deconv_duality =
+  (* Duality: f <= g * h iff f ⊘ h <= g.  We check one direction on the
+     triple (f*g, f, g): (f * g) ⊘ g <= f. *)
+  QCheck.Test.make ~name:"deconvolution duality" ~count:60
+    (QCheck.pair arb_convex arb_convex) (fun (f, g) ->
+      let c = Conv.convolve f g in
+      List.for_all
+        (fun t -> Conv.deconvolve_eval c g t <= Curve.eval f t +. 1e-6)
+        [ 0.; 1.; 2.5; 6. ])
+
+let suite =
+  [
+    Alcotest.test_case "rate-latency composition" `Quick test_conv_rate_latency;
+    Alcotest.test_case "constant rates" `Quick test_conv_constant_rates;
+    Alcotest.test_case "delta_0 neutral" `Quick test_conv_neutral_delta0;
+    Alcotest.test_case "delta shifts" `Quick test_conv_delta_shifts;
+    Alcotest.test_case "delta burst convention" `Quick test_conv_delta_burst_convention;
+    Alcotest.test_case "affine brute force" `Quick test_conv_affine_concave;
+    Alcotest.test_case "deconvolution output envelope" `Quick test_deconv_output_envelope;
+    Alcotest.test_case "deconvolution divergence" `Quick test_deconv_divergent;
+    Alcotest.test_case "self convolution" `Quick test_self_convolve;
+    Alcotest.test_case "closure of concave" `Quick test_closure_concave_fixed;
+    Alcotest.test_case "closure of rate-latency" `Quick test_closure_rate_latency_collapses;
+    Alcotest.test_case "closure subadditivity" `Quick test_closure_subadditive_property;
+    QCheck_alcotest.to_alcotest prop_convex_conv_matches_general;
+    QCheck_alcotest.to_alcotest prop_conv_commutes;
+    QCheck_alcotest.to_alcotest prop_conv_below_both;
+    QCheck_alcotest.to_alcotest prop_conv_brute_force;
+    QCheck_alcotest.to_alcotest prop_deconv_duality;
+  ]

@@ -1,0 +1,195 @@
+(* Tests for the simulation substrate: PRNG, heap, statistics. *)
+
+module Prng = Desim.Prng
+module Heap = Desim.Heap
+module Stats = Desim.Stats
+
+let check_float ?(tol = 1e-9) name expected got =
+  if Float.abs (expected -. got) > tol *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+
+(* ---------------- PRNG ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123L and b = Prng.create ~seed:123L in
+  for i = 1 to 100 do
+    if Prng.bits64 a <> Prng.bits64 b then Alcotest.failf "diverged at step %d" i
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1L and b = Prng.create ~seed:2L in
+  Alcotest.(check bool) "different streams" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_float_range () =
+  let t = Prng.create ~seed:5L in
+  for _ = 1 to 10_000 do
+    let x = Prng.float t in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of range: %g" x
+  done
+
+let test_prng_float_mean () =
+  let t = Prng.create ~seed:6L in
+  let acc = ref 0. in
+  let n = 100_000 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.float t
+  done;
+  check_float ~tol:0.01 "uniform mean" 0.5 (!acc /. float_of_int n)
+
+let test_prng_int_bounds () =
+  let t = Prng.create ~seed:7L in
+  let seen = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let k = Prng.int t ~bound:7 in
+    seen.(k) <- seen.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 8_000 || c > 12_000 then Alcotest.failf "bucket %d skewed: %d" i c)
+    seen
+
+let test_binomial_moments () =
+  let t = Prng.create ~seed:8L in
+  let n = 50 and p = 0.2 in
+  let trials = 50_000 in
+  let acc = Stats.Online.create () in
+  for _ = 1 to trials do
+    Stats.Online.add acc (float_of_int (Prng.binomial t ~n ~p))
+  done;
+  check_float ~tol:0.01 "binomial mean" (float_of_int n *. p) (Stats.Online.mean acc);
+  check_float ~tol:0.05 "binomial variance" (float_of_int n *. p *. (1. -. p))
+    (Stats.Online.variance acc)
+
+let test_binomial_reflected () =
+  let t = Prng.create ~seed:9L in
+  let n = 40 and p = 0.9 in
+  let acc = Stats.Online.create () in
+  for _ = 1 to 50_000 do
+    let k = Prng.binomial t ~n ~p in
+    if k < 0 || k > n then Alcotest.failf "binomial out of range: %d" k;
+    Stats.Online.add acc (float_of_int k)
+  done;
+  check_float ~tol:0.01 "mean with p > 1/2" (float_of_int n *. p) (Stats.Online.mean acc)
+
+let test_binomial_edges () =
+  let t = Prng.create ~seed:10L in
+  Alcotest.(check int) "p = 0" 0 (Prng.binomial t ~n:10 ~p:0.);
+  Alcotest.(check int) "p = 1" 10 (Prng.binomial t ~n:10 ~p:1.);
+  Alcotest.(check int) "n = 0" 0 (Prng.binomial t ~n:0 ~p:0.5)
+
+let test_geometric_mean () =
+  let t = Prng.create ~seed:11L in
+  let p = 0.25 in
+  let acc = Stats.Online.create () in
+  for _ = 1 to 100_000 do
+    Stats.Online.add acc (float_of_int (Prng.geometric t ~p))
+  done;
+  (* failures before success: mean (1-p)/p = 3 *)
+  check_float ~tol:0.03 "geometric mean" 3. (Stats.Online.mean acc)
+
+let test_exponential_mean () =
+  let t = Prng.create ~seed:12L in
+  let acc = Stats.Online.create () in
+  for _ = 1 to 100_000 do
+    Stats.Online.add acc (Prng.exponential t ~rate:2.)
+  done;
+  check_float ~tol:0.02 "exponential mean" 0.5 (Stats.Online.mean acc)
+
+(* ---------------- Heap ---------------- *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_peek_pop () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "length" 2 (Heap.length h);
+  ignore (Heap.pop h);
+  Alcotest.(check (option int)) "next min" (Some 3) (Heap.peek h)
+
+let prop_heap_matches_sort =
+  QCheck.Test.make ~name:"heap drain equals List.sort" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 50) int) (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ---------------- Stats ---------------- *)
+
+let test_online_moments () =
+  let acc = Stats.Online.create () in
+  List.iter (Stats.Online.add acc) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_float "mean" 5. (Stats.Online.mean acc);
+  check_float "variance" (32. /. 7.) (Stats.Online.variance acc);
+  check_float "min" 2. (Stats.Online.min acc);
+  check_float "max" 9. (Stats.Online.max acc)
+
+let test_online_merge () =
+  let a = Stats.Online.create () and b = Stats.Online.create () in
+  List.iter (Stats.Online.add a) [ 1.; 2.; 3. ];
+  List.iter (Stats.Online.add b) [ 10.; 20. ];
+  let m = Stats.Online.merge a b in
+  let all = Stats.Online.create () in
+  List.iter (Stats.Online.add all) [ 1.; 2.; 3.; 10.; 20. ];
+  check_float "merged mean" (Stats.Online.mean all) (Stats.Online.mean m);
+  check_float "merged variance" (Stats.Online.variance all) (Stats.Online.variance m)
+
+let test_sample_quantiles () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  check_float "median" 3. (Stats.Sample.quantile s 0.5);
+  check_float "q0" 1. (Stats.Sample.quantile s 0.);
+  check_float "q1" 5. (Stats.Sample.quantile s 1.);
+  check_float "interpolated" 1.4 (Stats.Sample.quantile s 0.1)
+
+let test_sample_ccdf () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 1.; 2.; 3.; 4. ];
+  check_float "ccdf mid" 0.5 (Stats.Sample.ccdf_at s 2.);
+  check_float "ccdf below" 1. (Stats.Sample.ccdf_at s 0.);
+  check_float "ccdf above" 0. (Stats.Sample.ccdf_at s 5.)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~bin_width:2. in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 2.5; 5.1 ];
+  Alcotest.(check int) "count" 4 (Stats.Histogram.count h);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "bins" [ (0., 2); (2., 1); (4., 1) ] (Stats.Histogram.bins h)
+
+let test_batch_means () =
+  let xs = Array.init 1000 (fun i -> float_of_int (i mod 10)) in
+  let (mean, half) = Stats.batch_means xs ~batches:10 in
+  check_float "grand mean" 4.5 mean;
+  Alcotest.(check bool) "tiny half width for periodic data" true (half < 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng seeds differ" `Quick test_prng_seeds_differ;
+    Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+    Alcotest.test_case "prng float mean" `Slow test_prng_float_mean;
+    Alcotest.test_case "prng int bounds" `Slow test_prng_int_bounds;
+    Alcotest.test_case "binomial moments" `Slow test_binomial_moments;
+    Alcotest.test_case "binomial reflected" `Slow test_binomial_reflected;
+    Alcotest.test_case "binomial edges" `Quick test_binomial_edges;
+    Alcotest.test_case "geometric mean" `Slow test_geometric_mean;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
+    Alcotest.test_case "heap peek/pop" `Quick test_heap_peek_pop;
+    QCheck_alcotest.to_alcotest prop_heap_matches_sort;
+    Alcotest.test_case "online moments" `Quick test_online_moments;
+    Alcotest.test_case "online merge" `Quick test_online_merge;
+    Alcotest.test_case "sample quantiles" `Quick test_sample_quantiles;
+    Alcotest.test_case "sample ccdf" `Quick test_sample_ccdf;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "batch means" `Quick test_batch_means;
+  ]

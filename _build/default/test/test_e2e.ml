@@ -1,0 +1,388 @@
+(* Tests for the Section-IV end-to-end analysis: closed forms, the
+   K-procedure, scaling shapes, the scenario layer, and the additive
+   baseline. *)
+
+module E2e = Deltanet.E2e
+module Scenario = Deltanet.Scenario
+module Additive = Deltanet.Additive
+module Delta = Scheduler.Delta
+module Classes = Scheduler.Classes
+module Ebb = Envelope.Ebb
+module Exp = Envelope.Exponential
+
+let check_float ?(tol = 1e-9) name expected got =
+  let ok =
+    (expected = infinity && got = infinity)
+    || Float.abs (expected -. got)
+       <= tol *. (1. +. Float.max (Float.abs expected) (Float.abs got))
+  in
+  if not ok then Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+
+let mk_path ~h ~delta =
+  let through = Ebb.v ~m:1. ~rho:15. ~alpha:0.8 in
+  let cross = Ebb.v ~m:1. ~rho:35. ~alpha:0.8 in
+  E2e.homogeneous ~h ~capacity:100. ~cross ~delta ~through
+
+(* ---------------- bounding function (Eq. 34) ---------------- *)
+
+let test_total_bound_matches_eq34 () =
+  (* Homogeneous case with m = 1: the closed form of Eq. (34). *)
+  let h = 4 in
+  let p = mk_path ~h ~delta:(Delta.Fin 0.) in
+  let gamma = 1.2 in
+  let alpha = 0.8 in
+  let b = E2e.total_bound p ~gamma in
+  let hf = float_of_int h in
+  let q = exp (-.alpha *. gamma) in
+  let expected_rate = alpha /. (hf +. 1.) in
+  let expected_m = (hf +. 1.) *. ((1. -. q) ** (-2. *. hf /. (hf +. 1.))) in
+  check_float ~tol:1e-9 "rate alpha/(H+1)" expected_rate b.Exp.a;
+  check_float ~tol:1e-9 "prefactor M(H+1)(1-q)^{-2H/(H+1)}" expected_m b.Exp.m
+
+let test_sigma_roundtrip () =
+  let p = mk_path ~h:3 ~delta:Delta.Pos_inf in
+  let gamma = 1. in
+  let sigma = E2e.sigma_for p ~gamma ~epsilon:1e-9 in
+  let b = E2e.total_bound p ~gamma in
+  check_float ~tol:1e-9 "roundtrip" 1e-9 (Exp.eval_uncapped b sigma)
+
+(* ---------------- closed forms (Eq. 43 / 44) ---------------- *)
+
+let test_bmux_matches_eq43 () =
+  List.iter
+    (fun h ->
+      let p = mk_path ~h ~delta:Delta.Pos_inf in
+      let gamma = 0.8 and sigma = 300. in
+      let exact = E2e.delay_given p ~gamma ~sigma in
+      let closed = E2e.bmux_closed_form p ~gamma ~sigma in
+      check_float ~tol:1e-9 (Fmt.str "H=%d" h) closed exact)
+    [ 1; 2; 5; 10; 20 ]
+
+let test_fifo_matches_eq44 () =
+  List.iter
+    (fun h ->
+      let p = mk_path ~h ~delta:(Delta.Fin 0.) in
+      let gamma = 0.8 and sigma = 300. in
+      let exact = E2e.delay_given p ~gamma ~sigma in
+      let closed = E2e.fifo_closed_form p ~gamma ~sigma in
+      (* the closed form uses the paper's K choice, which is near-optimal:
+         the exact optimum can only be (weakly) better *)
+      Alcotest.(check bool)
+        (Fmt.str "H=%d exact %.9g <= closed %.9g" h exact closed)
+        true
+        (exact <= closed +. 1e-9 *. closed);
+      check_float ~tol:1e-6 (Fmt.str "H=%d near-optimal" h) closed exact)
+    [ 1; 2; 5; 10; 20 ]
+
+let test_k_procedure_upper_bounds_exact () =
+  List.iter
+    (fun (h, delta) ->
+      let p = mk_path ~h ~delta in
+      let gamma = 0.5 and sigma = 250. in
+      let exact = E2e.delay_given p ~gamma ~sigma in
+      let kproc = E2e.k_procedure p ~gamma ~sigma in
+      Alcotest.(check bool)
+        (Fmt.str "H=%d delta=%a exact %.6g <= kproc %.6g" h Delta.pp delta exact kproc)
+        true
+        (exact <= kproc +. 1e-6 *. (1. +. kproc));
+      (* and the explicit procedure should be close to optimal *)
+      Alcotest.(check bool)
+        (Fmt.str "H=%d delta=%a kproc near-optimal" h Delta.pp delta)
+        true
+        (kproc <= exact *. 1.2 +. 1e-6))
+    [
+      (2, Delta.Fin 0.);
+      (5, Delta.Fin 0.);
+      (2, Delta.Fin (-5.));
+      (5, Delta.Fin (-5.));
+      (10, Delta.Fin (-20.));
+      (5, Delta.Fin 3.);
+      (5, Delta.Pos_inf);
+      (5, Delta.Neg_inf);
+    ]
+
+let test_h1_theta_equals_d () =
+  (* For H = 1 the paper notes the optimal theta is d itself (X = 0) and
+     the result coincides with the single-node analysis of Section III-B:
+     the classic FIFO bound d = sigma / C (cross traffic arriving after the
+     tagged bit cannot delay it under FIFO). *)
+  let p = mk_path ~h:1 ~delta:(Delta.Fin 0.) in
+  let gamma = 1. and sigma = 200. in
+  let d = E2e.delay_given p ~gamma ~sigma in
+  check_float ~tol:1e-9 "single node FIFO" (sigma /. 100.) d;
+  (* whereas BMUX at H = 1 pays the full leftover-rate price *)
+  let pb = mk_path ~h:1 ~delta:Delta.Pos_inf in
+  check_float ~tol:1e-9 "single node BMUX"
+    (sigma /. (100. -. 35. -. gamma))
+    (E2e.delay_given pb ~gamma ~sigma)
+
+(* ---------------- structural properties ---------------- *)
+
+let test_scheduler_ordering_e2e () =
+  let gamma = 0.6 and sigma = 400. in
+  List.iter
+    (fun h ->
+      let d_of delta = E2e.delay_given (mk_path ~h ~delta) ~gamma ~sigma in
+      let sp = d_of Delta.Neg_inf in
+      let edf_loose = d_of (Delta.Fin (-10.)) in
+      let fifo = d_of (Delta.Fin 0.) in
+      let edf_tight = d_of (Delta.Fin 10.) in
+      let bmux = d_of Delta.Pos_inf in
+      Alcotest.(check bool)
+        (Fmt.str "H=%d: %.4g <= %.4g <= %.4g <= %.4g <= %.4g" h sp edf_loose fifo
+           edf_tight bmux)
+        true
+        (sp <= edf_loose +. 1e-9
+        && edf_loose <= fifo +. 1e-9
+        && fifo <= edf_tight +. 1e-9
+        && edf_tight <= bmux +. 1e-9))
+    [ 1; 3; 8 ]
+
+let test_delay_monotone_in_h () =
+  let epsilon = 1e-9 in
+  let prev = ref 0. in
+  List.iter
+    (fun h ->
+      let d = E2e.delay_bound ~epsilon (mk_path ~h ~delta:(Delta.Fin 0.)) in
+      Alcotest.(check bool) (Fmt.str "H=%d: %g >= %g" h d !prev) true (d >= !prev -. 1e-9);
+      prev := d)
+    [ 1; 2; 4; 8; 16 ]
+
+let test_delay_monotone_in_epsilon () =
+  let p = mk_path ~h:5 ~delta:(Delta.Fin 0.) in
+  let d9 = E2e.delay_bound ~epsilon:1e-9 p in
+  let d6 = E2e.delay_bound ~epsilon:1e-6 p in
+  let d3 = E2e.delay_bound ~epsilon:1e-3 p in
+  Alcotest.(check bool) (Fmt.str "%g >= %g >= %g" d9 d6 d3) true (d9 >= d6 && d6 >= d3)
+
+let test_overload_infinite () =
+  let through = Ebb.v ~m:1. ~rho:60. ~alpha:1. in
+  let cross = Ebb.v ~m:1. ~rho:60. ~alpha:1. in
+  let p = E2e.homogeneous ~h:3 ~capacity:100. ~cross ~delta:(Delta.Fin 0.) ~through in
+  check_float "overloaded path" infinity (E2e.delay_bound ~epsilon:1e-9 p);
+  Alcotest.(check bool) "gamma_max non-positive" true (E2e.gamma_max p <= 0.)
+
+let test_fifo_approaches_bmux_low_cross () =
+  (* The paper's observation: for small cross utilization or long paths the
+     FIFO bound approaches the BMUX bound. *)
+  let through = Ebb.v ~m:1. ~rho:15. ~alpha:0.8 in
+  let cross = Ebb.v ~m:1. ~rho:5. ~alpha:0.8 in
+  let d delta h =
+    E2e.delay_bound ~epsilon:1e-9
+      (E2e.homogeneous ~h ~capacity:100. ~cross ~delta ~through)
+  in
+  let ratio_h1 = d (Delta.Fin 0.) 1 /. d Delta.Pos_inf 1 in
+  let ratio_h10 = d (Delta.Fin 0.) 10 /. d Delta.Pos_inf 10 in
+  Alcotest.(check bool)
+    (Fmt.str "ratio H=10 (%.4f) closer to 1 than H=1 (%.4f)" ratio_h10 ratio_h1)
+    true
+    (ratio_h10 > ratio_h1 && ratio_h10 > 0.97)
+
+let test_heterogeneous_path () =
+  (* Per-node capacities and deltas; the bound must still be finite and
+     dominated by the weakest node's homogeneous bound. *)
+  let through = Ebb.v ~m:1. ~rho:10. ~alpha:1. in
+  let mk cap rho_c delta = { E2e.capacity = cap; cross_rho = rho_c; cross_m = 1.; delta } in
+  let p =
+    {
+      E2e.nodes =
+        [| mk 100. 30. (Delta.Fin 0.); mk 80. 20. Delta.Pos_inf; mk 120. 50. (Delta.Fin (-3.)) |];
+      through;
+    }
+  in
+  let d = E2e.delay_bound ~epsilon:1e-9 p in
+  Alcotest.(check bool) (Fmt.str "finite heterogeneous bound %g" d) true (Float.is_finite d);
+  (* worst node everywhere can only be worse *)
+  let worst =
+    E2e.homogeneous ~h:3 ~capacity:80. ~cross:(Ebb.v ~m:1. ~rho:50. ~alpha:1.)
+      ~delta:Delta.Pos_inf ~through
+  in
+  let d_worst = E2e.delay_bound ~epsilon:1e-9 worst in
+  Alcotest.(check bool) (Fmt.str "%g <= %g" d d_worst) true (d <= d_worst +. 1e-9)
+
+(* ---------------- explicit network service curve ---------------- *)
+
+let test_curve_agrees_with_optimizer () =
+  (* The horizontal deviation against the materialized Eq.-30 curve at the
+     optimal thetas must equal the Eq.-38 optimum. *)
+  List.iter
+    (fun (h, delta) ->
+      let p = mk_path ~h ~delta in
+      let gamma = 0.7 and sigma = 280. in
+      let d_opt = E2e.delay_given p ~gamma ~sigma in
+      let (thetas, _x) = E2e.optimal_thetas p ~gamma ~sigma in
+      let d_curve = E2e.delay_via_curve p ~gamma ~sigma ~thetas in
+      check_float ~tol:1e-6 (Fmt.str "H=%d delta=%a" h Delta.pp delta) d_opt d_curve)
+    [
+      (1, Delta.Fin 0.);
+      (4, Delta.Fin 0.);
+      (4, Delta.Pos_inf);
+      (4, Delta.Fin (-8.));
+      (4, Delta.Fin 4.);
+      (7, Delta.Neg_inf);
+    ]
+
+let test_curve_shape () =
+  let p = mk_path ~h:3 ~delta:Delta.Pos_inf in
+  let thetas = [| 1.; 2.; 0.5 |] in
+  let s = E2e.network_service_curve p ~gamma:0.5 ~thetas in
+  let module Curve = Minplus.Curve in
+  check_float "gated until sum of thetas" 0. (Curve.eval s 3.);
+  Alcotest.(check bool) "positive after gate" true (Curve.eval s 4. > 0.);
+  (* ultimate rate = min_h (C_h - rho_c - gamma) = C - 2 gamma - rho_c - gamma *)
+  check_float ~tol:1e-9 "ultimate rate" (100. -. 1. -. 35. -. 0.5) (Curve.ultimate_rate s)
+
+let test_backlog_properties () =
+  let p = mk_path ~h:4 ~delta:(Delta.Fin 0.) in
+  let b9 = E2e.backlog_bound ~epsilon:1e-9 p in
+  let b3 = E2e.backlog_bound ~epsilon:1e-3 p in
+  Alcotest.(check bool) (Fmt.str "finite backlog %g" b9) true (Float.is_finite b9);
+  Alcotest.(check bool) (Fmt.str "monotone in eps: %g >= %g" b9 b3) true (b9 >= b3);
+  (* backlog grows with path length *)
+  let b9_short = E2e.backlog_bound ~epsilon:1e-9 (mk_path ~h:2 ~delta:(Delta.Fin 0.)) in
+  Alcotest.(check bool) (Fmt.str "grows with H: %g >= %g" b9 b9_short) true (b9 >= b9_short)
+
+let test_backlog_vs_delay_little () =
+  (* Sanity a la Little: backlog bound <= (through envelope rate) x delay
+     bound + sigma slack is not an identity, but backlog should be within
+     a small factor of rate x delay for these affine envelopes. *)
+  let p = mk_path ~h:4 ~delta:Delta.Pos_inf in
+  let gamma = 0.7 in
+  let sigma = E2e.sigma_for p ~gamma ~epsilon:1e-9 in
+  let d = E2e.delay_given p ~gamma ~sigma in
+  let b = E2e.backlog_given p ~gamma ~sigma in
+  Alcotest.(check bool)
+    (Fmt.str "b=%g within [sigma=%g, rate*d=%g]" b sigma ((15. +. gamma) *. d +. sigma))
+    true
+    (b >= sigma -. 1e-9 && b <= ((15. +. gamma) *. d) +. sigma +. 1e-6)
+
+(* ---------------- scenario layer ---------------- *)
+
+let test_scenario_flow_counts () =
+  let sc = Scenario.of_utilization ~h:2 ~u_through:0.15 ~u_cross:0.35 in
+  check_float ~tol:1e-6 "N0 ~ 100"
+    (0.15 *. 100. /. Envelope.Mmpp.mean_rate Envelope.Mmpp.paper_source)
+    sc.Scenario.n_through;
+  check_float ~tol:1e-9 "utilization" 0.5 (Scenario.utilization sc)
+
+let test_scenario_fifo_between_sp_and_bmux () =
+  let sc = Scenario.of_utilization ~h:3 ~u_through:0.15 ~u_cross:0.3 in
+  let d s = Scenario.delay_bound ~s_points:16 ~scheduler:s sc in
+  let sp = d Classes.Sp_through_high in
+  let fifo = d Classes.Fifo in
+  let bmux = d Classes.Bmux in
+  Alcotest.(check bool)
+    (Fmt.str "%g <= %g <= %g" sp fifo bmux)
+    true
+    (sp <= fifo +. 1e-9 && fifo <= bmux +. 1e-9)
+
+let test_scenario_increasing_in_utilization () =
+  let d u =
+    Scenario.delay_bound ~s_points:16 ~scheduler:Classes.Fifo
+      (Scenario.of_utilization ~h:3 ~u_through:0.15 ~u_cross:(u -. 0.15))
+  in
+  let d30 = d 0.30 and d60 = d 0.60 and d90 = d 0.90 in
+  Alcotest.(check bool) (Fmt.str "%g < %g < %g" d30 d60 d90) true (d30 < d60 && d60 < d90)
+
+let test_scenario_edf_fixed_point () =
+  let sc = Scenario.of_utilization ~h:5 ~u_through:0.15 ~u_cross:0.35 in
+  let r = Scenario.delay_bound_edf ~s_points:16 sc ~spec:{ Scenario.cross_over_through = 10. } in
+  let fifo = Scenario.delay_bound ~s_points:16 ~scheduler:Classes.Fifo sc in
+  Alcotest.(check bool) (Fmt.str "EDF %g < FIFO %g" r.Scenario.bound fifo) true
+    (r.Scenario.bound < fifo);
+  (* self-consistency of the fixed point: recomputing at the returned gap
+     reproduces the bound *)
+  let gap = r.Scenario.d_through -. r.Scenario.d_cross in
+  let again = Scenario.delay_bound ~s_points:16 ~scheduler:(Classes.Edf_gap gap) sc in
+  check_float ~tol:1e-3 "fixed point" r.Scenario.bound again
+
+let test_scenario_edf_tight_deadlines_above_fifo () =
+  (* d*_0 = 2 d*_c makes the cross traffic more urgent: bound above FIFO,
+     below BMUX. *)
+  let sc = Scenario.of_utilization ~h:2 ~u_through:0.15 ~u_cross:0.35 in
+  let r = Scenario.delay_bound_edf ~s_points:16 sc ~spec:{ Scenario.cross_over_through = 0.5 } in
+  let fifo = Scenario.delay_bound ~s_points:16 ~scheduler:Classes.Fifo sc in
+  let bmux = Scenario.delay_bound ~s_points:16 ~scheduler:Classes.Bmux sc in
+  Alcotest.(check bool)
+    (Fmt.str "FIFO %g <= EDF-tight %g <= BMUX %g" fifo r.Scenario.bound bmux)
+    true
+    (fifo <= r.Scenario.bound +. 1e-6 && r.Scenario.bound <= bmux +. 1e-6)
+
+let test_scenario_backlog () =
+  let sc = Scenario.of_utilization ~h:3 ~u_through:0.15 ~u_cross:0.35 in
+  let b_fifo = Scenario.backlog_bound ~s_points:16 ~scheduler:Classes.Fifo sc in
+  let b_bmux = Scenario.backlog_bound ~s_points:16 ~scheduler:Classes.Bmux sc in
+  Alcotest.(check bool) (Fmt.str "finite backlog %g" b_fifo) true (Float.is_finite b_fifo);
+  Alcotest.(check bool)
+    (Fmt.str "fifo %g <= bmux %g" b_fifo b_bmux)
+    true (b_fifo <= b_bmux +. 1e-6)
+
+(* ---------------- additive baseline ---------------- *)
+
+let test_additive_dominates_network_bound () =
+  List.iter
+    (fun h ->
+      let sc = Scenario.of_utilization ~h ~u_through:0.25 ~u_cross:0.25 in
+      let net = Scenario.delay_bound ~s_points:16 ~scheduler:Classes.Bmux sc in
+      let add = Additive.delay_bound_scenario ~s_points:16 sc in
+      Alcotest.(check bool)
+        (Fmt.str "H=%d: additive %g >= network %g" h add net)
+        true
+        (add >= net *. 0.99))
+    [ 2; 5; 10 ]
+
+let test_additive_superlinear_growth () =
+  (* Ratio additive/network must grow with H (Fig. 4's message). *)
+  let ratio h =
+    let sc = Scenario.of_utilization ~h ~u_through:0.25 ~u_cross:0.25 in
+    let net = Scenario.delay_bound ~s_points:16 ~scheduler:Classes.Bmux sc in
+    let add = Additive.delay_bound_scenario ~s_points:16 sc in
+    add /. net
+  in
+  let r2 = ratio 2 and r10 = ratio 10 in
+  Alcotest.(check bool) (Fmt.str "ratio grows: %g -> %g" r2 r10) true (r10 > r2)
+
+let test_additive_per_node_increasing () =
+  (* Per-node delay bounds must increase along the path (burstiness grows). *)
+  let through = Ebb.v ~m:1. ~rho:15. ~alpha:0.8 in
+  let cross = Ebb.v ~m:1. ~rho:25. ~alpha:0.8 in
+  let (per, total) =
+    Additive.analyze ~capacity:100. ~cross ~through ~h:6 ~gamma:1. ~epsilon:1e-9
+  in
+  Alcotest.(check int) "six nodes" 6 (List.length per);
+  Alcotest.(check bool) "total finite" true (Float.is_finite total);
+  let ds = List.map (fun p -> p.Additive.delay) per in
+  let rec nondecr = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && nondecr rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "per-node delays nondecreasing" true (nondecr ds)
+
+let suite =
+  [
+    Alcotest.test_case "Eq. 34 closed form" `Quick test_total_bound_matches_eq34;
+    Alcotest.test_case "sigma roundtrip" `Quick test_sigma_roundtrip;
+    Alcotest.test_case "BMUX = Eq. 43" `Quick test_bmux_matches_eq43;
+    Alcotest.test_case "FIFO = Eq. 44" `Quick test_fifo_matches_eq44;
+    Alcotest.test_case "K-procedure bounds exact" `Quick test_k_procedure_upper_bounds_exact;
+    Alcotest.test_case "H=1 single-node consistency" `Quick test_h1_theta_equals_d;
+    Alcotest.test_case "scheduler ordering" `Quick test_scheduler_ordering_e2e;
+    Alcotest.test_case "monotone in H" `Quick test_delay_monotone_in_h;
+    Alcotest.test_case "monotone in epsilon" `Quick test_delay_monotone_in_epsilon;
+    Alcotest.test_case "overload infinite" `Quick test_overload_infinite;
+    Alcotest.test_case "FIFO -> BMUX at low cross load" `Quick test_fifo_approaches_bmux_low_cross;
+    Alcotest.test_case "heterogeneous path" `Quick test_heterogeneous_path;
+    Alcotest.test_case "curve agrees with optimizer" `Quick test_curve_agrees_with_optimizer;
+    Alcotest.test_case "network curve shape" `Quick test_curve_shape;
+    Alcotest.test_case "backlog properties" `Quick test_backlog_properties;
+    Alcotest.test_case "backlog vs delay" `Quick test_backlog_vs_delay_little;
+    Alcotest.test_case "scenario flow counts" `Quick test_scenario_flow_counts;
+    Alcotest.test_case "scenario ordering" `Slow test_scenario_fifo_between_sp_and_bmux;
+    Alcotest.test_case "scenario monotone in U" `Slow test_scenario_increasing_in_utilization;
+    Alcotest.test_case "scenario EDF fixed point" `Slow test_scenario_edf_fixed_point;
+    Alcotest.test_case "scenario EDF tight deadlines" `Slow test_scenario_edf_tight_deadlines_above_fifo;
+    Alcotest.test_case "scenario backlog" `Slow test_scenario_backlog;
+    Alcotest.test_case "additive dominates" `Slow test_additive_dominates_network_bound;
+    Alcotest.test_case "additive superlinear" `Slow test_additive_superlinear_growth;
+    Alcotest.test_case "additive per-node increasing" `Quick test_additive_per_node_increasing;
+  ]

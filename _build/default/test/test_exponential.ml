@@ -1,0 +1,104 @@
+(* Tests for exponential bounding functions and the Eq. (33) mixture. *)
+
+module Exp = Envelope.Exponential
+
+let check_float ?(tol = 1e-9) name expected got =
+  let ok =
+    Float.abs (expected -. got)
+    <= tol *. (1. +. Float.max (Float.abs expected) (Float.abs got))
+  in
+  if not ok then Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+
+let test_eval () =
+  let e = Exp.v ~m:2. ~a:0.5 in
+  check_float "uncapped" (2. *. exp (-1.)) (Exp.eval_uncapped e 2.);
+  check_float "capped at 1" 1. (Exp.eval e 0.)
+
+let test_invert () =
+  let e = Exp.v ~m:3. ~a:2. in
+  let sigma = Exp.invert e ~epsilon:1e-6 in
+  check_float "roundtrip" 1e-6 (Exp.eval_uncapped e sigma);
+  check_float "non-negative at large epsilon" 0. (Exp.invert e ~epsilon:10.)
+
+let test_geometric_sum () =
+  let e = Exp.v ~m:1. ~a:1. in
+  let g = Exp.geometric_sum e ~gamma:0.5 in
+  (* sum_{j>=0} e^{-(sigma + j/2)} = e^{-sigma} / (1 - e^{-1/2}) *)
+  check_float "prefactor" (1. /. (1. -. exp (-0.5))) g.Exp.m;
+  check_float "rate unchanged" 1. g.Exp.a
+
+let test_combine_identical () =
+  (* N identical terms (m, a): w = N/a, mixture = N m e^{-a sigma / N}. *)
+  let e = Exp.v ~m:2. ~a:3. in
+  let c = Exp.combine [ e; e; e ] in
+  check_float "rate" 1. c.Exp.a;
+  check_float "prefactor" 6. c.Exp.m
+
+let test_combine_two_paper () =
+  (* The combination used for Eq. (34): one term with rate a, one with rate
+     a / H; the result must have rate a / (H+1). *)
+  let a = 0.7 and h = 4. in
+  let e1 = Exp.v ~m:1.3 ~a in
+  let e2 = Exp.v ~m:2.6 ~a:(a /. h) in
+  let c = Exp.combine [ e1; e2 ] in
+  check_float "combined rate" (a /. (h +. 1.)) c.Exp.a
+
+let test_combine_matches_brute () =
+  let es = [ Exp.v ~m:1. ~a:1.; Exp.v ~m:4. ~a:0.3; Exp.v ~m:0.5 ~a:2. ] in
+  let c = Exp.combine es in
+  List.iter
+    (fun sigma ->
+      let brute = Exp.combine_brute es sigma in
+      let closed = Exp.eval_uncapped c sigma in
+      (* closed form is the true infimum; the grid search is an upper bound
+         but should be close *)
+      if closed > brute +. 1e-9 then
+        Alcotest.failf "combine above brute force at sigma=%g: %g > %g" sigma closed
+          brute;
+      check_float ~tol:2e-3 (Fmt.str "sigma=%g" sigma) brute closed)
+    [ 8.; 15.; 30. ]
+
+let test_validation () =
+  Alcotest.check_raises "negative m" (Invalid_argument "Exponential.v: negative prefactor")
+    (fun () -> ignore (Exp.v ~m:(-1.) ~a:1.));
+  Alcotest.check_raises "zero a" (Invalid_argument "Exponential.v: non-positive rate")
+    (fun () -> ignore (Exp.v ~m:1. ~a:0.))
+
+(* Property: the closed-form mixture never exceeds any manual split. *)
+let arb_terms =
+  let open QCheck in
+  let term =
+    map (fun (m, a) -> Exp.v ~m ~a) (pair (float_range 0.1 5.) (float_range 0.1 3.))
+  in
+  list_of_size (Gen.int_range 2 4) term
+
+let prop_combine_optimal =
+  QCheck.Test.make ~name:"Eq. (33) mixture is a lower bound on every split" ~count:100
+    (QCheck.pair arb_terms (QCheck.float_range 5. 40.)) (fun (es, sigma) ->
+      let c = Exp.combine es in
+      let closed = Exp.eval_uncapped c sigma in
+      (* even splits *)
+      let n = float_of_int (List.length es) in
+      let even = List.fold_left (fun acc e -> acc +. Exp.eval_uncapped e (sigma /. n)) 0. es in
+      closed <= even +. 1e-9 *. (1. +. even))
+
+let prop_invert_monotone =
+  QCheck.Test.make ~name:"invert is monotone in epsilon" ~count:100
+    (QCheck.pair (QCheck.float_range 0.1 5.) (QCheck.float_range 0.1 3.))
+    (fun (m, a) ->
+      let e = Exp.v ~m ~a in
+      Exp.invert e ~epsilon:1e-9 >= Exp.invert e ~epsilon:1e-6
+      && Exp.invert e ~epsilon:1e-6 >= Exp.invert e ~epsilon:1e-3)
+
+let suite =
+  [
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "invert" `Quick test_invert;
+    Alcotest.test_case "geometric sum" `Quick test_geometric_sum;
+    Alcotest.test_case "combine identical" `Quick test_combine_identical;
+    Alcotest.test_case "combine rates (Eq. 34 shape)" `Quick test_combine_two_paper;
+    Alcotest.test_case "combine vs brute force" `Quick test_combine_matches_brute;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest prop_combine_optimal;
+    QCheck_alcotest.to_alcotest prop_invert_monotone;
+  ]

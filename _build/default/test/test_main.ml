@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "deltanet"
+    [
+      ("minplus.curve", Test_curve.suite);
+      ("minplus.convolution", Test_convolution.suite);
+      ("minplus.deviation", Test_deviation.suite);
+      ("envelope.exponential", Test_exponential.suite);
+      ("envelope.models", Test_envelope.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("desim", Test_desim.suite);
+      ("netsim", Test_netsim.suite);
+      ("deltanet.theorems", Test_core_analysis.suite);
+      ("deltanet.e2e", Test_e2e.suite);
+      ("deltanet.deterministic+sim", Test_det_e2e.suite);
+      ("envelope.sources+output", Test_sources_output.suite);
+      ("deltanet.golden", Test_golden.suite);
+      ("extensions", Test_extensions.suite);
+      ("deltanet.multiclass", Test_multiclass.suite);
+      ("deltanet.properties", Test_properties.suite);
+      ("edge-cases", Test_edge_cases.suite);
+    ]
