@@ -5,14 +5,25 @@
      bound           end-to-end probabilistic delay bound for one setting
      sweep           bound as a function of utilization or path length (CSV)
      simulate        packet-level tandem simulation with delay quantiles
-     schedulability  deterministic single-node check (Theorem 2)           *)
+     replicate       independent replications with CIs, retries and resume
+     schedulability  deterministic single-node check (Theorem 2)
+
+   Exit codes: 0 success; 1 runtime/numerical failure or partial results;
+   2 invalid arguments; 3 unstable scenario (no finite bound exists).     *)
 
 module Scenario = Deltanet.Scenario
+module Diag = Deltanet.Diag
 module Classes = Scheduler.Classes
 module Delta = Scheduler.Delta
 module Tandem = Netsim.Tandem
+module Faults = Netsim.Faults
+module Replicate = Netsim.Replicate
 
 open Cmdliner
+
+let exit_runtime = 1
+let exit_usage = 2
+let exit_unstable = 3
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -75,32 +86,88 @@ let s_points_arg =
     & info [ "s-points" ] ~docv:"N"
         ~doc:"Grid resolution for the effective-bandwidth parameter search.")
 
+let faults_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | None -> Error (`Msg (Fmt.str "expected NODE:SPEC, got %S" s))
+    | Some i -> (
+      let node = String.sub s 0 i in
+      let spec = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt node, Faults.spec_of_string spec) with
+      | (Some node, Ok spec) when node >= 0 -> Ok (node, spec)
+      | (None, _) -> Error (`Msg (Fmt.str "bad node index %S" node))
+      | (_, Error msg) -> Error (`Msg msg)
+      | (Some n, Ok _) -> Error (`Msg (Fmt.str "negative node index %d" n)))
+  in
+  let print ppf (node, spec) = Fmt.pf ppf "%d:%s" node (Faults.spec_to_string spec) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt_all faults_conv []
+    & info [ "faults" ] ~docv:"NODE:SPEC"
+        ~doc:
+          "Inject a capacity-degradation fault process at node $(i,NODE) (0-based). \
+           SPEC is const:F (permanent drop to a fraction F of capacity), \
+           window:A-B:F (drop during slots [A, B), several joinable with +), or \
+           gilbert:PFAIL:PREC:F (random transient faults: fail with PFAIL per healthy \
+           slot, recover with PREC per degraded slot).  Repeatable.")
+
+(* ---------------- scenario construction with typed failure modes ------- *)
+
+let scenario_or_exit ~h ~u0 ~uc ~epsilon =
+  if h < 1 || Float.is_nan u0 || Float.is_nan uc || u0 < 0. || uc < 0. then begin
+    Fmt.epr "invalid arguments: need H >= 1 and utilizations >= 0 (got H=%d, u0=%g, uc=%g)@."
+      h u0 uc;
+    exit exit_usage
+  end;
+  if u0 >= 1. || uc >= 1. || u0 +. uc >= 1. then begin
+    Fmt.epr
+      "unstable scenario: total utilization %g >= 1 — the path admits no finite bound@."
+      (u0 +. uc);
+    exit exit_unstable
+  end;
+  { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
+
+let report_diag_and_exit (diag : Diag.t) =
+  match diag.Diag.status with
+  | Diag.Converged -> ()
+  | Diag.Unstable ->
+    Fmt.epr "unstable scenario: no stable operating point (no finite bound)@.";
+    exit exit_unstable
+  | Diag.Diverged ->
+    Fmt.epr "did not converge after %d iterations — result untrusted@." diag.Diag.iterations;
+    exit exit_runtime
+  | Diag.Non_finite ->
+    Fmt.epr "numerical failure: NaN escaped the optimization@.";
+    exit exit_runtime
+
 (* ---------------- bound ---------------- *)
 
-let compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio = function
-  | S_fifo ->
-    Scenario.delay_bound ~s_points ~scheduler:Classes.Fifo
-      { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
-  | S_bmux ->
-    Scenario.delay_bound ~s_points ~scheduler:Classes.Bmux
-      { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
-  | S_sp ->
-    Scenario.delay_bound ~s_points ~scheduler:Classes.Sp_through_high
-      { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
+let compute_bound_checked ~s_points ~edf_ratio scenario = function
+  | S_fifo -> Scenario.delay_bound_checked ~s_points ~scheduler:Classes.Fifo scenario
+  | S_bmux -> Scenario.delay_bound_checked ~s_points ~scheduler:Classes.Bmux scenario
+  | S_sp -> Scenario.delay_bound_checked ~s_points ~scheduler:Classes.Sp_through_high scenario
   | S_edf ->
-    (Scenario.delay_bound_edf ~s_points
-       { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
-       ~spec:{ Scenario.cross_over_through = edf_ratio })
-      .Scenario.bound
+    let o =
+      Scenario.delay_bound_edf_checked ~s_points scenario
+        ~spec:{ Scenario.cross_over_through = edf_ratio }
+    in
+    { Diag.value = o.Diag.value.Scenario.bound; diag = o.Diag.diag }
+
+let compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio sched =
+  let scenario =
+    { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
+  in
+  (compute_bound_checked ~s_points ~edf_ratio scenario sched).Diag.value
 
 let bound_cmd =
   let run h u0 uc epsilon s_points edf_ratio sched metric =
-    let scenario =
-      { (Scenario.of_utilization ~h ~u_through:u0 ~u_cross:uc) with Scenario.epsilon }
-    in
-    let (d, unit_) =
+    let scenario = scenario_or_exit ~h ~u0 ~uc ~epsilon in
+    let (outcome, unit_) =
       match metric with
-      | "delay" -> (compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio sched, "ms")
+      | "delay" -> (compute_bound_checked ~s_points ~edf_ratio scenario sched, "ms")
       | "backlog" ->
         let scheduler =
           match sched with
@@ -110,21 +177,19 @@ let bound_cmd =
           | S_edf ->
             (* use the delay fixed point to set the gap, then bound backlog *)
             let r =
-              Scenario.delay_bound_edf ~s_points scenario
+              Scenario.delay_bound_edf_checked ~s_points scenario
                 ~spec:{ Scenario.cross_over_through = edf_ratio }
             in
-            Classes.Edf_gap (r.Scenario.d_through -. r.Scenario.d_cross)
+            report_diag_and_exit r.Diag.diag;
+            Classes.Edf_gap (r.Diag.value.Scenario.d_through -. r.Diag.value.Scenario.d_cross)
         in
-        (Scenario.backlog_bound ~s_points ~scheduler scenario, "kb")
+        (Scenario.backlog_bound_checked ~s_points ~scheduler scenario, "kb")
       | other ->
         Fmt.epr "unknown metric %S (delay|backlog)@." other;
-        exit 2
+        exit exit_usage
     in
-    if Float.is_finite d then Fmt.pr "%.4f %s@." d unit_
-    else begin
-      Fmt.epr "path is overloaded (no finite bound)@.";
-      exit 1
-    end
+    report_diag_and_exit outcome.Diag.diag;
+    Fmt.pr "%.4f %s@." outcome.Diag.value unit_
   in
   let metric_arg =
     Arg.(
@@ -141,7 +206,9 @@ let bound_cmd =
     (Cmd.info "bound"
        ~doc:
          "End-to-end probabilistic delay bound for the paper's workload (on-off \
-          Markov sources on equal-capacity 100 Mbps links).")
+          Markov sources on equal-capacity 100 Mbps links).  Exits 0 on success, \
+          3 when the scenario is unstable (no finite bound exists), 1 on a \
+          numerical failure, 2 on invalid arguments.")
     term
 
 (* ---------------- sweep ---------------- *)
@@ -155,10 +222,18 @@ let sweep_cmd =
       List.iter
         (fun u_pct ->
           let uc = (float_of_int u_pct /. 100.) -. u0 in
-          let d s = compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio s in
-          Fmt.pr "%d,%.4f,%.4f,%.4f@." u_pct (d S_bmux) (d S_fifo) (d S_edf))
+          if uc < 0. || u0 +. uc >= 1. then
+            Fmt.epr "# skipping u=%d%% (infeasible with u0=%g)@." u_pct u0
+          else begin
+            let d s = compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio s in
+            Fmt.pr "%d,%.4f,%.4f,%.4f@." u_pct (d S_bmux) (d S_fifo) (d S_edf)
+          end)
         [ 20; 30; 40; 50; 60; 70; 80; 90; 95 ]
     | "hops" ->
+      if u0 < 0. || 2. *. u0 >= 1. then begin
+        Fmt.epr "unstable scenario: hops sweep runs at uc = u0, so u0 must be in [0, 0.5)@.";
+        exit exit_unstable
+      end;
       Fmt.pr "h,bmux,fifo,edf@.";
       List.iter
         (fun h ->
@@ -183,38 +258,64 @@ let sweep_cmd =
 
 (* ---------------- simulate ---------------- *)
 
+let scheduler_of_choice ~edf_ratio = function
+  | S_fifo -> Classes.Fifo
+  | S_bmux -> Classes.Bmux
+  | S_sp -> Classes.Sp_through_high
+  | S_edf -> Classes.Edf_gap (10. *. (1. -. edf_ratio))
+
+let tandem_config ~h ~u0 ~uc ~slots ~sched ~edf_ratio ~faults ~seed =
+  let mean = Envelope.Mmpp.mean_rate Envelope.Mmpp.paper_source in
+  let n_through = int_of_float (Float.round (u0 *. 100. /. mean)) in
+  let n_cross = int_of_float (Float.round (uc *. 100. /. mean)) in
+  List.iteri
+    (fun k (node, _) ->
+      if node >= h then begin
+        Fmt.epr "fault spec for node %d, but the path has only nodes 0..%d@." node (h - 1);
+        exit exit_usage
+      end;
+      if List.exists (fun (j, _) -> j = node) (List.filteri (fun k' _ -> k' < k) faults)
+      then begin
+        Fmt.epr "duplicate fault spec for node %d@." node;
+        exit exit_usage
+      end)
+    faults;
+  {
+    Tandem.default_config with
+    Tandem.h;
+    n_through;
+    n_cross;
+    slots;
+    drain_limit = slots / 10;
+    scheduler = scheduler_of_choice ~edf_ratio sched;
+    through_deadline = 10.;
+    cross_deadline = 10. *. edf_ratio;
+    seed;
+    faults;
+  }
+
+let slots_arg =
+  Arg.(value & opt int 100_000 & info [ "slots" ] ~docv:"N" ~doc:"Arrival horizon (1 ms slots).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
 let simulate_cmd =
-  let run h u0 uc slots seed sched edf_ratio =
-    let mean = Envelope.Mmpp.mean_rate Envelope.Mmpp.paper_source in
-    let n_through = int_of_float (Float.round (u0 *. 100. /. mean)) in
-    let n_cross = int_of_float (Float.round (uc *. 100. /. mean)) in
-    let scheduler =
-      match sched with
-      | S_fifo -> Classes.Fifo
-      | S_bmux -> Classes.Bmux
-      | S_sp -> Classes.Sp_through_high
-      | S_edf -> Classes.Edf_gap (10. *. (1. -. edf_ratio))
+  let run h u0 uc slots seed sched edf_ratio faults =
+    let cfg =
+      tandem_config ~h ~u0 ~uc ~slots ~sched ~edf_ratio ~faults ~seed:(Int64.of_int seed)
     in
-    let r =
-      Tandem.run
-        {
-          Tandem.default_config with
-          Tandem.h;
-          n_through;
-          n_cross;
-          slots;
-          drain_limit = slots / 10;
-          scheduler;
-          through_deadline = 10.;
-          cross_deadline = 10. *. edf_ratio;
-          seed = Int64.of_int seed;
-        }
-    in
-    Fmt.pr "through flows: %d, cross flows/node: %d, slots: %d@." n_through n_cross slots;
+    let r = Tandem.run cfg in
+    Fmt.pr "through flows: %d, cross flows/node: %d, slots: %d@." cfg.Tandem.n_through
+      cfg.Tandem.n_cross slots;
     Fmt.pr "through data: %.0f kb (censored %.0f kb)@." r.Tandem.through_kb
       r.Tandem.censored_kb;
     Array.iteri (fun i u -> Fmt.pr "node %d utilization: %.1f%%@." i (100. *. u))
       r.Tandem.utilization;
+    if faults <> [] then
+      Array.iteri
+        (fun i f ->
+          if f < 1. then Fmt.pr "node %d mean capacity factor: %.3f (degraded)@." i f)
+        r.Tandem.fault_factor;
     List.iter
       (fun q ->
         Fmt.pr "delay quantile %-7g: %6.1f ms@." q (Tandem.delay_quantile r q))
@@ -222,17 +323,104 @@ let simulate_cmd =
     Fmt.pr "delay max         : %6.1f ms@."
       (Desim.Stats.Sample.max r.Tandem.delays)
   in
-  let slots_arg =
-    Arg.(value & opt int 100_000 & info [ "slots" ] ~docv:"N" ~doc:"Arrival horizon (1 ms slots).")
-  in
-  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
   let term =
     Term.(
       const run $ hops_arg $ u0_arg $ uc_arg $ slots_arg $ seed_arg $ sched_arg
-      $ edf_ratio_arg)
+      $ edf_ratio_arg $ faults_arg)
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Packet-level tandem simulation with empirical delay quantiles.")
+    (Cmd.info "simulate"
+       ~doc:
+         "Packet-level tandem simulation with empirical delay quantiles; use --faults \
+          to degrade link capacities and compare against leftover-service bounds.")
+    term
+
+(* ---------------- replicate ---------------- *)
+
+let replicate_cmd =
+  let run h u0 uc slots seed sched edf_ratio faults runs q retries max_wall resume =
+    if runs < 2 then begin
+      Fmt.epr "need at least two replications (got %d)@." runs;
+      exit exit_usage
+    end;
+    let experiment ~seed =
+      (Tandem.run (tandem_config ~h ~u0 ~uc ~slots ~sched ~edf_ratio ~faults ~seed))
+        .Tandem.delays
+    in
+    match
+      Replicate.quantile_ci ~max_retries:retries ?max_wall ?checkpoint:resume ~runs
+        ~base_seed:(Int64.of_int seed) ~q experiment
+    with
+    | exception Failure msg ->
+      Fmt.epr "replication sweep failed: %s@." msg;
+      exit exit_runtime
+    | exception Invalid_argument msg ->
+      Fmt.epr "invalid arguments: %s@." msg;
+      exit exit_usage
+    | s ->
+      Fmt.pr "delay quantile %g over %d/%d replications: %.2f ± %.2f ms (95%% CI)@." q
+        s.Replicate.completed s.Replicate.requested s.Replicate.mean
+        s.Replicate.half_width95;
+      if s.Replicate.resumed > 0 then
+        Fmt.pr "resumed %d completed replication(s) from checkpoint@." s.Replicate.resumed;
+      if s.Replicate.retried > 0 then Fmt.pr "retried %d time(s)@." s.Replicate.retried;
+      List.iter
+        (fun f ->
+          Fmt.epr "replication %d failed after %d attempt(s): %s@." f.Replicate.index
+            f.Replicate.attempts f.Replicate.reason)
+        s.Replicate.failures;
+      if s.Replicate.completed < s.Replicate.requested then begin
+        Fmt.epr "warning: partial results — CI covers %d of %d replications@."
+          s.Replicate.completed s.Replicate.requested;
+        exit exit_runtime
+      end
+  in
+  let runs_arg =
+    Arg.(value & opt int 10 & info [ "runs" ] ~docv:"N" ~doc:"Number of independent replications.")
+  in
+  let q_arg =
+    Arg.(value & opt float 0.99 & info [ "q" ] ~docv:"Q" ~doc:"Delay quantile to summarize.")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retries per failed replication (fresh derived seed each time).")
+  in
+  let max_wall_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-wall" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock deadline per replication (seconds); a replication exceeding it \
+             is abandoned without retry and reported.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint file: completed replications are appended as they finish, and \
+             an existing file from the same sweep is loaded so only missing \
+             replications run.")
+  in
+  let term =
+    Term.(
+      const run $ hops_arg $ u0_arg $ uc_arg $ slots_arg $ seed_arg $ sched_arg
+      $ edf_ratio_arg $ faults_arg $ runs_arg $ q_arg $ retries_arg $ max_wall_arg
+      $ resume_arg)
+  in
+  Cmd.v
+    (Cmd.info "replicate"
+       ~doc:
+         "Independent tandem-simulation replications with a Student-t confidence \
+          interval on a delay quantile.  Failed replications are retried under fresh \
+          derived seeds; --max-wall abandons slow ones; --resume checkpoints completed \
+          runs and restarts a killed sweep where it stopped.  Exits 1 on partial \
+          results.")
     term
 
 (* ---------------- schedulability ---------------- *)
@@ -372,6 +560,7 @@ let () =
             bound_cmd;
             sweep_cmd;
             simulate_cmd;
+            replicate_cmd;
             schedulability_cmd;
             scaling_cmd;
             admission_cmd;

@@ -1,0 +1,57 @@
+(** Typed convergence diagnostics and numeric guards for the bound
+    optimizers.
+
+    The numerical layers (the effective-bandwidth [s]-grid search, the
+    [gamma] optimization, the EDF fixed point) historically signalled
+    failure by silently returning [infinity] or [nan].  A {!t} makes the
+    failure mode explicit:
+
+    - {!Converged}: a finite value was found within tolerance.
+    - {!Unstable}: the scenario admits no feasible operating point (no
+      stable [s], or [gamma_max <= 0.]) — the bound is genuinely
+      [infinity], the analytical counterpart of an overloaded path.
+    - {!Diverged}: an iteration hit its cap without meeting tolerance; the
+      value is the last iterate and must not be trusted as a bound.
+    - {!Non_finite}: a NaN leaked out of the numerics — a bug or an
+      ill-conditioned input, never a valid answer. *)
+
+type status = Converged | Unstable | Diverged | Non_finite
+
+type t = {
+  status : status;
+  iterations : int;  (** objective evaluations or fixed-point iterations *)
+  tolerance : float;  (** final relative change (0. when not iterative) *)
+}
+
+type 'a outcome = { value : 'a; diag : t }
+
+val v : ?iterations:int -> ?tolerance:float -> status -> t
+val outcome : ?iterations:int -> ?tolerance:float -> status -> 'a -> 'a outcome
+
+val ok : t -> bool
+(** [true] iff {!Converged}. *)
+
+val status_to_string : status -> string
+val pp : Format.formatter -> t -> unit
+
+(** NaN/Inf tripwires: raise {!Guard.Tripped} instead of letting poisoned
+    values propagate silently into downstream arithmetic. *)
+module Guard : sig
+  exception Tripped of string
+
+  val not_nan : what:string -> float -> float
+  (** Identity unless NaN. @raise Tripped on NaN. *)
+
+  val finite : what:string -> float -> float
+  (** Identity for finite values. @raise Tripped on NaN or ±infinity. *)
+
+  val positive : what:string -> float -> float
+  (** Identity for strictly positive values. @raise Tripped otherwise. *)
+
+  val protect : (unit -> 'a) -> ('a, string) result
+  (** Run a computation, capturing a tripped guard as [Error message]. *)
+
+  val status_of_value : float -> status
+  (** [Non_finite] for NaN, [Unstable] for ±infinity, [Converged]
+      otherwise. *)
+end

@@ -10,6 +10,13 @@ type t = {
 }
 
 let paper_defaults ~h ~n_through ~n_cross =
+  if h < 1 then invalid_arg "Scenario.paper_defaults: path length h must be >= 1";
+  let check_count ~what n =
+    if Float.is_nan n || n < 0. || n = infinity then
+      invalid_arg (Printf.sprintf "Scenario.paper_defaults: %s flow count %g must be finite and >= 0" what n)
+  in
+  check_count ~what:"through" n_through;
+  check_count ~what:"cross" n_cross;
   {
     capacity = 100.;
     source = Envelope.Mmpp.paper_source;
@@ -20,6 +27,19 @@ let paper_defaults ~h ~n_through ~n_cross =
   }
 
 let of_utilization ~h ~u_through ~u_cross =
+  let check_u ~what u =
+    if Float.is_nan u || u < 0. || u >= 1. then
+      invalid_arg
+        (Printf.sprintf "Scenario.of_utilization: %s utilization %g must be in [0, 1)" what u)
+  in
+  check_u ~what:"through" u_through;
+  check_u ~what:"cross" u_cross;
+  if u_through +. u_cross >= 1. then
+    invalid_arg
+      (Printf.sprintf
+         "Scenario.of_utilization: total utilization %g >= 1 — the path is unstable and \
+          admits no finite bound"
+         (u_through +. u_cross));
   let mean = Envelope.Mmpp.mean_rate Envelope.Mmpp.paper_source in
   paper_defaults ~h
     ~n_through:(u_through *. 100. /. mean)
@@ -56,11 +76,22 @@ let s_stable_max t =
   end
 
 (* Minimize [f s] over the stable range of the effective-bandwidth
-   parameter: log grid plus a local geometric refinement. *)
-let minimize_over_s ~s_points t f =
+   parameter: log grid plus a local geometric refinement.  Returns the
+   minimum with a typed diagnostic: [Unstable] when no stable [s] exists
+   (or every grid point is infeasible in gamma), [Non_finite] when a NaN
+   leaks out of the inner optimization. *)
+let minimize_over_s_checked ~s_points t f =
   match s_stable_max t with
-  | None -> infinity
+  | None -> Diag.outcome Diag.Unstable infinity
   | Some s_max ->
+    let evals = ref 0 in
+    let nan_seen = ref false in
+    let f s =
+      incr evals;
+      let v = f s in
+      if Float.is_nan v then nan_seen := true;
+      v
+    in
     let lo = s_max *. 1e-4 and hi = s_max *. 0.999 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (s_points - 1)) in
     let best = ref (lo, f lo) in
@@ -81,17 +112,28 @@ let minimize_over_s ~s_points t f =
       if v < !sbest then sbest := v;
       sv := !sv *. rr
     done;
-    !sbest
+    let status =
+      if !nan_seen || Float.is_nan !sbest then Diag.Non_finite
+      else if Float.is_finite !sbest then Diag.Converged
+      else Diag.Unstable
+    in
+    Diag.outcome ~iterations:!evals status !sbest
 
-let delay_bound ?(s_points = 32) ~scheduler t =
+let delay_bound_checked ?(s_points = 32) ~scheduler t =
   let delta = Scheduler.Classes.delta_through_cross scheduler in
-  minimize_over_s ~s_points t (fun s ->
+  minimize_over_s_checked ~s_points t (fun s ->
       E2e.delay_bound ~epsilon:t.epsilon (path_at t ~s ~delta))
 
-let backlog_bound ?(s_points = 32) ~scheduler t =
+let backlog_bound_checked ?(s_points = 32) ~scheduler t =
   let delta = Scheduler.Classes.delta_through_cross scheduler in
-  minimize_over_s ~s_points t (fun s ->
+  minimize_over_s_checked ~s_points t (fun s ->
       E2e.backlog_bound ~epsilon:t.epsilon (path_at t ~s ~delta))
+
+let delay_bound ?s_points ~scheduler t =
+  (delay_bound_checked ?s_points ~scheduler t).Diag.value
+
+let backlog_bound ?s_points ~scheduler t =
+  (backlog_bound_checked ?s_points ~scheduler t).Diag.value
 
 type edf_spec = { cross_over_through : float }
 
@@ -102,28 +144,46 @@ type edf_result = {
   iterations : int;
 }
 
-let delay_bound_edf ?(s_points = 32) ?(max_iter = 60) ~spec t =
-  if spec.cross_over_through <= 0. then
+let edf_tolerance = 1e-6
+
+let delay_bound_edf_checked ?(s_points = 32) ?(max_iter = 60) ~spec t =
+  if spec.cross_over_through <= 0. || Float.is_nan spec.cross_over_through then
     invalid_arg "Scenario.delay_bound_edf: non-positive deadline ratio";
   let hf = float_of_int t.h in
+  let result bound iterations =
+    let d_through = bound /. hf in
+    { bound; d_through; d_cross = spec.cross_over_through *. d_through; iterations }
+  in
   let bound_for gap = delay_bound ~s_points t ~scheduler:(Scheduler.Classes.Edf_gap gap) in
   let seed = delay_bound ~s_points t ~scheduler:Scheduler.Classes.Fifo in
-  if not (Float.is_finite seed) then
-    { bound = infinity; d_through = infinity; d_cross = infinity; iterations = 0 }
+  if Float.is_nan seed then
+    Diag.outcome Diag.Non_finite
+      { bound = nan; d_through = nan; d_cross = nan; iterations = 0 }
+  else if not (Float.is_finite seed) then
+    (* no stable operating point even under FIFO: the fixed point has no
+       finite seed and the scenario is unstable, not merely slow to settle *)
+    Diag.outcome Diag.Unstable
+      { bound = infinity; d_through = infinity; d_cross = infinity; iterations = 0 }
   else begin
     let gap_of d =
       let d0 = d /. hf in
       d0 *. (1. -. spec.cross_over_through)
     in
+    (* (value, iterations, status, final relative change) *)
     let rec iterate d n =
-      if n >= max_iter then (d, n)
+      if n >= max_iter then (d, n, Diag.Diverged, infinity)
       else
         let d' = bound_for (gap_of d) in
-        if not (Float.is_finite d') then (d', n + 1)
-        else if Float.abs (d' -. d) <= 1e-6 *. d' then (d', n + 1)
+        if Float.is_nan d' then (d', n + 1, Diag.Non_finite, infinity)
+        else if not (Float.is_finite d') then (d', n + 1, Diag.Unstable, infinity)
+        else if Float.abs (d' -. d) <= edf_tolerance *. d' then
+          let rel = if d' > 0. then Float.abs (d' -. d) /. d' else 0. in
+          (d', n + 1, Diag.Converged, rel)
         else iterate d' (n + 1)
     in
-    let (bound, iterations) = iterate seed 0 in
-    let d_through = bound /. hf in
-    { bound; d_through; d_cross = spec.cross_over_through *. d_through; iterations }
+    let (bound, iterations, status, tolerance) = iterate seed 0 in
+    Diag.outcome ~iterations ~tolerance status (result bound iterations)
   end
+
+let delay_bound_edf ?s_points ?max_iter ~spec t =
+  (delay_bound_edf_checked ?s_points ?max_iter ~spec t).Diag.value

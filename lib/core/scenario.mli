@@ -18,11 +18,18 @@ type t = {
 }
 
 val paper_defaults : h:int -> n_through:float -> n_cross:float -> t
-(** [capacity = 100.], paper source, [epsilon = 1e-9]. *)
+(** [capacity = 100.], paper source, [epsilon = 1e-9].
+    @raise Invalid_argument on [h < 1] or a negative / non-finite flow
+    count.  (Aggregate flow counts summing past the link capacity are
+    accepted here — overload studies construct them deliberately — but are
+    rejected by {!of_utilization}.) *)
 
 val of_utilization : h:int -> u_through:float -> u_cross:float -> t
 (** Flow counts from link utilizations (fractions of capacity at the mean
-    rate), e.g. [u_through = 0.15] gives the paper's [N_0 = 100]. *)
+    rate), e.g. [u_through = 0.15] gives the paper's [N_0 = 100].
+    @raise Invalid_argument on [h < 1], a utilization outside [\[0., 1.)],
+    or a total utilization [u_through +. u_cross >= 1.] (an unstable path
+    with no finite bound). *)
 
 val utilization : t -> float
 (** Total mean-rate utilization [(N_0 +. N_c) *. mean /. C]. *)
@@ -41,6 +48,18 @@ val backlog_bound : ?s_points:int -> scheduler:Scheduler.Classes.two_class -> t 
     [P (B > bound) <= epsilon], minimized over [s] and [gamma] like
     {!delay_bound}.  For [Edf_gap g] the gap is used as given. *)
 
+val delay_bound_checked :
+  ?s_points:int -> scheduler:Scheduler.Classes.two_class -> t -> float Diag.outcome
+(** {!delay_bound} with a typed diagnostic instead of a silent [infinity]:
+    [Unstable] when no stable [s] exists (or every grid point is
+    gamma-infeasible), [Non_finite] when a NaN leaked out of the inner
+    optimization, [Converged] otherwise.  [diag.iterations] counts
+    objective evaluations across the grid and refinement. *)
+
+val backlog_bound_checked :
+  ?s_points:int -> scheduler:Scheduler.Classes.two_class -> t -> float Diag.outcome
+(** Checked counterpart of {!backlog_bound}; see {!delay_bound_checked}. *)
+
 type edf_spec = {
   cross_over_through : float;
   (** deadline ratio [d*_c /. d*_0]; the paper's Example 1 uses [10.] *)
@@ -53,8 +72,24 @@ type edf_result = {
   iterations : int;
 }
 
-val delay_bound_edf : ?s_points:int -> ?max_iter:int -> spec:edf_spec -> t -> edf_result
+val delay_bound_edf_checked :
+  ?s_points:int -> ?max_iter:int -> spec:edf_spec -> t -> edf_result Diag.outcome
 (** The paper ties EDF deadlines to the computed bound itself
     ([d*_0 = d_e2e /. H], [d*_c = ratio *. d*_0]), so the bound solves a
-    fixed-point equation; iterate from the FIFO bound until relative change
-    falls below 1e-6. *)
+    fixed-point equation; iterate from the FIFO bound until the relative
+    change falls below 1e-6.  The diagnostic distinguishes:
+
+    - [Converged]: the fixed point settled within tolerance.
+    - [Unstable]: no finite FIFO seed, or the iteration fell into an
+      infeasible gap — the scenario admits no finite EDF bound.
+    - [Diverged]: [max_iter] iterations without meeting tolerance; the
+      returned value is the last iterate and is {e not} a valid bound.
+    - [Non_finite]: a NaN leaked out of the inner optimization.
+
+    @raise Invalid_argument on a non-positive deadline ratio. *)
+
+val delay_bound_edf : ?s_points:int -> ?max_iter:int -> spec:edf_spec -> t -> edf_result
+(** @deprecated Compatibility wrapper around {!delay_bound_edf_checked}
+    that drops the diagnostic — in particular it still returns the last
+    iterate after [max_iter] with no signal of non-convergence.  New code
+    should call {!delay_bound_edf_checked}. *)

@@ -1,5 +1,10 @@
 (* Simulation output statistics. *)
 
+(* NaN tripwire: a NaN entering an accumulator silently poisons every
+   downstream mean/quantile, so reject it at the boundary. *)
+let check_not_nan ~what x =
+  if Float.is_nan x then invalid_arg (what ^ ": NaN sample")
+
 module Online = struct
   type t = {
     mutable n : int;
@@ -12,6 +17,7 @@ module Online = struct
   let create () = { n = 0; mean = 0.; m2 = 0.; mn = infinity; mx = neg_infinity }
 
   let add t x =
+    check_not_nan ~what:"Stats.Online.add" x;
     t.n <- t.n + 1;
     let delta = x -. t.mean in
     t.mean <- t.mean +. (delta /. float_of_int t.n);
@@ -47,6 +53,7 @@ module Sample = struct
   let create () = { data = [||]; n = 0; sorted = true }
 
   let add t x =
+    check_not_nan ~what:"Stats.Sample.add" x;
     if t.n = Array.length t.data then begin
       let cap = Stdlib.max 1024 (2 * Array.length t.data) in
       let data = Array.make cap 0. in
@@ -120,6 +127,8 @@ module Histogram = struct
     { width = bin_width; tbl = Hashtbl.create 64; n = 0 }
 
   let add t x =
+    check_not_nan ~what:"Stats.Histogram.add" x;
+    if not (Float.is_finite x) then invalid_arg "Stats.Histogram.add: infinite sample";
     let b = Float.to_int (Float.floor (x /. t.width)) in
     let cur = Option.value ~default:0 (Hashtbl.find_opt t.tbl b) in
     Hashtbl.replace t.tbl b (cur + 1);

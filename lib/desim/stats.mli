@@ -5,7 +5,11 @@ module Online : sig
   type t
 
   val create : unit -> t
+
   val add : t -> float -> unit
+  (** @raise Invalid_argument on a NaN sample (tripwire: a NaN would
+      silently poison every downstream statistic). *)
+
   val count : t -> int
   val mean : t -> float
   (** [nan] when empty. *)
@@ -25,7 +29,10 @@ module Sample : sig
   type t
 
   val create : unit -> t
+
   val add : t -> float -> unit
+  (** @raise Invalid_argument on a NaN sample. *)
+
   val count : t -> int
   val quantile : t -> float -> float
   (** [quantile s q] with [q] in [\[0., 1.\]], by linear interpolation of
@@ -48,6 +55,9 @@ module Histogram : sig
   (** @raise Invalid_argument on non-positive width. *)
 
   val add : t -> float -> unit
+  (** @raise Invalid_argument on a NaN or infinite sample (an infinite
+      value has no bin). *)
+
   val count : t -> int
   val bins : t -> (float * int) list
   (** [(lower_edge, count)] for each non-empty bin, sorted. *)

@@ -304,10 +304,12 @@ let sub_clip f g =
   normalize (raw_clip_pos (monotone_minorant clipped))
 
 let scale k (f : t) =
+  if Float.is_nan k then invalid_arg "Curve.scale: NaN factor";
   if k < 0. then invalid_arg "Curve.scale: negative factor";
   Array.map (fun p -> if p.y = infinity then p else { p with y = k *. p.y; r = k *. p.r }) f
 
 let hshift d (f : t) =
+  if Float.is_nan d then invalid_arg "Curve.hshift: NaN shift";
   if d < 0. then invalid_arg "Curve.hshift: negative shift";
   if d = 0. then f
   else
@@ -315,10 +317,12 @@ let hshift d (f : t) =
     normalize ({ x = 0.; y = 0.; r = 0. } :: shifted)
 
 let vshift c (f : t) =
+  if Float.is_nan c then invalid_arg "Curve.vshift: NaN shift";
   if c < 0. then invalid_arg "Curve.vshift: negative shift";
   Array.map (fun p -> if p.y = infinity then p else { p with y = p.y +. c }) f
 
 let lshift c (f : t) =
+  if Float.is_nan c then invalid_arg "Curve.lshift: NaN shift";
   if c < 0. then invalid_arg "Curve.lshift: negative shift";
   if c = 0. then f
   else
@@ -336,6 +340,7 @@ let lshift c (f : t) =
     normalize (head :: tail)
 
 let gate theta (f : t) =
+  if Float.is_nan theta then invalid_arg "Curve.gate: NaN threshold";
   if theta < 0. then invalid_arg "Curve.gate: negative threshold";
   if theta = 0. then f
   else

@@ -1,5 +1,13 @@
 (* Horizontal / vertical deviations between piecewise-linear curves. *)
 
+(* A NaN deviation means an operand was ill-formed (e.g. built from
+   non-finite constants that slipped past the constructors); returning it
+   silently would poison every bound computed from it. *)
+let checked name v =
+  if Float.is_nan v then
+    invalid_arg (name ^ ": NaN deviation (ill-conditioned operands)")
+  else v
+
 let horizontal ~arrival:e ~service:s =
   if Curve.ultimately_infinite e then
     invalid_arg "Deviation.horizontal: arrival envelope is ultimately infinite";
@@ -33,7 +41,8 @@ let horizontal ~arrival:e ~service:s =
       let y = Curve.eval e t in
       if y = 0. then 0. else Float.max 0. (Curve.inverse s y -. t)
     in
-    List.fold_left (fun acc t -> Float.max acc (d_at t)) 0. candidates
+    checked "Deviation.horizontal"
+      (List.fold_left (fun acc t -> Float.max acc (d_at t)) 0. candidates)
   end
 
 let vertical ~arrival:e ~service:s =
@@ -53,5 +62,6 @@ let vertical ~arrival:e ~service:s =
       let fin x = if Float.is_nan x then neg_infinity else x in
       Float.max (fin right) (fin left)
     in
-    List.fold_left (fun acc t -> Float.max acc (gap t)) 0. (far :: xs)
+    checked "Deviation.vertical"
+      (List.fold_left (fun acc t -> Float.max acc (gap t)) 0. (far :: xs))
   end

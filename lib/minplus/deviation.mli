@@ -7,8 +7,11 @@ val horizontal : arrival:Curve.t -> service:Curve.t -> float
     [sup_{t >= 0.} inf { d >= 0. | e t <= s (t +. d) }] — the worst-case
     delay bound.  Returns [infinity] when the system is unstable
     (ultimate rate of [e] above that of [s]).
-    @raise Invalid_argument if [e] is ultimately infinite. *)
+    @raise Invalid_argument if [e] is ultimately infinite, or if the
+    deviation comes out NaN (tripwire against ill-formed operands). *)
 
 val vertical : arrival:Curve.t -> service:Curve.t -> float
 (** [sup_{t >= 0.} (e t -. s t)] — the worst-case backlog bound, [infinity]
-    when unstable. *)
+    when unstable.
+    @raise Invalid_argument like {!horizontal}, including the NaN
+    tripwire. *)

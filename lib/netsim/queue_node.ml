@@ -18,13 +18,14 @@ type t = {
   capacity : float;
   classes : int;
   packet_size : float option;
+  faults : Faults.process option;
   state : state;
   per_class_backlog : float array;
   (* Non-preemptive mode: the packet currently on the wire, if any. *)
   mutable in_service : batch option;
 }
 
-let create ?packet_size ~capacity ~classes discipline =
+let create ?packet_size ?faults ~capacity ~classes discipline =
   if capacity <= 0. then invalid_arg "Queue_node.create: non-positive capacity";
   if classes <= 0 then invalid_arg "Queue_node.create: non-positive class count";
   (match packet_size with
@@ -44,6 +45,7 @@ let create ?packet_size ~capacity ~classes discipline =
     capacity;
     classes;
     packet_size;
+    faults;
     state;
     per_class_backlog = Array.make classes 0.;
     in_service = None;
@@ -80,9 +82,9 @@ let offer t ~now ~cls size =
 
 (* Fluid (preemptive) service: always work on the globally most urgent
    batch, splitting the head batch at the slot boundary. *)
-let serve_heap_fluid t heap =
+let serve_heap_fluid t ~capacity heap =
   let departed = Array.make t.classes 0. in
-  let budget = ref t.capacity in
+  let budget = ref capacity in
   let continue_ = ref true in
   while !continue_ && !budget > 1e-12 do
     match Desim.Heap.pop heap with
@@ -101,9 +103,9 @@ let serve_heap_fluid t heap =
 
 (* Non-preemptive packetized service: finish the packet on the wire before
    the next precedence decision. *)
-let serve_heap_packetized t heap =
+let serve_heap_packetized t ~capacity heap =
   let departed = Array.make t.classes 0. in
-  let budget = ref t.capacity in
+  let budget = ref capacity in
   let serve_packet (b : batch) =
     let served = Float.min b.size !budget in
     budget := !budget -. served;
@@ -124,9 +126,9 @@ let serve_heap_packetized t heap =
   done;
   departed
 
-let serve_gps t g queues =
+let serve_gps t ~capacity g queues =
   let backlogs = Array.copy t.per_class_backlog in
-  let grants = Scheduler.Gps.allocate g ~capacity:t.capacity ~backlogs in
+  let grants = Scheduler.Gps.allocate g ~capacity ~backlogs in
   let departed = Array.make t.classes 0. in
   Array.iteri
     (fun cls grant ->
@@ -144,10 +146,20 @@ let serve_gps t g queues =
   departed
 
 let serve_slot t =
+  (* A degraded slot serves at a scaled-down capacity — the fault process
+     advances one step per serve_slot call. *)
+  let capacity =
+    match t.faults with
+    | None -> t.capacity
+    | Some p -> t.capacity *. Faults.step p
+  in
   match (t.state, t.packet_size) with
-  | (Heap_state (_, heap), None) -> serve_heap_fluid t heap
-  | (Heap_state (_, heap), Some _) -> serve_heap_packetized t heap
-  | (Gps_state (g, queues), _) -> serve_gps t g queues
+  | (Heap_state (_, heap), None) -> serve_heap_fluid t ~capacity heap
+  | (Heap_state (_, heap), Some _) -> serve_heap_packetized t ~capacity heap
+  | (Gps_state (g, queues), _) -> serve_gps t ~capacity g queues
+
+let fault_mean_factor t =
+  match t.faults with None -> 1. | Some p -> Faults.mean_factor p
 
 let backlog t = Array.fold_left ( +. ) 0. t.per_class_backlog
 

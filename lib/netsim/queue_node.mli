@@ -12,8 +12,18 @@ type discipline =
 
 type t
 
-val create : ?packet_size:float -> capacity:float -> classes:int -> discipline -> t
-(** [packet_size] switches the node from fluid to packetized,
+val create :
+  ?packet_size:float ->
+  ?faults:Faults.process ->
+  capacity:float ->
+  classes:int ->
+  discipline ->
+  t
+(** [faults] attaches a capacity-degradation process: every {!serve_slot}
+    steps it once and serves at [capacity *. factor] for that slot, so the
+    node behaves like a link whose leftover service shrinks during faults.
+
+    [packet_size] switches the node from fluid to packetized,
     {e non-preemptive} service: arrivals are segmented into packets of at
     most [packet_size] kb, and once a packet starts transmission it
     finishes before the scheduler re-examines precedence (so an urgent
@@ -30,8 +40,12 @@ val offer : t -> now:float -> cls:int -> float -> unit
     offers are ignored. *)
 
 val serve_slot : t -> float array
-(** Transmit up to one slot's capacity; returns the kb departed per class
-    in this slot. *)
+(** Transmit up to one slot's capacity (scaled by the fault process when
+    one is attached); returns the kb departed per class in this slot. *)
+
+val fault_mean_factor : t -> float
+(** Realized mean capacity factor of the attached fault process over the
+    slots served so far; [1.] for a healthy node. *)
 
 val backlog : t -> float
 (** Total queued kb. *)

@@ -1,25 +1,184 @@
-(* Independent replications with confidence intervals. *)
+(* Independent replications with confidence intervals, retries, deadlines
+   and checkpoint/resume. *)
 
-type summary = { mean : float; half_width95 : float; values : float array }
+type failure = { index : int; attempts : int; reason : string }
+
+type summary = {
+  mean : float;
+  half_width95 : float;
+  values : float array;
+  requested : int;
+  completed : int;
+  retried : int;
+  resumed : int;
+  failures : failure list;
+}
 
 let seeds ~runs ~base_seed =
   let rng = Desim.Prng.create ~seed:base_seed in
   Array.init runs (fun _ -> Desim.Prng.bits64 rng)
 
-let summarize values =
+(* The k-th retry of a replication reruns it under a fresh seed derived
+   from the replication's own seed, so retries stay reproducible. *)
+let retry_seed seed ~attempt =
+  let rng = Desim.Prng.create ~seed in
+  let s = ref (Desim.Prng.bits64 rng) in
+  for _ = 2 to attempt do
+    s := Desim.Prng.bits64 rng
+  done;
+  !s
+
+let summarize ~requested ~retried ~resumed ~failures values =
   let acc = Desim.Stats.Online.create () in
   Array.iter (Desim.Stats.Online.add acc) values;
   let n = Array.length values in
   (* batch_means with one observation per batch gives the t-based CI *)
-  let (mean, half_width95) = Desim.Stats.batch_means values ~batches:n in
-  ignore mean;
-  { mean = Desim.Stats.Online.mean acc; half_width95; values }
+  let (_, half_width95) = Desim.Stats.batch_means values ~batches:n in
+  {
+    mean = Desim.Stats.Online.mean acc;
+    half_width95;
+    values;
+    requested;
+    completed = n;
+    retried;
+    resumed;
+    failures;
+  }
 
-let statistic_ci ~runs ~base_seed f =
+(* ---------------- checkpoint file ---------------- *)
+
+(* Line-oriented text format, one completed replication per line:
+     deltanet-replicate v1 <base_seed> <runs>
+     <index> <value>
+   Appended and flushed after every completed run, so a killed sweep loses
+   at most the replication in flight. *)
+
+let checkpoint_header ~base_seed ~runs =
+  Printf.sprintf "deltanet-replicate v1 %Ld %d" base_seed runs
+
+let load_checkpoint path ~base_seed ~runs =
+  let tbl = Hashtbl.create 16 in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        (match input_line ic with
+        | header when header = checkpoint_header ~base_seed ~runs -> ()
+        | header ->
+          invalid_arg
+            (Printf.sprintf
+               "Replicate: checkpoint %s does not match this sweep (found %S, expected %S)"
+               path header
+               (checkpoint_header ~base_seed ~runs))
+        | exception End_of_file -> ());
+        let rec loop () =
+          match input_line ic with
+          | line ->
+            (match String.split_on_char ' ' (String.trim line) with
+            | [ idx; value ] -> (
+              match (int_of_string_opt idx, float_of_string_opt value) with
+              | (Some i, Some v) when i >= 0 && i < runs -> Hashtbl.replace tbl i v
+              | _ -> ())  (* a torn final line from a killed run is skipped *)
+            | _ -> ());
+            loop ()
+          | exception End_of_file -> ()
+        in
+        loop ())
+  end;
+  tbl
+
+let open_checkpoint path ~base_seed ~runs =
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if fresh then begin
+    output_string oc (checkpoint_header ~base_seed ~runs);
+    output_char oc '\n';
+    flush oc
+  end;
+  oc
+
+let record_checkpoint oc index value =
+  Printf.fprintf oc "%d %.17g\n" index value;
+  flush oc
+
+(* ---------------- the resilient driver ---------------- *)
+
+let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
   if runs < 2 then invalid_arg "Replicate: need at least two runs";
-  let values = Array.map (fun seed -> f ~seed) (seeds ~runs ~base_seed) in
-  summarize values
+  if max_retries < 0 then invalid_arg "Replicate: negative max_retries";
+  (match max_wall with
+  | Some w when Float.is_nan w || w <= 0. ->
+    invalid_arg "Replicate: max_wall must be positive"
+  | _ -> ());
+  let seeds = seeds ~runs ~base_seed in
+  let done_ = match checkpoint with
+    | None -> Hashtbl.create 0
+    | Some path -> load_checkpoint path ~base_seed ~runs
+  in
+  let resumed = Hashtbl.length done_ in
+  let oc = Option.map (fun path -> open_checkpoint path ~base_seed ~runs) checkpoint in
+  Fun.protect
+    ~finally:(fun () -> Option.iter close_out_noerr oc)
+    (fun () ->
+      let retried = ref 0 in
+      let failures = ref [] in
+      let attempt_once ~seed =
+        let t0 = Unix.gettimeofday () in
+        match f ~seed with
+        | v ->
+          let elapsed = Unix.gettimeofday () -. t0 in
+          (match max_wall with
+          | Some w when elapsed > w ->
+            Error (Printf.sprintf "wall deadline exceeded (%.3fs > %.3fs)" elapsed w, false)
+          | _ ->
+            if Float.is_finite v then Ok v
+            else Error (Printf.sprintf "non-finite statistic (%g)" v, true))
+        | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) -> raise e
+        | exception e -> Error (Printexc.to_string e, true)
+      in
+      (* attempt 0 runs the replication's own seed; attempts 1..max_retries
+         rerun it under fresh derived seeds.  A blown wall deadline is not
+         retried: the rerun would almost surely blow it again. *)
+      let rec run_one index ~attempt =
+        let seed =
+          if attempt = 0 then seeds.(index) else retry_seed seeds.(index) ~attempt
+        in
+        match attempt_once ~seed with
+        | Ok v -> Some v
+        | Error (reason, retryable) ->
+          if retryable && attempt < max_retries then begin
+            incr retried;
+            run_one index ~attempt:(attempt + 1)
+          end
+          else begin
+            failures := { index; attempts = attempt + 1; reason } :: !failures;
+            None
+          end
+      in
+      let values = ref [] in
+      for index = 0 to runs - 1 do
+        match Hashtbl.find_opt done_ index with
+        | Some v -> values := v :: !values
+        | None -> (
+          match run_one index ~attempt:0 with
+          | Some v ->
+            Option.iter (fun oc -> record_checkpoint oc index v) oc;
+            values := v :: !values
+          | None -> ())
+      done;
+      let values = Array.of_list (List.rev !values) in
+      let failures = List.rev !failures in
+      if Array.length values < 2 then
+        failwith
+          (Printf.sprintf
+             "Replicate: only %d of %d replications completed (%s)"
+             (Array.length values) runs
+             (match failures with
+             | [] -> "no failures recorded"
+             | { reason; _ } :: _ -> "first failure: " ^ reason))
+      else summarize ~requested:runs ~retried:!retried ~resumed ~failures values)
 
-let quantile_ci ~runs ~base_seed ~q f =
-  statistic_ci ~runs ~base_seed (fun ~seed ->
+let quantile_ci ?max_retries ?max_wall ?checkpoint ~runs ~base_seed ~q f =
+  statistic_ci ?max_retries ?max_wall ?checkpoint ~runs ~base_seed (fun ~seed ->
       Desim.Stats.Sample.quantile (f ~seed) q)

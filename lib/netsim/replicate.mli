@@ -1,27 +1,67 @@
 (** Independent replications of a seeded experiment, with confidence
     intervals on delay quantiles — the standard output-analysis layer on
-    top of {!Tandem} and {!Single_node_sim}. *)
+    top of {!Tandem} and {!Single_node_sim} — hardened for long sweeps:
+    failed replications are retried under fresh derived seeds, slow ones
+    are cut off by a wall deadline, partial results are summarized
+    explicitly, and completed runs are checkpointed to a results file so a
+    killed sweep resumes where it stopped. *)
+
+type failure = {
+  index : int;  (** replication index within the sweep *)
+  attempts : int;  (** attempts made (1 = no retry) *)
+  reason : string;  (** exception text, non-finite statistic, or deadline *)
+}
 
 type summary = {
   mean : float;
   half_width95 : float;  (** Student-t 95%% half width across replications *)
-  values : float array;  (** the per-replication statistics *)
+  values : float array;  (** the per-replication statistics, completed only *)
+  requested : int;  (** replications asked for *)
+  completed : int;  (** [Array.length values]; < [requested] on partial results *)
+  retried : int;  (** total retry attempts across the sweep *)
+  resumed : int;  (** replications loaded from the checkpoint file *)
+  failures : failure list;  (** replications abandoned after retries *)
 }
 
+val statistic_ci :
+  ?max_retries:int ->
+  ?max_wall:float ->
+  ?checkpoint:string ->
+  runs:int ->
+  base_seed:int64 ->
+  (seed:int64 -> float) ->
+  summary
+(** [statistic_ci ~runs ~base_seed experiment] runs [experiment] with
+    [runs] seeds derived from [base_seed] (splitmix64 stream) and
+    summarizes the per-run statistics.
+
+    [max_retries] (default [0]): a replication whose statistic is
+    non-finite or that raises is rerun under a fresh seed derived from its
+    own, up to this many times; still-failing replications are dropped and
+    recorded in [failures], and the summary covers the completed runs only
+    (graceful partial results, visible as [completed < requested]).
+
+    [max_wall] (seconds): a replication exceeding this wall-clock budget is
+    abandoned without retry (a rerun would almost surely blow the deadline
+    too) and recorded in [failures].
+
+    [checkpoint]: path of a results file recording each completed
+    replication as it finishes.  When the file already exists it must
+    belong to the same [(base_seed, runs)] sweep; its replications are
+    loaded instead of rerun ([resumed] counts them), so re-invoking after a
+    kill completes only the missing runs.
+
+    @raise Invalid_argument on [runs < 2], a negative [max_retries], a
+    non-positive [max_wall], or a checkpoint from a different sweep.
+    @raise Failure when fewer than two replications complete. *)
+
 val quantile_ci :
+  ?max_retries:int ->
+  ?max_wall:float ->
+  ?checkpoint:string ->
   runs:int ->
   base_seed:int64 ->
   q:float ->
   (seed:int64 -> Desim.Stats.Sample.t) ->
   summary
-(** [quantile_ci ~runs ~base_seed ~q experiment] runs [experiment] with
-    [runs] seeds derived from [base_seed] (splitmix64 stream) and
-    summarizes the [q]-quantile of each run's sample.
-    @raise Invalid_argument on [runs < 2]. *)
-
-val statistic_ci :
-  runs:int ->
-  base_seed:int64 ->
-  (seed:int64 -> float) ->
-  summary
-(** Same replication scheme for an arbitrary scalar statistic. *)
+(** Same replication scheme for the [q]-quantile of each run's sample. *)

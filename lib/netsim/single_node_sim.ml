@@ -9,6 +9,7 @@ type config = {
   slots : int;
   drain_limit : int;
   seed : int64;
+  faults : Faults.spec option;
 }
 
 let default_config =
@@ -20,12 +21,14 @@ let default_config =
     slots = 20_000;
     drain_limit = 5_000;
     seed = 42L;
+    faults = None;
   }
 
 type result = {
   delays : Desim.Stats.Sample.t array;
   utilization : float;
   offered_kb : float array;
+  fault_factor : float;
 }
 
 let run cfg =
@@ -33,14 +36,18 @@ let run cfg =
   if k = 0 then invalid_arg "Single_node_sim.run: no classes";
   if cfg.slots <= 0 then invalid_arg "Single_node_sim.run: non-positive horizon";
   let rng = Desim.Prng.create ~seed:cfg.seed in
-  let node =
-    Queue_node.create ~capacity:cfg.capacity ~classes:k
-      (Queue_node.Delta_policy cfg.policy)
-  in
   let sources =
     Array.map
       (fun spec -> Source.create spec.source ~n:spec.n_flows ~rng:(Desim.Prng.split rng))
       cfg.classes
+  in
+  (* fault rng drawn after the sources: fault-free runs stay bit-identical *)
+  let faults =
+    Option.map (fun spec -> Faults.make ~rng:(Desim.Prng.split rng) spec) cfg.faults
+  in
+  let node =
+    Queue_node.create ?faults ~capacity:cfg.capacity ~classes:k
+      (Queue_node.Delta_policy cfg.policy)
   in
   let total_slots = cfg.slots + cfg.drain_limit in
   let cum_in = Array.init k (fun _ -> Array.make cfg.slots 0.) in
@@ -87,6 +94,7 @@ let run cfg =
     delays;
     utilization = !served /. (cfg.capacity *. float_of_int total_slots);
     offered_kb = acc_in;
+    fault_factor = Queue_node.fault_mean_factor node;
   }
 
 let quantile r ~cls q = Desim.Stats.Sample.quantile r.delays.(cls) q

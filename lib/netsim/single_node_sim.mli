@@ -16,6 +16,8 @@ type config = {
   slots : int;
   drain_limit : int;
   seed : int64;
+  faults : Faults.spec option;
+  (** capacity-degradation process applied to the node; [None] = healthy *)
 }
 
 val default_config : config
@@ -25,6 +27,8 @@ type result = {
   delays : Desim.Stats.Sample.t array;  (** per class, in slots *)
   utilization : float;
   offered_kb : float array;
+  fault_factor : float;
+  (** realized mean capacity factor ([1.] when no faults configured) *)
 }
 
 val run : config -> result

@@ -14,6 +14,7 @@ type config = {
   seed : int64;
   gps_weights : (float * float) option;
   packet_size : float option;
+  faults : (int * Faults.spec) list;
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     seed = 42L;
     gps_weights = None;
     packet_size = None;
+    faults = [];
   }
 
 type result = {
@@ -39,6 +41,7 @@ type result = {
   through_kb : float;
   censored_kb : float;
   utilization : float array;
+  fault_factor : float array;
 }
 
 let through_class = 0
@@ -58,14 +61,30 @@ let run cfg =
       Queue_node.Gps (Scheduler.Gps.v ~weights:[| w_through; w_cross |])
     | None -> Queue_node.Delta_policy policy
   in
-  let nodes =
-    Array.init cfg.h (fun _ ->
-        Queue_node.create ?packet_size:cfg.packet_size ~capacity:cfg.capacity
-          ~classes:2 discipline)
-  in
+  List.iteri
+    (fun k (i, spec) ->
+      if i < 0 || i >= cfg.h then
+        invalid_arg (Printf.sprintf "Tandem.run: fault spec for node %d outside 0..%d" i (cfg.h - 1));
+      if List.exists (fun (j, _) -> j = i) (List.filteri (fun k' _ -> k' < k) cfg.faults)
+      then
+        invalid_arg (Printf.sprintf "Tandem.run: duplicate fault spec for node %d" i);
+      Faults.validate spec)
+    cfg.faults;
   let through_src = Source.create cfg.source ~n:cfg.n_through ~rng:(Desim.Prng.split rng) in
   let cross_srcs =
     Array.init cfg.h (fun _ -> Source.create cfg.source ~n:cfg.n_cross ~rng:(Desim.Prng.split rng))
+  in
+  (* Fault processes draw their rng streams after the sources so that a
+     fault-free run is bit-identical to the pre-fault simulator. *)
+  let nodes =
+    Array.init cfg.h (fun i ->
+        let faults =
+          match List.assoc_opt i cfg.faults with
+          | None -> None
+          | Some spec -> Some (Faults.make ~rng:(Desim.Prng.split rng) spec)
+        in
+        Queue_node.create ?packet_size:cfg.packet_size ?faults ~capacity:cfg.capacity
+          ~classes:2 discipline)
   in
   let total_slots = cfg.slots + cfg.drain_limit in
   (* Cumulative through arrivals into node 0 and departures from node h-1,
@@ -136,6 +155,14 @@ let run cfg =
   let utilization =
     Array.map (fun s -> s /. (cfg.capacity *. float_of_int total_slots)) served_total
   in
-  { delays; through_backlog; through_kb = !acc_in; censored_kb = !censored; utilization }
+  let fault_factor = Array.map Queue_node.fault_mean_factor nodes in
+  {
+    delays;
+    through_backlog;
+    through_kb = !acc_in;
+    censored_kb = !censored;
+    utilization;
+    fault_factor;
+  }
 
 let delay_quantile r q = Desim.Stats.Sample.quantile r.delays q

@@ -27,6 +27,12 @@ type config = {
   packet_size : float option;
   (** when set, nodes serve non-preemptively in packets of this size (kb),
       relaxing the paper's fluid assumption *)
+  faults : (int * Faults.spec) list;
+  (** capacity-degradation processes per node index, at most one per node;
+      unlisted nodes stay healthy.  A fault-free run is bit-identical to
+      one with [faults = \[\]].
+      Fault processes for [Gilbert] specs draw dedicated rng streams derived
+      from [seed]. *)
 }
 
 val default_config : config
@@ -42,6 +48,8 @@ type result = {
   through_kb : float;  (** through data injected *)
   censored_kb : float;  (** through data still in flight when the run ended *)
   utilization : float array;  (** measured per-node utilization *)
+  fault_factor : float array;
+  (** realized mean capacity factor per node ([1.] where healthy) *)
 }
 
 val run : config -> result

@@ -141,6 +141,7 @@ let test_three_class_edf_sim_ordering () =
       slots = 60_000;
       drain_limit = 5_000;
       seed = 5L;
+      faults = None;
     }
   in
   let r = Sns.run cfg in
@@ -176,6 +177,7 @@ let test_three_class_bounds_dominate_sim () =
       slots = 60_000;
       drain_limit = 5_000;
       seed = 6L;
+      faults = None;
     }
   in
   let r = Sns.run cfg in

@@ -18,4 +18,5 @@ let () =
       ("deltanet.multiclass", Test_multiclass.suite);
       ("deltanet.properties", Test_properties.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("robustness", Test_robustness.suite);
     ]
