@@ -5,7 +5,13 @@
    Fig. 1 is a topology diagram — and runs Bechamel micro-benchmarks of the
    analysis kernels (one per figure, plus the substrate hot spots).
 
-   Usage:  dune exec bench/main.exe [-- fig2|fig3|fig4|extension|ablation|micro|all]  *)
+   Usage:  dune exec bench/main.exe [-- [short] fig2|fig3|fig4|extension|ablation|micro|all ...]
+
+   Several section names may be given; "short" shrinks every section to a
+   seconds-scale smoke run (CI).  Each invocation also writes
+   BENCH_deltanet.json: per-section wall time plus the telemetry counter
+   deltas (objective evaluations, convolution segment counts, simulated
+   slots, ...) accumulated while the section ran.  *)
 
 module Scenario = Deltanet.Scenario
 module Additive = Deltanet.Additive
@@ -22,7 +28,10 @@ let edf_bound sc ratio =
 
 let pr_cell v = if Float.is_finite v then Fmt.str "%10.2f" v else Fmt.str "%10s" "inf"
 
-(* CSV artifacts alongside the printed tables, under results/. *)
+(* CSV artifacts alongside the printed tables, under results/.  Rows go
+   through Telemetry.Csv.row, which renders non-finite values (unstable
+   utilizations yield [inf] bounds) as empty cells instead of "inf"/"nan"
+   literals that break downstream CSV consumers. *)
 let csv_out name header rows =
   let dir = "results" in
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -30,7 +39,7 @@ let csv_out name header rows =
   output_string oc (header ^ "\n");
   List.iter
     (fun row ->
-      output_string oc (String.concat "," (List.map (Fmt.str "%.6g") row));
+      output_string oc (Telemetry.Csv.row row);
       output_string oc "\n")
     rows;
   close_out oc
@@ -40,9 +49,11 @@ let csv_out name header rows =
    U0 = 15% fixed (N0 = 100), U in [20%, 95%], H in {2, 5, 10};
    schedulers BMUX, FIFO, EDF with d*_0 = d_e2e/H, d*_c = 10 d*_0. *)
 
-let fig2 () =
+let fig2 ~short () =
   Fmt.pr "@.== Fig. 2 (Example 1): e2e delay bound vs total utilization ==@.";
   Fmt.pr "   (U0 = 15%%, eps = 1e-9; columns: BMUX, FIFO, EDF(d*c = 10 d*0))@.";
+  let hs = if short then [ 2 ] else [ 2; 5; 10 ] in
+  let us = if short then [ 20; 50; 80; 95 ] else [ 20; 30; 40; 50; 60; 70; 80; 90; 95 ] in
   let rows = ref [] in
   List.iter
     (fun h ->
@@ -57,8 +68,8 @@ let fig2 () =
           let e = edf_bound sc 10. in
           rows := [ float_of_int h; float_of_int u_pct; b; f; e ] :: !rows;
           Fmt.pr "  %5d %s %s %s@." u_pct (pr_cell b) (pr_cell f) (pr_cell e))
-        [ 20; 30; 40; 50; 60; 70; 80; 90; 95 ])
-    [ 2; 5; 10 ];
+        us)
+    hs;
   csv_out "fig2" "h,u_percent,bmux_ms,fifo_ms,edf_ms" (List.rev !rows)
 
 (* ---------------------------------------------------------------- *)
@@ -66,9 +77,11 @@ let fig2 () =
    Schedulers: BMUX, FIFO, EDF(d*_0 = d*_c/2) i.e. ratio d*_c/d*_0 = 2,
    and EDF(d*_0 = 2 d*_c) i.e. ratio 1/2. *)
 
-let fig3 () =
+let fig3 ~short () =
   Fmt.pr "@.== Fig. 3 (Example 2): e2e delay bound vs traffic mix Uc/U ==@.";
   Fmt.pr "   (U = 50%%, eps = 1e-9; EDF- has d*0 = d*c/2, EDF+ has d*0 = 2 d*c)@.";
+  let hs = if short then [ 2 ] else [ 2; 5; 10 ] in
+  let mixes = if short then [ 10; 50; 90 ] else [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ] in
   let rows = ref [] in
   List.iter
     (fun h ->
@@ -86,17 +99,21 @@ let fig3 () =
           rows := [ float_of_int h; float_of_int mix_pct; b; f; e_loose; e_tight ] :: !rows;
           Fmt.pr "  %5d %s %s %s %s@." mix_pct (pr_cell b) (pr_cell f) (pr_cell e_loose)
             (pr_cell e_tight))
-        [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ])
-    [ 2; 5; 10 ];
+        mixes)
+    hs;
   csv_out "fig3" "h,mix_percent,bmux_ms,fifo_ms,edf_loose_ms,edf_tight_ms" (List.rev !rows)
 
 (* ---------------------------------------------------------------- *)
 (* Fig. 4 / Example 3: delay bound vs path length H at U = 10/50/90%,
    N0 = Nc; includes the additive per-node BMUX baseline. *)
 
-let fig4 () =
+let fig4 ~short () =
   Fmt.pr "@.== Fig. 4 (Example 3): e2e delay bound vs path length H ==@.";
   Fmt.pr "   (U0 = Uc, eps = 1e-9; ADD = adding per-node BMUX bounds)@.";
+  let us = if short then [ 50 ] else [ 10; 50; 90 ] in
+  let hs =
+    if short then [ 1; 2; 3; 5 ] else [ 1; 2; 3; 4; 5; 6; 8; 10; 12; 15; 20; 25; 30 ]
+  in
   let rows = ref [] in
   List.iter
     (fun u_pct ->
@@ -112,8 +129,8 @@ let fig4 () =
           let a = Additive.delay_bound_scenario ~s_points sc in
           rows := [ float_of_int u_pct; float_of_int h; b; f; e; a ] :: !rows;
           Fmt.pr "  %4d %s %s %s %s@." h (pr_cell b) (pr_cell f) (pr_cell e) (pr_cell a))
-        [ 1; 2; 3; 4; 5; 6; 8; 10; 12; 15; 20; 25; 30 ])
-    [ 10; 50; 90 ];
+        hs)
+    us;
   csv_out "fig4" "u_percent,h,bmux_ms,fifo_ms,edf_ms,additive_ms" (List.rev !rows)
 
 (* ---------------------------------------------------------------- *)
@@ -121,7 +138,7 @@ let fig4 () =
    differentiated EDF deadline tiers at every node, via the Multiclass
    generalization of Theorem 1 / Eq. 38. *)
 
-let extension () =
+let extension ~short () =
   Fmt.pr "@.== Extension: deadline-tiered cross traffic (Multiclass) ==@.";
   Fmt.pr "   (through 15%%; cross 35%% split urgent/normal/bulk 10/15/10;@.";
   Fmt.pr "    deltas +5 / 0 / -20 ms; eps = 1e-9)@.@.";
@@ -152,7 +169,7 @@ let extension () =
       let bmux = uniform Scheduler.Delta.Pos_inf in
       rows := [ float_of_int h; tiered; fifo; bmux ] :: !rows;
       Fmt.pr "  %4d %s %s %s@." h (pr_cell tiered) (pr_cell fifo) (pr_cell bmux))
-    [ 2; 5; 10; 20 ];
+    (if short then [ 2; 5 ] else [ 2; 5; 10; 20 ]);
   csv_out "extension_multiclass" "h,tiered_ms,fifo_ms,bmux_ms" (List.rev !rows);
   Fmt.pr "@.   The tiered bound exceeds both uniform cases: the urgent tier@.";
   Fmt.pr "   preempts the through traffic, and every extra class pays its own@.";
@@ -166,7 +183,7 @@ let extension () =
        K-procedure (Eq. 40-42);
    (b) resolution of the numerical optimization over s and gamma. *)
 
-let ablation () =
+let ablation ~short () =
   Fmt.pr "@.== Ablation (a): exact Eq.-38 minimizer vs paper's K-procedure ==@.";
   Fmt.pr "   (gamma = 0.5 ms, sigma = 300 kb; relative gap of the K-procedure)@.";
   Fmt.pr "@.  %4s %12s %12s %12s %9s@." "H" "delta" "exact" "K-proc" "gap";
@@ -196,13 +213,13 @@ let ablation () =
       let t0 = Unix.gettimeofday () in
       let b = Scenario.delay_bound ~s_points ~scheduler:Classes.Fifo sc in
       Fmt.pr "  %9d %12.4f %9.3fs@." s_points b (Unix.gettimeofday () -. t0))
-    [ 4; 8; 16; 32; 64 ]
+    (if short then [ 4; 8; 16 ] else [ 4; 8; 16; 32; 64 ])
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per figure kernel plus the
    substrate hot paths. *)
 
-let micro () =
+let micro ~short () =
   let open Bechamel in
   let open Toolkit in
   let sc5 = Scenario.of_utilization ~h:5 ~u_through:0.15 ~u_cross:0.35 in
@@ -293,7 +310,8 @@ let micro () =
       [ t_fig2; t_fig3; t_fig4; t_opt; t_conv; t_sim; t_markov; t_multiclass; t_backlog ]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~stabilize:true () in
+  let (limit, quota) = if short then (50, 0.25) else (200, 2.0) in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~stabilize:true () in
   let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -315,25 +333,102 @@ let micro () =
       | _ -> Fmt.pr "  %-40s (no estimate)@." name)
     (List.sort compare rows)
 
-let () =
-  let section = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+(* ---------------------------------------------------------------- *)
+(* Driver: run the requested sections with telemetry counting work (null
+   sink — no streaming overhead), and write BENCH_deltanet.json with the
+   per-section wall time and counter deltas. *)
+
+type section_report = {
+  sec_name : string;
+  sec_wall_s : float;
+  sec_counters : (string * int) list;
+}
+
+(* Wall time plus the delta of every telemetry counter across the section.
+   The registry is cumulative, so deltas come from before/after snapshots
+   rather than a reset — sections stay independent of ordering. *)
+let timed name f =
+  let before = Telemetry.snapshot () in
   let t0 = Unix.gettimeofday () in
-  (match section with
-  | "fig2" -> fig2 ()
-  | "fig3" -> fig3 ()
-  | "fig4" -> fig4 ()
-  | "ablation" -> ablation ()
-  | "extension" -> extension ()
-  | "micro" -> micro ()
-  | "all" ->
-    fig2 ();
-    fig3 ();
-    fig4 ();
-    extension ();
-    ablation ();
-    micro ()
-  | other ->
-    Fmt.epr
-      "unknown section %S (expected fig2|fig3|fig4|extension|ablation|micro|all)@."
-      other);
-  Fmt.pr "@.[total: %.1f s]@." (Unix.gettimeofday () -. t0)
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let after = Telemetry.snapshot () in
+  let deltas =
+    List.filter_map
+      (fun (n, v) ->
+        let v0 =
+          match List.assoc_opt n before.Telemetry.counters with
+          | Some v0 -> v0
+          | None -> 0
+        in
+        if v - v0 <> 0 then Some (n, v - v0) else None)
+      after.Telemetry.counters
+  in
+  { sec_name = name; sec_wall_s = wall; sec_counters = deltas }
+
+let json_of_report r =
+  Telemetry.Json.obj
+    [
+      ("name", "\"" ^ Telemetry.Json.escape r.sec_name ^ "\"");
+      ("wall_s", Telemetry.Json.number r.sec_wall_s);
+      ( "counters",
+        Telemetry.Json.obj
+          (List.map (fun (n, v) -> (n, string_of_int v)) r.sec_counters) );
+    ]
+
+let write_bench_json ~mode ~total_wall_s reports =
+  let oc = open_out "BENCH_deltanet.json" in
+  output_string oc
+    (Telemetry.Json.obj
+       [
+         ("schema", "\"deltanet-bench\"");
+         ("version", "1");
+         ("mode", "\"" ^ mode ^ "\"");
+         ("sections", Telemetry.Json.arr (List.map json_of_report reports));
+         ("total_wall_s", Telemetry.Json.number total_wall_s);
+       ]);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "[wrote BENCH_deltanet.json: %d section(s)]@." (List.length reports)
+
+let sections ~short =
+  [
+    ("fig2", fig2 ~short);
+    ("fig3", fig3 ~short);
+    ("fig4", fig4 ~short);
+    ("extension", extension ~short);
+    ("ablation", ablation ~short);
+    ("micro", micro ~short);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let short = List.mem "short" args in
+  let requested =
+    match List.filter (fun a -> a <> "short") args with
+    | [] -> [ "all" ]
+    | names -> names
+  in
+  let requested =
+    List.concat_map
+      (fun name ->
+        if name = "all" then List.map fst (sections ~short) else [ name ])
+      requested
+  in
+  let known = sections ~short in
+  let bad = List.filter (fun n -> not (List.mem_assoc n known)) requested in
+  if bad <> [] then begin
+    Fmt.epr "unknown section %S (expected fig2|fig3|fig4|extension|ablation|micro|all)@."
+      (List.hd bad);
+    exit 2
+  end;
+  (* Null sink: counters/histograms accumulate for the JSON report without
+     any event streaming. *)
+  Telemetry.configure ~sink:Telemetry.Sink.null ();
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    List.map (fun name -> timed name (List.assoc name known)) requested
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  write_bench_json ~mode:(if short then "short" else "full") ~total_wall_s:total reports;
+  Fmt.pr "@.[total: %.1f s]@." total

@@ -114,6 +114,44 @@ let faults_arg =
            gilbert:PFAIL:PREC:F (random transient faults: fail with PFAIL per healthy \
            slot, recover with PREC per degraded slot).  Repeatable.")
 
+(* ---------------- telemetry flags (all subcommands) ---------------- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write telemetry to $(docv) as JSON-lines: span boundaries and structured \
+           events as they happen, plus a final counter/gauge/histogram snapshot.")
+
+let trace_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "trace" ]
+        ~doc:"Print the telemetry span tree (with per-span wall times) to stderr.")
+
+(* Flushing hangs off [at_exit] so the snapshot survives the typed [exit]
+   paths (unstable scenario, numerical failure), which do not unwind. *)
+let setup_telemetry metrics trace =
+  if metrics <> None || trace then begin
+    let sinks = ref [] in
+    if trace then sinks := Telemetry.Sink.fmt () :: !sinks;
+    (match metrics with
+    | Some path ->
+      let oc = open_out path in
+      at_exit (fun () -> close_out_noerr oc);
+      sinks := Telemetry.Sink.jsonl oc :: !sinks
+    | None -> ());
+    Telemetry.configure ~sink:(Telemetry.Sink.tee !sinks) ();
+    at_exit Telemetry.shutdown
+  end
+
+let with_telemetry name metrics trace f =
+  setup_telemetry metrics trace;
+  Telemetry.span ("cli." ^ name) f
+
 (* ---------------- scenario construction with typed failure modes ------- *)
 
 let scenario_or_exit ~h ~u0 ~uc ~epsilon =
@@ -163,7 +201,8 @@ let compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio sched =
   (compute_bound_checked ~s_points ~edf_ratio scenario sched).Diag.value
 
 let bound_cmd =
-  let run h u0 uc epsilon s_points edf_ratio sched metric =
+  let run h u0 uc epsilon s_points edf_ratio sched metric metrics trace =
+    with_telemetry "bound" metrics trace @@ fun () ->
     let scenario = scenario_or_exit ~h ~u0 ~uc ~epsilon in
     let (outcome, unit_) =
       match metric with
@@ -200,7 +239,7 @@ let bound_cmd =
   let term =
     Term.(
       const run $ hops_arg $ u0_arg $ uc_arg $ epsilon_arg $ s_points_arg $ edf_ratio_arg
-      $ sched_arg $ metric_arg)
+      $ sched_arg $ metric_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "bound"
@@ -214,7 +253,8 @@ let bound_cmd =
 (* ---------------- sweep ---------------- *)
 
 let sweep_cmd =
-  let run h u0 epsilon s_points edf_ratio dimension =
+  let run h u0 epsilon s_points edf_ratio dimension metrics trace =
+    with_telemetry "sweep" metrics trace @@ fun () ->
     Fmt.pr "# %s sweep, u0=%g, eps=%g@." dimension u0 epsilon;
     (match dimension with
     | "utilization" ->
@@ -250,7 +290,9 @@ let sweep_cmd =
       & info [] ~docv:"DIM" ~doc:"Sweep dimension: utilization or hops.")
   in
   let term =
-    Term.(const run $ hops_arg $ u0_arg $ epsilon_arg $ s_points_arg $ edf_ratio_arg $ dim_arg)
+    Term.(
+      const run $ hops_arg $ u0_arg $ epsilon_arg $ s_points_arg $ edf_ratio_arg $ dim_arg
+      $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"CSV sweep of the delay bound over utilization or path length.")
@@ -300,7 +342,8 @@ let slots_arg =
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
 let simulate_cmd =
-  let run h u0 uc slots seed sched edf_ratio faults =
+  let run h u0 uc slots seed sched edf_ratio faults metrics trace =
+    with_telemetry "simulate" metrics trace @@ fun () ->
     let cfg =
       tandem_config ~h ~u0 ~uc ~slots ~sched ~edf_ratio ~faults ~seed:(Int64.of_int seed)
     in
@@ -326,7 +369,7 @@ let simulate_cmd =
   let term =
     Term.(
       const run $ hops_arg $ u0_arg $ uc_arg $ slots_arg $ seed_arg $ sched_arg
-      $ edf_ratio_arg $ faults_arg)
+      $ edf_ratio_arg $ faults_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -338,7 +381,9 @@ let simulate_cmd =
 (* ---------------- replicate ---------------- *)
 
 let replicate_cmd =
-  let run h u0 uc slots seed sched edf_ratio faults runs q retries max_wall resume =
+  let run h u0 uc slots seed sched edf_ratio faults runs q retries max_wall resume
+      metrics trace =
+    with_telemetry "replicate" metrics trace @@ fun () ->
     if runs < 2 then begin
       Fmt.epr "need at least two replications (got %d)@." runs;
       exit exit_usage
@@ -411,7 +456,7 @@ let replicate_cmd =
     Term.(
       const run $ hops_arg $ u0_arg $ uc_arg $ slots_arg $ seed_arg $ sched_arg
       $ edf_ratio_arg $ faults_arg $ runs_arg $ q_arg $ retries_arg $ max_wall_arg
-      $ resume_arg)
+      $ resume_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "replicate"
@@ -447,7 +492,8 @@ let schedulability_cmd =
     let print ppf (r, b, d) = Fmt.pf ppf "%g:%g:%a" r b Delta.pp d in
     Arg.conv (parse, print)
   in
-  let run capacity flows =
+  let run capacity flows metrics trace =
+    with_telemetry "schedulability" metrics trace @@ fun () ->
     match flows with
     | [] -> Fmt.epr "no flows given@."
     | _ ->
@@ -477,7 +523,7 @@ let schedulability_cmd =
              (delta 0); DELTA is the precedence constant of the others (number, inf, \
              -inf).")
   in
-  let term = Term.(const run $ capacity_arg $ flows_arg) in
+  let term = Term.(const run $ capacity_arg $ flows_arg $ metrics_arg $ trace_arg) in
   Cmd.v
     (Cmd.info "schedulability"
        ~doc:"Deterministic single-node minimum delay via Theorem 2 (Eq. 24).")
@@ -486,7 +532,8 @@ let schedulability_cmd =
 (* ---------------- admission ---------------- *)
 
 let admission_cmd =
-  let run h u0 epsilon deadline edf_ratio =
+  let run h u0 epsilon deadline edf_ratio metrics trace =
+    with_telemetry "admission" metrics trace @@ fun () ->
     let request =
       {
         Deltanet.Admission.base =
@@ -511,7 +558,9 @@ let admission_cmd =
       & info [ "d"; "deadline" ] ~docv:"MS" ~doc:"End-to-end delay budget (ms).")
   in
   let term =
-    Term.(const run $ hops_arg $ u0_arg $ epsilon_arg $ deadline_arg $ edf_ratio_arg)
+    Term.(
+      const run $ hops_arg $ u0_arg $ epsilon_arg $ deadline_arg $ edf_ratio_arg
+      $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "admission"
@@ -521,7 +570,8 @@ let admission_cmd =
 (* ---------------- scaling ---------------- *)
 
 let scaling_cmd =
-  let run u0 epsilon =
+  let run u0 epsilon metrics trace =
+    with_telemetry "scaling" metrics trace @@ fun () ->
     let sc =
       { (Scenario.of_utilization ~h:2 ~u_through:u0 ~u_cross:u0) with Scenario.epsilon }
     in
@@ -542,7 +592,7 @@ let scaling_cmd =
     Fmt.pr "# Θ(H log H) appears as an exponent slightly above 1;@.";
     Fmt.pr "# the additive baseline's exponent is >= 2.@."
   in
-  let term = Term.(const run $ u0_arg $ epsilon_arg) in
+  let term = Term.(const run $ u0_arg $ epsilon_arg $ metrics_arg $ trace_arg) in
   Cmd.v
     (Cmd.info "scaling"
        ~doc:"Empirical growth exponents of the delay bounds in the path length.")

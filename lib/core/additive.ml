@@ -3,6 +3,10 @@
 module Exp = Envelope.Exponential
 module Ebb = Envelope.Ebb
 
+let c_node_steps = Telemetry.Counter.make "additive.node_steps"
+let c_gamma_evals = Telemetry.Counter.make "additive.gamma.evals"
+let c_s_evals = Telemetry.Counter.make "additive.s_grid.evals"
+
 type per_node = { delay : float; input : Ebb.t }
 
 let analyze ~capacity ~cross ~through ~h ~gamma ~epsilon =
@@ -14,6 +18,7 @@ let analyze ~capacity ~cross ~through ~h ~gamma ~epsilon =
   let rec go inp k acc total =
     if k = h then (List.rev acc, total)
     else begin
+      if !Telemetry.on then Telemetry.Counter.incr c_node_steps;
       let sp = Ebb.sample_path_envelope inp ~gamma in
       if sp.Ebb.envelope_rate > service_rate then ([], infinity)
       else begin
@@ -39,8 +44,15 @@ let delay_bound ?(gamma_points = 40) ~capacity ~cross ~h ~epsilon through =
      leftover rate; reuse the Eq.-32-style cap. *)
   let gmax = (capacity -. cross.Ebb.rho -. through.Ebb.rho) /. float_of_int (h + 1) in
   if gmax <= 0. then infinity
-  else begin
-    let f gamma = snd (analyze ~capacity ~cross ~through ~h ~gamma ~epsilon) in
+  else
+    Telemetry.span "additive.gamma_search"
+      ~attrs:[ ("h", Telemetry.Int h); ("points", Telemetry.Int gamma_points) ]
+    @@ fun () ->
+  begin
+    let f gamma =
+      if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
+      snd (analyze ~capacity ~cross ~through ~h ~gamma ~epsilon)
+    in
     let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
     let best = ref (f lo) in
@@ -66,13 +78,18 @@ let delay_bound_scenario ?(s_points = 32) (sc : Scenario.t) =
     (sc.Scenario.n_through +. sc.Scenario.n_cross) *. eb < sc.Scenario.capacity *. 0.9999
   in
   if not (stable 1e-6) then infinity
-  else begin
+  else
+    Telemetry.span "additive.s_grid"
+      ~attrs:[ ("h", Telemetry.Int sc.Scenario.h); ("s_points", Telemetry.Int s_points) ]
+    @@ fun () ->
+  begin
     let rec grow hi tries =
       if tries = 0 then hi else if stable hi then grow (2. *. hi) (tries - 1) else hi
     in
     let s_max = grow 1e-6 60 in
     let lo = s_max *. 1e-4 and hi = s_max *. 0.5 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (s_points - 1)) in
+    let f s = if !Telemetry.on then Telemetry.Counter.incr c_s_evals; f s in
     let best = ref (f lo) in
     let s = ref lo in
     for _ = 2 to s_points do

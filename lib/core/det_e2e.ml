@@ -2,6 +2,9 @@
 
 module Curve = Minplus.Curve
 
+let c_theta_evals = Telemetry.Counter.make "det_e2e.theta_evals"
+let c_additive_nodes = Telemetry.Counter.make "det_e2e.additive_nodes"
+
 type node = {
   capacity : float;
   cross_envelope : Minplus.Curve.t;
@@ -27,6 +30,7 @@ let additive_delay_bound ~nodes ~through =
   let rec go envelope total = function
     | [] -> total
     | nd :: rest ->
+      if !Telemetry.on then Telemetry.Counter.incr c_additive_nodes;
       let service = node_service nd ~theta:0. in
       let d = Minplus.Deviation.horizontal ~arrival:envelope ~service in
       if not (Float.is_finite d) then infinity
@@ -41,7 +45,17 @@ let backlog_bound ~nodes ~through ~thetas =
   Minplus.Deviation.vertical ~arrival:through ~service
 
 let delay_bound_uniform_theta ?(theta_points = 64) ~nodes through =
-  let f theta = delay_bound ~nodes ~through ~thetas:(List.map (fun _ -> theta) nodes) in
+  Telemetry.span "det_e2e.theta_search"
+    ~attrs:
+      [
+        ("h", Telemetry.Int (List.length nodes));
+        ("points", Telemetry.Int theta_points);
+      ]
+  @@ fun () ->
+  let f theta =
+    if !Telemetry.on then Telemetry.Counter.incr c_theta_evals;
+    delay_bound ~nodes ~through ~thetas:(List.map (fun _ -> theta) nodes)
+  in
   (* Bracket: a reasonable upper end for theta is the single-node FIFO-style
      horizon burst/(C - rates); use the largest finite bound scale found by
      doubling. *)

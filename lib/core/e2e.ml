@@ -2,6 +2,9 @@
 
 module Exp = Envelope.Exponential
 
+let c_objective_evals = Telemetry.Counter.make "e2e.eq38.objective_evals"
+let c_gamma_evals = Telemetry.Counter.make "e2e.gamma.evals"
+
 type node = {
   capacity : float;
   cross_rho : float;
@@ -96,6 +99,9 @@ let theta_of_x p ~gamma ~sigma ~x h =
       let cross_part = (nd.cross_rho +. gamma) *. Float.max 0. (x +. d) in
       Float.max 0. (((sigma +. cross_part) /. c_h) -. x)
 
+(* No per-call telemetry here: at ~10^7 calls per figure sweep even a
+   guarded counter increment is measurable.  Callers that iterate over
+   candidate sets account for their evaluations in one [Counter.add]. *)
 let objective p ~gamma ~sigma x =
   let acc = ref x in
   for h = 0 to hop_count p - 1 do
@@ -131,6 +137,8 @@ let x_candidates p ~gamma ~sigma =
 let delay_given p ~gamma ~sigma =
   if sigma < 0. then invalid_arg "E2e.delay_given: negative sigma";
   let cands = x_candidates p ~gamma ~sigma in
+  if !Telemetry.on then
+    Telemetry.Counter.add c_objective_evals (List.length cands);
   (* The objective is piecewise linear with kinks exactly at the candidate
      abscissae, so its minimum over X >= 0 is attained at one of them. *)
   List.fold_left
@@ -143,6 +151,8 @@ let delay_at_gamma p ~gamma ~epsilon =
 
 let optimal_thetas p ~gamma ~sigma =
   let cands = x_candidates p ~gamma ~sigma in
+  if !Telemetry.on then
+    Telemetry.Counter.add c_objective_evals (List.length cands + 1);
   let best =
     List.fold_left
       (fun (bx, bv) x ->
@@ -222,8 +232,13 @@ let backlog_bound ?(gamma_points = 40) ~epsilon p =
   if epsilon <= 0. || epsilon >= 1. then invalid_arg "E2e.backlog_bound: epsilon out of range";
   let gmax = gamma_max p in
   if gmax <= 0. then infinity
-  else begin
+  else
+    Telemetry.span "e2e.backlog_gamma_search"
+      ~attrs:[ ("h", Telemetry.Int (hop_count p)); ("points", Telemetry.Int gamma_points) ]
+    @@ fun () ->
+  begin
     let f gamma =
+      if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
       let sigma = sigma_for p ~gamma ~epsilon in
       backlog_given p ~gamma ~sigma
     in
@@ -253,8 +268,15 @@ let delay_bound ?(gamma_points = 40) ~epsilon p =
   if epsilon <= 0. || epsilon >= 1. then invalid_arg "E2e.delay_bound: epsilon out of range";
   let gmax = gamma_max p in
   if gmax <= 0. then infinity
-  else begin
-    let f gamma = delay_at_gamma p ~gamma ~epsilon in
+  else
+    Telemetry.span "e2e.gamma_search"
+      ~attrs:[ ("h", Telemetry.Int (hop_count p)); ("points", Telemetry.Int gamma_points) ]
+    @@ fun () ->
+  begin
+    let f gamma =
+      if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
+      delay_at_gamma p ~gamma ~epsilon
+    in
     (* Log-spaced coarse grid, then golden-section refinement around the
        best grid point. *)
     let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
@@ -361,6 +383,7 @@ let k_procedure p ~gamma ~sigma =
     in
     let k = smallest_k ~extra_ok ~h ~c ~rho_c ~gamma in
     let x = x_of k in
+    if !Telemetry.on then Telemetry.Counter.incr c_objective_evals;
     objective p ~gamma ~sigma x
   | Scheduler.Delta.Fin d ->
     (* d < 0, Eq. (42) *)
@@ -373,4 +396,5 @@ let k_procedure p ~gamma ~sigma =
     in
     let k = smallest_k ~extra_ok:(fun _ -> true) ~h ~c ~rho_c ~gamma in
     let x = x_of k in
+    if !Telemetry.on then Telemetry.Counter.incr c_objective_evals;
     objective p ~gamma ~sigma x

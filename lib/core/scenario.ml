@@ -80,7 +80,13 @@ let s_stable_max t =
    minimum with a typed diagnostic: [Unstable] when no stable [s] exists
    (or every grid point is infeasible in gamma), [Non_finite] when a NaN
    leaks out of the inner optimization. *)
+let c_s_evals = Telemetry.Counter.make "scenario.s_grid.evals"
+let c_edf_iters = Telemetry.Counter.make "scenario.edf.iterations"
+
 let minimize_over_s_checked ~s_points t f =
+  Telemetry.span "scenario.s_grid"
+    ~attrs:[ ("h", Telemetry.Int t.h); ("s_points", Telemetry.Int s_points) ]
+  @@ fun () ->
   match s_stable_max t with
   | None -> Diag.outcome Diag.Unstable infinity
   | Some s_max ->
@@ -117,6 +123,14 @@ let minimize_over_s_checked ~s_points t f =
       else if Float.is_finite !sbest then Diag.Converged
       else Diag.Unstable
     in
+    Telemetry.Counter.add c_s_evals !evals;
+    Telemetry.event "scenario.s_grid.result"
+      ~attrs:
+        [
+          ("evals", Telemetry.Int !evals);
+          ("status", Telemetry.Str (Diag.status_to_string status));
+          ("best", Telemetry.Float !sbest);
+        ];
     Diag.outcome ~iterations:!evals status !sbest
 
 let delay_bound_checked ?(s_points = 32) ~scheduler t =
@@ -149,6 +163,10 @@ let edf_tolerance = 1e-6
 let delay_bound_edf_checked ?(s_points = 32) ?(max_iter = 60) ~spec t =
   if spec.cross_over_through <= 0. || Float.is_nan spec.cross_over_through then
     invalid_arg "Scenario.delay_bound_edf: non-positive deadline ratio";
+  Telemetry.span "scenario.edf_fixed_point"
+    ~attrs:
+      [ ("h", Telemetry.Int t.h); ("ratio", Telemetry.Float spec.cross_over_through) ]
+  @@ fun () ->
   let hf = float_of_int t.h in
   let result bound iterations =
     let d_through = bound /. hf in
@@ -174,6 +192,9 @@ let delay_bound_edf_checked ?(s_points = 32) ?(max_iter = 60) ~spec t =
       if n >= max_iter then (d, n, Diag.Diverged, infinity)
       else
         let d' = bound_for (gap_of d) in
+        if !Telemetry.on then Telemetry.Counter.incr c_edf_iters;
+        Telemetry.event "scenario.edf.iter"
+          ~attrs:[ ("n", Telemetry.Int (n + 1)); ("bound", Telemetry.Float d') ];
         if Float.is_nan d' then (d', n + 1, Diag.Non_finite, infinity)
         else if not (Float.is_finite d') then (d', n + 1, Diag.Unstable, infinity)
         else if Float.abs (d' -. d) <= edf_tolerance *. d' then

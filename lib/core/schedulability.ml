@@ -31,8 +31,16 @@ let slack ~capacity ~delay flows =
 
 let check ~capacity ~delay flows = slack ~capacity ~delay flows >= -1e-9
 
+let c_feasibility_checks = Telemetry.Counter.make "schedulability.feasibility_checks"
+
 let min_delay ?(tol = 1e-9) ~capacity flows =
-  let ok d = check ~capacity ~delay:d flows in
+  Telemetry.span "schedulability.min_delay"
+    ~attrs:[ ("flows", Telemetry.Int (List.length flows)) ]
+  @@ fun () ->
+  let ok d =
+    if !Telemetry.on then Telemetry.Counter.incr c_feasibility_checks;
+    check ~capacity ~delay:d flows
+  in
   (* Bracket: grow the upper end geometrically; give up on overload. *)
   let rec bracket hi tries =
     if tries = 0 then None else if ok hi then Some hi else bracket (2. *. hi) (tries - 1)

@@ -1,5 +1,10 @@
 (* Min-plus convolution and deconvolution on piecewise-linear curves. *)
 
+let c_convolve = Telemetry.Counter.make "minplus.convolve.calls"
+let h_convolve_segments = Telemetry.Histogram.make "minplus.convolve.segments"
+let c_deconvolve = Telemetry.Counter.make "minplus.deconvolve.calls"
+let h_deconvolve_candidates = Telemetry.Histogram.make "minplus.deconvolve.candidates"
+
 type interval_piece = {
   a : float;  (* left end *)
   b : float;  (* right end, possibly infinity *)
@@ -50,6 +55,11 @@ let convolve f g =
   let candidates =
     List.concat_map (fun u -> List.map (fun v -> conv_pieces u v) gs) fs
   in
+  if !Telemetry.on then begin
+    Telemetry.Counter.incr c_convolve;
+    Telemetry.Histogram.observe h_convolve_segments
+      (float_of_int (List.length candidates))
+  end;
   match candidates with
   | [] ->
     (* both curves are identically infinite beyond 0; approximate by delta *)
@@ -164,6 +174,11 @@ let deconvolve f g =
          if d >= 0. then Some d else None) xg) xf
     |> List.sort_uniq compare
   in
+  if !Telemetry.on then begin
+    Telemetry.Counter.incr c_deconvolve;
+    Telemetry.Histogram.observe h_deconvolve_candidates
+      (float_of_int (List.length ts))
+  end;
   let vals = List.map (fun t -> (t, Float.max 0. (deconvolve_eval f g t))) ts in
   let ult = Curve.ultimate_rate f in
   let rec build = function

@@ -3,6 +3,10 @@
 (* A NaN deviation means an operand was ill-formed (e.g. built from
    non-finite constants that slipped past the constructors); returning it
    silently would poison every bound computed from it. *)
+let c_horizontal = Telemetry.Counter.make "minplus.deviation.horizontal.calls"
+let c_vertical = Telemetry.Counter.make "minplus.deviation.vertical.calls"
+let h_candidates = Telemetry.Histogram.make "minplus.deviation.candidates"
+
 let checked name v =
   if Float.is_nan v then
     invalid_arg (name ^ ": NaN deviation (ill-conditioned operands)")
@@ -37,6 +41,11 @@ let horizontal ~arrival:e ~service:s =
       1. +. List.fold_left Float.max 0. (Curve.breakpoints e @ Curve.breakpoints s)
     in
     let candidates = far :: candidates in
+    if !Telemetry.on then begin
+      Telemetry.Counter.incr c_horizontal;
+      Telemetry.Histogram.observe h_candidates
+        (float_of_int (List.length candidates))
+    end;
     let d_at t =
       let y = Curve.eval e t in
       if y = 0. then 0. else Float.max 0. (Curve.inverse s y -. t)
@@ -56,6 +65,10 @@ let vertical ~arrival:e ~service:s =
   else begin
     let xs = List.sort_uniq compare (Curve.breakpoints e @ Curve.breakpoints s) in
     let far = 1. +. List.fold_left Float.max 0. xs in
+    if !Telemetry.on then begin
+      Telemetry.Counter.incr c_vertical;
+      Telemetry.Histogram.observe h_candidates (float_of_int (List.length xs + 1))
+    end;
     let gap t =
       let right = Curve.eval e t -. Curve.eval s t in
       let left = if t > 0. then Curve.eval_left e t -. Curve.eval_left s t else neg_infinity in

@@ -49,6 +49,8 @@ type process = {
   mutable slot : int;
   mutable degraded : bool;  (* Gilbert state *)
   mutable sum_factor : float;
+  mutable transitions : int;  (* realized healthy<->degraded flips *)
+  mutable degraded_slots : int;
 }
 
 let make ?rng spec =
@@ -56,7 +58,8 @@ let make ?rng spec =
   (match spec with
   | Gilbert _ when rng = None -> invalid_arg "Faults.make: Gilbert process needs an rng"
   | _ -> ());
-  { spec; rng; slot = 0; degraded = false; sum_factor = 0. }
+  { spec; rng; slot = 0; degraded = false; sum_factor = 0.; transitions = 0;
+    degraded_slots = 0 }
 
 let step p =
   let factor =
@@ -71,19 +74,30 @@ let step p =
       let rng = Option.get p.rng in
       let f = if p.degraded then factor else 1. in
       (if p.degraded then begin
-         if Desim.Prng.bernoulli rng ~p:p_recover then p.degraded <- false
+         if Desim.Prng.bernoulli rng ~p:p_recover then begin
+           p.degraded <- false;
+           p.transitions <- p.transitions + 1
+         end
        end
-       else if Desim.Prng.bernoulli rng ~p:p_fail then p.degraded <- true);
+       else if Desim.Prng.bernoulli rng ~p:p_fail then begin
+         p.degraded <- true;
+         p.transitions <- p.transitions + 1
+       end);
       f
   in
   p.slot <- p.slot + 1;
   p.sum_factor <- p.sum_factor +. factor;
+  if factor < 1. then p.degraded_slots <- p.degraded_slots + 1;
   factor
 
 let slots p = p.slot
 
 let mean_factor p =
   if p.slot = 0 then 1. else p.sum_factor /. float_of_int p.slot
+
+let transitions p = p.transitions
+
+let degraded_slots p = p.degraded_slots
 
 (* ---------------- textual specs (CLI / checkpoint headers) ---------------- *)
 

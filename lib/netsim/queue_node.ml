@@ -23,7 +23,15 @@ type t = {
   per_class_backlog : float array;
   (* Non-preemptive mode: the packet currently on the wire, if any. *)
   mutable in_service : batch option;
+  (* Queue-depth high-water mark (kb, all classes); always maintained — a
+     float compare per offer — so telemetry can read it after the run. *)
+  mutable high_water : float;
 }
+
+let c_offers = Telemetry.Counter.make "netsim.node.offers"
+let c_packets = Telemetry.Counter.make "netsim.node.packets"
+let c_slots = Telemetry.Counter.make "netsim.node.slots"
+let c_degraded_slots = Telemetry.Counter.make "netsim.node.degraded_slots"
 
 let create ?packet_size ?faults ~capacity ~classes discipline =
   if capacity <= 0. then invalid_arg "Queue_node.create: non-positive capacity";
@@ -49,6 +57,7 @@ let create ?packet_size ?faults ~capacity ~classes discipline =
     state;
     per_class_backlog = Array.make classes 0.;
     in_service = None;
+    high_water = 0.;
   }
 
 let capacity t = t.capacity
@@ -58,9 +67,13 @@ let offer t ~now ~cls size =
   if size < 0. then invalid_arg "Queue_node.offer: negative size";
   if size > 0. then begin
     t.per_class_backlog.(cls) <- t.per_class_backlog.(cls) +. size;
+    let depth = Array.fold_left ( +. ) 0. t.per_class_backlog in
+    if depth > t.high_water then t.high_water <- depth;
+    if !Telemetry.on then Telemetry.Counter.incr c_offers;
     match t.state with
     | Heap_state (p, heap) ->
       let push size =
+        if !Telemetry.on then Telemetry.Counter.incr c_packets;
         let key = Scheduler.Policy.key p ~arrival:now ~cls ~size in
         Desim.Heap.push heap { key; cls; size }
       in
@@ -151,8 +164,12 @@ let serve_slot t =
   let capacity =
     match t.faults with
     | None -> t.capacity
-    | Some p -> t.capacity *. Faults.step p
+    | Some p ->
+      let factor = Faults.step p in
+      if factor < 1. && !Telemetry.on then Telemetry.Counter.incr c_degraded_slots;
+      t.capacity *. factor
   in
+  if !Telemetry.on then Telemetry.Counter.incr c_slots;
   match (t.state, t.packet_size) with
   | (Heap_state (_, heap), None) -> serve_heap_fluid t ~capacity heap
   | (Heap_state (_, heap), Some _) -> serve_heap_packetized t ~capacity heap
@@ -162,6 +179,11 @@ let fault_mean_factor t =
   match t.faults with None -> 1. | Some p -> Faults.mean_factor p
 
 let backlog t = Array.fold_left ( +. ) 0. t.per_class_backlog
+
+let high_water t = t.high_water
+
+let fault_transitions t =
+  match t.faults with None -> 0 | Some p -> Faults.transitions p
 
 let backlog_of t ~cls =
   if cls < 0 || cls >= t.classes then invalid_arg "Queue_node.backlog_of: class out of range";

@@ -51,3 +51,11 @@ val backlog : t -> float
 (** Total queued kb. *)
 
 val backlog_of : t -> cls:int -> float
+
+val high_water : t -> float
+(** Largest total backlog (kb, all classes) observed at this node so far —
+    the queue-depth high-water mark surfaced by telemetry. *)
+
+val fault_transitions : t -> int
+(** Realized state transitions of the attached fault process ([0] for a
+    healthy node or a process that never changed state). *)

@@ -48,13 +48,59 @@ let summarize ~requested ~retried ~resumed ~failures values =
 (* ---------------- checkpoint file ---------------- *)
 
 (* Line-oriented text format, one completed replication per line:
-     deltanet-replicate v1 <base_seed> <runs>
+     deltanet-replicate v<N> <base_seed> <runs>
      <index> <value>
    Appended and flushed after every completed run, so a killed sweep loses
-   at most the replication in flight. *)
+   at most the replication in flight.
+
+   The schema version in the header is checked explicitly: a checkpoint
+   written by a build with a different format is rejected with a version
+   message instead of being silently misread (v1 files carried the same
+   line layout but no versioning contract, so they are rejected too). *)
+
+let checkpoint_version = 2
 
 let checkpoint_header ~base_seed ~runs =
-  Printf.sprintf "deltanet-replicate v1 %Ld %d" base_seed runs
+  Printf.sprintf "deltanet-replicate v%d %Ld %d" checkpoint_version base_seed runs
+
+let check_checkpoint_header path header ~base_seed ~runs =
+  match String.split_on_char ' ' (String.trim header) with
+  | "deltanet-replicate" :: version :: rest -> (
+    let v =
+      if String.length version > 1 && version.[0] = 'v' then
+        int_of_string_opt (String.sub version 1 (String.length version - 1))
+      else None
+    in
+    match v with
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Replicate: checkpoint %s has a malformed schema version %S (expected v%d)"
+           path version checkpoint_version)
+    | Some v when v <> checkpoint_version ->
+      invalid_arg
+        (Printf.sprintf
+           "Replicate: checkpoint %s uses schema v%d, but this build writes v%d — \
+            rerun the sweep from scratch (delete the file) or use the matching build"
+           path v checkpoint_version)
+    | Some _ -> (
+      match rest with
+      | [ seed; runs_s ]
+        when seed = Printf.sprintf "%Ld" base_seed
+             && runs_s = string_of_int runs ->
+        ()
+      | _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Replicate: checkpoint %s does not match this sweep (found %S, expected %S)"
+             path header
+             (checkpoint_header ~base_seed ~runs))))
+  | _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Replicate: %s is not a deltanet-replicate checkpoint (no schema header, \
+          found %S)"
+         path header)
 
 let load_checkpoint path ~base_seed ~runs =
   let tbl = Hashtbl.create 16 in
@@ -64,13 +110,7 @@ let load_checkpoint path ~base_seed ~runs =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
         (match input_line ic with
-        | header when header = checkpoint_header ~base_seed ~runs -> ()
-        | header ->
-          invalid_arg
-            (Printf.sprintf
-               "Replicate: checkpoint %s does not match this sweep (found %S, expected %S)"
-               path header
-               (checkpoint_header ~base_seed ~runs))
+        | header -> check_checkpoint_header path header ~base_seed ~runs
         | exception End_of_file -> ());
         let rec loop () =
           match input_line ic with
@@ -89,7 +129,11 @@ let load_checkpoint path ~base_seed ~runs =
   tbl
 
 let open_checkpoint path ~base_seed ~runs =
-  let fresh = not (Sys.file_exists path) in
+  (* an existing-but-empty file (e.g. one pre-created by mktemp) still
+     needs the schema header *)
+  let fresh =
+    (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0
+  in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   if fresh then begin
     output_string oc (checkpoint_header ~base_seed ~runs);
@@ -104,6 +148,11 @@ let record_checkpoint oc index value =
 
 (* ---------------- the resilient driver ---------------- *)
 
+let c_retries = Telemetry.Counter.make "netsim.replicate.retries"
+let c_failures = Telemetry.Counter.make "netsim.replicate.failures"
+let c_completed = Telemetry.Counter.make "netsim.replicate.completed"
+let c_resumed = Telemetry.Counter.make "netsim.replicate.resumed"
+
 let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
   if runs < 2 then invalid_arg "Replicate: need at least two runs";
   if max_retries < 0 then invalid_arg "Replicate: negative max_retries";
@@ -111,12 +160,18 @@ let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
   | Some w when Float.is_nan w || w <= 0. ->
     invalid_arg "Replicate: max_wall must be positive"
   | _ -> ());
+  Telemetry.span "netsim.replicate.sweep" ~attrs:[ ("runs", Telemetry.Int runs) ]
+  @@ fun () ->
   let seeds = seeds ~runs ~base_seed in
   let done_ = match checkpoint with
     | None -> Hashtbl.create 0
     | Some path -> load_checkpoint path ~base_seed ~runs
   in
   let resumed = Hashtbl.length done_ in
+  if resumed > 0 then begin
+    Telemetry.Counter.add c_resumed resumed;
+    Telemetry.event "replicate.resume" ~attrs:[ ("replications", Telemetry.Int resumed) ]
+  end;
   let oc = Option.map (fun path -> open_checkpoint path ~base_seed ~runs) checkpoint in
   Fun.protect
     ~finally:(fun () -> Option.iter close_out_noerr oc)
@@ -149,10 +204,26 @@ let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
         | Error (reason, retryable) ->
           if retryable && attempt < max_retries then begin
             incr retried;
+            Telemetry.Counter.incr c_retries;
+            Telemetry.event "replicate.retry"
+              ~attrs:
+                [
+                  ("index", Telemetry.Int index);
+                  ("attempt", Telemetry.Int (attempt + 1));
+                  ("reason", Telemetry.Str reason);
+                ];
             run_one index ~attempt:(attempt + 1)
           end
           else begin
             failures := { index; attempts = attempt + 1; reason } :: !failures;
+            Telemetry.Counter.incr c_failures;
+            Telemetry.event "replicate.failure"
+              ~attrs:
+                [
+                  ("index", Telemetry.Int index);
+                  ("attempts", Telemetry.Int (attempt + 1));
+                  ("reason", Telemetry.Str reason);
+                ];
             None
           end
       in
@@ -163,6 +234,7 @@ let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
         | None -> (
           match run_one index ~attempt:0 with
           | Some v ->
+            Telemetry.Counter.incr c_completed;
             Option.iter (fun oc -> record_checkpoint oc index v) oc;
             values := v :: !values
           | None -> ())

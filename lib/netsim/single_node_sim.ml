@@ -31,10 +31,16 @@ type result = {
   fault_factor : float;
 }
 
+let c_sim_slots = Telemetry.Counter.make "netsim.single_node.slots"
+let g_backlog_hwm = Telemetry.Gauge.make "netsim.single_node.backlog_hwm"
+
 let run cfg =
   let k = Array.length cfg.classes in
   if k = 0 then invalid_arg "Single_node_sim.run: no classes";
   if cfg.slots <= 0 then invalid_arg "Single_node_sim.run: non-positive horizon";
+  Telemetry.span "netsim.single_node.run"
+    ~attrs:[ ("classes", Telemetry.Int k); ("slots", Telemetry.Int cfg.slots) ]
+  @@ fun () ->
   let rng = Desim.Prng.create ~seed:cfg.seed in
   let sources =
     Array.map
@@ -90,6 +96,17 @@ let run cfg =
         done;
         sample)
   in
+  if Telemetry.is_enabled () then begin
+    Telemetry.Counter.add c_sim_slots total_slots;
+    Telemetry.Gauge.set g_backlog_hwm (Queue_node.high_water node);
+    Telemetry.event "single_node.done"
+      ~attrs:
+        [
+          ("backlog_hwm", Telemetry.Float (Queue_node.high_water node));
+          ("fault_factor", Telemetry.Float (Queue_node.fault_mean_factor node));
+          ("fault_transitions", Telemetry.Int (Queue_node.fault_transitions node));
+        ]
+  end;
   {
     delays;
     utilization = !served /. (cfg.capacity *. float_of_int total_slots);

@@ -47,9 +47,15 @@ type result = {
 let through_class = 0
 let cross_class = 1
 
+let c_sim_slots = Telemetry.Counter.make "netsim.tandem.slots"
+let g_backlog_hwm = Telemetry.Gauge.make "netsim.tandem.backlog_hwm"
+
 let run cfg =
   if cfg.h <= 0 then invalid_arg "Tandem.run: non-positive path length";
   if cfg.slots <= 0 then invalid_arg "Tandem.run: non-positive horizon";
+  Telemetry.span "netsim.tandem.run"
+    ~attrs:[ ("h", Telemetry.Int cfg.h); ("slots", Telemetry.Int cfg.slots) ]
+  @@ fun () ->
   let rng = Desim.Prng.create ~seed:cfg.seed in
   let policy =
     Scheduler.Policy.of_two_class cfg.scheduler ~through_deadline:cfg.through_deadline
@@ -156,6 +162,29 @@ let run cfg =
     Array.map (fun s -> s /. (cfg.capacity *. float_of_int total_slots)) served_total
   in
   let fault_factor = Array.map Queue_node.fault_mean_factor nodes in
+  if Telemetry.is_enabled () then begin
+    Telemetry.Counter.add c_sim_slots total_slots;
+    Array.iteri
+      (fun i node ->
+        Telemetry.Gauge.set g_backlog_hwm (Queue_node.high_water node);
+        Telemetry.event "tandem.node"
+          ~attrs:
+            [
+              ("node", Telemetry.Int i);
+              ("utilization", Telemetry.Float utilization.(i));
+              ("backlog_hwm", Telemetry.Float (Queue_node.high_water node));
+              ("fault_factor", Telemetry.Float fault_factor.(i));
+              ("fault_transitions", Telemetry.Int (Queue_node.fault_transitions node));
+            ])
+      nodes;
+    Telemetry.event "tandem.done"
+      ~attrs:
+        [
+          ("through_kb", Telemetry.Float !acc_in);
+          ("censored_kb", Telemetry.Float !censored);
+          ("delay_samples", Telemetry.Int (Desim.Stats.Sample.count delays));
+        ]
+  end;
   {
     delays;
     through_backlog;

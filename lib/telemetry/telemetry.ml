@@ -1,0 +1,434 @@
+(* Zero-dependency observability: metric registry, spans, pluggable sinks.
+
+   The enabled flag is the single hot-path gate: every recording entry
+   point loads it and branches before doing any work, so instrumentation
+   left in tight loops costs one predictable branch when telemetry is off. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type kv = string * value
+
+let enabled = ref false
+let is_enabled () = !enabled
+let on = enabled
+let now () = Unix.gettimeofday ()
+
+(* ---------------- JSON / CSV emission ---------------- *)
+
+module Json = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let number x = if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
+
+  let of_value = function
+    | Int i -> string_of_int i
+    | Float x -> number x
+    | Str s -> "\"" ^ escape s ^ "\""
+    | Bool b -> if b then "true" else "false"
+
+  let obj fields =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ v) fields)
+    ^ "}"
+
+  let arr items = "[" ^ String.concat "," items ^ "]"
+end
+
+module Csv = struct
+  let cell v = if Float.is_finite v then Printf.sprintf "%.6g" v else ""
+  let row vs = String.concat "," (List.map cell vs)
+end
+
+(* ---------------- sinks ---------------- *)
+
+module Sink = struct
+  type event =
+    | Span_start of { name : string; depth : int; attrs : kv list }
+    | Span_end of {
+        name : string;
+        depth : int;
+        elapsed_ms : float;
+        attrs : kv list;
+      }
+    | Point of {
+        span : string option;
+        depth : int;
+        name : string;
+        attrs : kv list;
+      }
+    | Metric of { kind : string; name : string; fields : kv list }
+
+  type t = { emit : event -> unit; flush : unit -> unit }
+
+  let make ~emit ~flush = { emit; flush }
+  let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+  let pp_attrs ppf = function
+    | [] -> ()
+    | attrs ->
+      Format.fprintf ppf " {";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Format.fprintf ppf " ";
+          let s =
+            match v with
+            | Int n -> string_of_int n
+            | Float x -> Printf.sprintf "%g" x
+            | Str s -> s
+            | Bool b -> string_of_bool b
+          in
+          Format.fprintf ppf "%s=%s" k s)
+        attrs;
+      Format.fprintf ppf "}"
+
+  let fmt ?ppf () =
+    let ppf = match ppf with Some p -> p | None -> Format.err_formatter in
+    let indent d = String.make (2 * d) ' ' in
+    let emit = function
+      | Span_start { name; depth; attrs } ->
+        Format.fprintf ppf "%s> %s%a@." (indent depth) name pp_attrs attrs
+      | Span_end { name; depth; elapsed_ms; attrs } ->
+        Format.fprintf ppf "%s< %s %.3fms%a@." (indent depth) name elapsed_ms
+          pp_attrs attrs
+      | Point { span = _; depth; name; attrs } ->
+        Format.fprintf ppf "%s. %s%a@." (indent depth) name pp_attrs attrs
+      | Metric { kind; name; fields } ->
+        Format.fprintf ppf "# %s %s%a@." kind name pp_attrs fields
+    in
+    { emit; flush = (fun () -> Format.pp_print_flush ppf ()) }
+
+  let jsonl oc =
+    let epoch = now () in
+    let ts () = ("ts", Json.number (now () -. epoch)) in
+    let attr_fields attrs = List.map (fun (k, v) -> (k, Json.of_value v)) attrs in
+    let line fields =
+      output_string oc (Json.obj fields);
+      output_char oc '\n'
+    in
+    let emit = function
+      | Span_start { name; depth; attrs } ->
+        line
+          ([ ("type", "\"span_start\""); ts ();
+             ("name", Json.of_value (Str name)); ("depth", string_of_int depth) ]
+          @ attr_fields attrs)
+      | Span_end { name; depth; elapsed_ms; attrs } ->
+        line
+          ([ ("type", "\"span_end\""); ts ();
+             ("name", Json.of_value (Str name)); ("depth", string_of_int depth);
+             ("elapsed_ms", Json.number elapsed_ms) ]
+          @ attr_fields attrs)
+      | Point { span; depth = _; name; attrs } ->
+        let span_field =
+          match span with
+          | None -> []
+          | Some s -> [ ("span", Json.of_value (Str s)) ]
+        in
+        line
+          ([ ("type", "\"event\""); ts (); ("name", Json.of_value (Str name)) ]
+          @ span_field @ attr_fields attrs)
+      | Metric { kind; name; fields } ->
+        line
+          ([ ("type", Json.of_value (Str kind));
+             ("name", Json.of_value (Str name)) ]
+          @ attr_fields fields)
+    in
+    { emit; flush = (fun () -> flush oc) }
+
+  let tee sinks =
+    {
+      emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
+      flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+    }
+end
+
+let sink = ref Sink.null
+let emit e = !sink.Sink.emit e
+
+(* ---------------- metric registry ---------------- *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_last : float; mutable g_max : float }
+
+(* Base-2 log buckets: bucket [i] holds x with 2^(i-65) <= x < 2^(i-64)
+   (frexp exponent clamped to [-64, 64]); bucket 0 holds x <= 0. *)
+let hist_buckets = 130
+
+type histogram = {
+  hg_name : string;
+  hg_counts : int array;
+  mutable hg_n : int;
+  mutable hg_sum : float;
+  mutable hg_min : float;
+  mutable hg_max : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register name mk =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+    let m = mk () in
+    Hashtbl.replace registry name m;
+    m
+
+module Counter = struct
+  type t = counter
+
+  let make name =
+    match register name (fun () -> C { c_name = name; c_value = 0 }) with
+    | C c -> c
+    | _ -> invalid_arg ("Telemetry.Counter.make: " ^ name ^ " is not a counter")
+
+  let add c by = if !enabled then c.c_value <- c.c_value + by
+  let incr c = add c 1
+  let value c = c.c_value
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make name =
+    match
+      register name (fun () ->
+          G { g_name = name; g_last = nan; g_max = neg_infinity })
+    with
+    | G g -> g
+    | _ -> invalid_arg ("Telemetry.Gauge.make: " ^ name ^ " is not a gauge")
+
+  let set g v =
+    if !enabled then begin
+      g.g_last <- v;
+      if v > g.g_max then g.g_max <- v
+    end
+
+  let value g = g.g_last
+  let max_value g = g.g_max
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let make name =
+    match
+      register name (fun () ->
+          H
+            {
+              hg_name = name;
+              hg_counts = Array.make hist_buckets 0;
+              hg_n = 0;
+              hg_sum = 0.;
+              hg_min = infinity;
+              hg_max = neg_infinity;
+            })
+    with
+    | H h -> h
+    | _ ->
+      invalid_arg ("Telemetry.Histogram.make: " ^ name ^ " is not a histogram")
+
+  let bucket_of x =
+    if not (x > 0.) then 0
+    else
+      let (_, e) = Float.frexp x in
+      let i = e + 65 in
+      if i < 1 then 1 else if i >= hist_buckets then hist_buckets - 1 else i
+
+  (* [frexp x = (m, e)] with [m] in [0.5, 1), so bucket [i = e + 65] holds
+     x in [2^(e-1), 2^e) and its tight upper bound is 2^e = 2^(i - 65). *)
+  let bucket_upper i = if i = 0 then 0. else Float.ldexp 1. (i - 65)
+
+  let observe h x =
+    if !enabled && not (Float.is_nan x) then begin
+      h.hg_counts.(bucket_of x) <- h.hg_counts.(bucket_of x) + 1;
+      h.hg_n <- h.hg_n + 1;
+      h.hg_sum <- h.hg_sum +. x;
+      if x < h.hg_min then h.hg_min <- x;
+      if x > h.hg_max then h.hg_max <- x
+    end
+
+  let count h = h.hg_n
+  let sum h = h.hg_sum
+
+  let quantile h q =
+    if h.hg_n = 0 then nan
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let target = int_of_float (Float.round (q *. float_of_int h.hg_n)) in
+      let target = if target < 1 then 1 else target in
+      let acc = ref 0 and i = ref 0 in
+      while !acc < target && !i < hist_buckets - 1 do
+        acc := !acc + h.hg_counts.(!i);
+        if !acc < target then incr i
+      done;
+      Float.min (bucket_upper !i) h.hg_max
+    end
+end
+
+(* ---------------- spans and events ---------------- *)
+
+let stack : string list ref = ref []
+
+let span_hist name = Histogram.make ("span." ^ name ^ ".ms")
+let span_calls name = Counter.make ("span." ^ name ^ ".calls")
+
+let span ?(attrs = []) name f =
+  if not !enabled then f ()
+  else begin
+    let depth = List.length !stack in
+    emit (Sink.Span_start { name; depth; attrs });
+    stack := name :: !stack;
+    let t0 = now () in
+    let close extra =
+      let elapsed_ms = (now () -. t0) *. 1000. in
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      (* histogram/counter before the enabled-recheck: shutdown inside the
+         span would otherwise lose the closing sample *)
+      Histogram.observe (span_hist name) elapsed_ms;
+      Counter.incr (span_calls name);
+      emit (Sink.Span_end { name; depth; elapsed_ms; attrs = extra })
+    in
+    match f () with
+    | v ->
+      close [];
+      v
+    | exception e ->
+      close [ ("error", Str (Printexc.to_string e)) ];
+      raise e
+  end
+
+let event ?(attrs = []) name =
+  if !enabled then
+    emit
+      (Sink.Point
+         {
+           span = (match !stack with [] -> None | s :: _ -> Some s);
+           depth = List.length !stack;
+           name;
+           attrs;
+         })
+
+(* ---------------- snapshots ---------------- *)
+
+type histogram_view = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float * float) list;
+  histograms : (string * histogram_view) list;
+}
+
+let hist_view h =
+  {
+    h_count = h.hg_n;
+    h_sum = h.hg_sum;
+    h_min = (if h.hg_n = 0 then nan else h.hg_min);
+    h_max = (if h.hg_n = 0 then nan else h.hg_max);
+    h_p50 = Histogram.quantile h 0.5;
+    h_p90 = Histogram.quantile h 0.9;
+    h_p99 = Histogram.quantile h 0.99;
+  }
+
+let snapshot () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> counters := (c.c_name, c.c_value) :: !counters
+      | G g -> gauges := (g.g_name, g.g_last, g.g_max) :: !gauges
+      | H h -> histograms := (h.hg_name, hist_view h) :: !histograms)
+    registry;
+  {
+    counters = List.sort compare !counters;
+    gauges = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !gauges;
+    histograms =
+      List.sort (fun (a, _) (b, _) -> compare a b) !histograms;
+  }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.c_value <- 0
+      | G g ->
+        g.g_last <- nan;
+        g.g_max <- neg_infinity
+      | H h ->
+        Array.fill h.hg_counts 0 hist_buckets 0;
+        h.hg_n <- 0;
+        h.hg_sum <- 0.;
+        h.hg_min <- infinity;
+        h.hg_max <- neg_infinity)
+    registry
+
+(* ---------------- lifecycle ---------------- *)
+
+let configure ?sink:(s = Sink.null) () =
+  sink := s;
+  stack := [];
+  enabled := true
+
+let shutdown () =
+  if !enabled then begin
+    (* only metrics that saw activity: a quiet registry row says nothing *)
+    let snap = snapshot () in
+    List.iter
+      (fun (name, v) ->
+        if v <> 0 then
+          emit (Sink.Metric { kind = "counter"; name; fields = [ ("value", Int v) ] }))
+      snap.counters;
+    List.iter
+      (fun (name, last, mx) ->
+        if not (Float.is_nan last) then
+          emit
+            (Sink.Metric
+               { kind = "gauge"; name;
+                 fields = [ ("value", Float last); ("max", Float mx) ] }))
+      snap.gauges;
+    List.iter
+      (fun (name, hv) ->
+        if hv.h_count > 0 then
+          emit
+          (Sink.Metric
+             {
+               kind = "histogram";
+               name;
+               fields =
+                 [
+                   ("count", Int hv.h_count);
+                   ("sum", Float hv.h_sum);
+                   ("min", Float hv.h_min);
+                   ("max", Float hv.h_max);
+                   ("p50", Float hv.h_p50);
+                   ("p90", Float hv.h_p90);
+                   ("p99", Float hv.h_p99);
+                 ];
+             }))
+      snap.histograms;
+    !sink.Sink.flush ();
+    enabled := false;
+    sink := Sink.null
+  end

@@ -1,0 +1,194 @@
+(** Zero-dependency observability: counters, gauges, log-scale histograms,
+    monotonic timers and nestable spans with structured key/value events,
+    behind pluggable sinks.
+
+    Design constraints, in priority order:
+
+    - {b Disabled means free.}  Telemetry starts disabled; every recording
+      entry point is a single load-and-branch until {!configure} is called,
+      so instrumented hot loops (the Eq.-38 objective, the per-slot
+      simulator) pay no measurable cost in production runs.
+    - {b Metrics are pull, events are push.}  Counters, gauges and
+      histograms accumulate in a process-global registry and are read with
+      {!snapshot} (or emitted to the sink on {!shutdown}); span boundaries
+      and key/value events stream to the configured {!Sink.t} as they
+      happen.
+    - {b No dependencies.}  Only the standard library and [unix] (for the
+      wall clock), so every sublibrary — including [minplus] at the bottom
+      of the dependency tree — can be instrumented. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type kv = string * value
+
+val is_enabled : unit -> bool
+(** [true] between {!configure} and {!shutdown}.  Guard any argument
+    computation that is only needed for telemetry (recording entry points
+    below already guard themselves). *)
+
+val on : bool ref
+(** The live enabled flag itself.  Per-iteration hot paths (the Eq.-38
+    objective, the per-slot simulator) guard recording with
+    [if !Telemetry.on then ...] — a single load-and-branch, cheaper than
+    the cross-module call to {!is_enabled}.  Read-only by convention: only
+    {!configure} and {!shutdown} may write it. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+(** {1 Sinks} *)
+
+module Sink : sig
+  type event =
+    | Span_start of { name : string; depth : int; attrs : kv list }
+    | Span_end of {
+        name : string;
+        depth : int;
+        elapsed_ms : float;
+        attrs : kv list;
+      }
+    | Point of { span : string option; depth : int; name : string; attrs : kv list }
+        (** A structured key/value event inside the enclosing span. *)
+    | Metric of { kind : string; name : string; fields : kv list }
+        (** One registry row ([kind] is ["counter"], ["gauge"] or
+            ["histogram"]), emitted on {!shutdown}. *)
+
+  type t
+
+  val make : emit:(event -> unit) -> flush:(unit -> unit) -> t
+
+  val null : t
+  (** Drops every event.  Counters/gauges/histograms still accumulate in
+      the registry — use this to collect {!snapshot}s without streaming. *)
+
+  val fmt : ?ppf:Format.formatter -> unit -> t
+  (** Human-readable span tree (two-space indent per depth), to [ppf]
+      (default stderr). *)
+
+  val jsonl : out_channel -> t
+  (** One JSON object per line.  Span/point records carry a ["ts"] field of
+      seconds since {!configure}.  The channel is flushed by [flush] but
+      never closed. *)
+
+  val tee : t list -> t
+end
+
+val configure : ?sink:Sink.t -> unit -> unit
+(** Enable telemetry, routing events to [sink] (default {!Sink.null}).
+    Resets the span stack and the sink epoch, not the metric registry. *)
+
+val shutdown : unit -> unit
+(** Emit every registry row as a {!Sink.Metric} event, flush the sink and
+    disable telemetry.  Idempotent; a no-op when disabled. *)
+
+(** {1 Metrics} *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Registers (or retrieves) the counter named [name].  Safe at module
+      initialization time. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+
+  val set : t -> float -> unit
+  (** Records the latest value and tracks the running maximum (high-water
+      mark). *)
+
+  val value : t -> float
+  val max_value : t -> float
+end
+
+module Histogram : sig
+  (** Log-scale (base-2 bucket) histogram of non-negative observations:
+      constant memory, O(1) insert, quantiles exact to within a factor
+      of 2. *)
+
+  type t
+
+  val make : string -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val quantile : t -> float -> float
+  (** Upper bound of the bucket holding the [q]-quantile; [nan] when
+      empty. *)
+end
+
+(** {1 Spans and events} *)
+
+val span : ?attrs:kv list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a nested span: emits
+    [Span_start]/[Span_end] (with wall-clock [elapsed_ms]) around it and
+    folds the duration into the auto-registered histogram
+    ["span.<name>.ms"] and counter ["span.<name>.calls"].  Exceptions
+    propagate after closing the span with an ["error"] attribute.  When
+    disabled this is exactly [f ()]. *)
+
+val event : ?attrs:kv list -> string -> unit
+(** Emit a structured key/value event attributed to the innermost open
+    span.  A no-op when disabled. *)
+
+(** {1 Snapshots} *)
+
+type histogram_view = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float * float) list;  (** name, last, max *)
+  histograms : (string * histogram_view) list;
+}
+(** All lists sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+(** Reads the registry; works whether telemetry is enabled or not. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (they stay registered).  For tests and
+    for delta-measurement between benchmark sections. *)
+
+(** {1 Exporters} *)
+
+module Json : sig
+  (** Minimal JSON emission — enough to write valid JSON-lines and
+      snapshot files without an external parser/printer. *)
+
+  val escape : string -> string
+  (** Contents of a JSON string literal (no surrounding quotes). *)
+
+  val number : float -> string
+  (** Non-finite floats become [null] (JSON has no [inf]/[nan]). *)
+
+  val of_value : value -> string
+
+  val obj : (string * string) list -> string
+  (** Values are raw, already-serialized JSON. *)
+
+  val arr : string list -> string
+end
+
+module Csv : sig
+  val cell : float -> string
+  (** [%.6g], except non-finite values yield an empty cell — [inf]/[nan]
+      literals break downstream CSV consumers. *)
+
+  val row : float list -> string
+  (** Comma-joined {!cell}s. *)
+end

@@ -19,4 +19,5 @@ let () =
       ("deltanet.properties", Test_properties.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("robustness", Test_robustness.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
