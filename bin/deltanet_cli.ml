@@ -7,6 +7,7 @@
      simulate        packet-level tandem simulation with delay quantiles
      replicate       independent replications with CIs, retries and resume
      schedulability  deterministic single-node check (Theorem 2)
+     check           validate domain contracts (∆ matrices, envelopes, load)
 
    Exit codes: 0 success; 1 runtime/numerical failure or partial results;
    2 invalid arguments; 3 unstable scenario (no finite bound exists).     *)
@@ -179,6 +180,9 @@ let report_diag_and_exit (diag : Diag.t) =
     exit exit_runtime
   | Diag.Non_finite ->
     Fmt.epr "numerical failure: NaN escaped the optimization@.";
+    exit exit_runtime
+  | Diag.Invalid ->
+    Fmt.epr "invalid model: a domain contract is violated (see findings above)@.";
     exit exit_runtime
 
 (* ---------------- bound ---------------- *)
@@ -598,6 +602,154 @@ let scaling_cmd =
        ~doc:"Empirical growth exponents of the delay bounds in the path length.")
     term
 
+(* ---------------- check ---------------- *)
+
+module Contracts = Deltanet.Contracts
+
+let check_cmd =
+  let matrix_conv =
+    let parse s =
+      let entry e =
+        match String.trim e with
+        | "inf" | "+inf" -> Ok Delta.Pos_inf
+        | "-inf" -> Ok Delta.Neg_inf
+        | e -> (
+          (* [float_of_string] accepts "nan": deliberately representable so
+             the checker, not the parser, rejects it as a typed finding. *)
+          match float_of_string_opt e with
+          | Some x -> Ok (Delta.Fin x)
+          | None -> Error (`Msg (Fmt.str "bad delta entry %S (float, inf, -inf or nan)" e)))
+      in
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest -> ( match entry e with Ok d -> collect (d :: acc) rest | Error _ as err -> err)
+      in
+      let rows =
+        String.split_on_char ';' s |> List.map (fun r -> String.split_on_char ',' r)
+      in
+      let n = List.length rows in
+      if List.exists (fun r -> List.length r <> n) rows then
+        Error (`Msg (Fmt.str "matrix is not square (%d row(s))" n))
+      else
+        let rec build acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | r :: rest -> (
+            match collect [] r with
+            | Ok row -> build (Array.of_list row :: acc) rest
+            | Error _ as err -> err)
+        in
+        build [] rows
+    in
+    let print ppf m =
+      let pp_row ppf row =
+        Fmt.pf ppf "%a" (Fmt.array ~sep:Fmt.comma Delta.pp) row
+      in
+      Fmt.pf ppf "%a" Fmt.(array ~sep:semi pp_row) m
+    in
+    Arg.conv (parse, print)
+  in
+  let envelope_conv =
+    let parse s =
+      let triple t =
+        match String.split_on_char ':' t with
+        | [ x; y; r ] -> (
+          match (float_of_string_opt x, float_of_string_opt y, float_of_string_opt r) with
+          | (Some x, Some y, Some r) -> Ok (x, y, r)
+          | _ -> Error (`Msg (Fmt.str "bad envelope piece %S (expected X:Y:R)" t)))
+        | _ -> Error (`Msg (Fmt.str "bad envelope piece %S (expected X:Y:R)" t))
+      in
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | t :: rest -> ( match triple t with Ok p -> collect (p :: acc) rest | Error _ as err -> err)
+      in
+      match collect [] (String.split_on_char ',' s) with
+      | Error _ as err -> err
+      | Ok triples -> (
+        try Ok (Minplus.Curve.v_unsafe triples)
+        with Invalid_argument msg -> Error (`Msg msg))
+    in
+    Arg.conv (parse, Minplus.Curve.pp)
+  in
+  let matrices_arg =
+    Arg.(
+      value
+      & opt_all matrix_conv []
+      & info [ "matrix" ] ~docv:"ROWS"
+          ~doc:
+            "Check a raw ∆ matrix, rows separated by $(b,;) and entries by $(b,,); \
+             entries are floats, $(b,inf), $(b,-inf) or $(b,nan).  An all-finite \
+             matrix is held to the EDF contracts (antisymmetry and translation \
+             consistency), one over {-inf, 0, inf} to the static-priority ones \
+             (entry domain and transitivity).  Repeatable.")
+  in
+  let envelopes_arg =
+    Arg.(
+      value
+      & opt_all envelope_conv []
+      & info [ "envelope" ] ~docv:"PIECES"
+          ~doc:
+            "Check a piecewise-linear traffic envelope given as comma-separated \
+             X:Y:R pieces (value Y + R(t - X) from abscissa X) against the \
+             Theorem-2 contracts: concavity and non-negativity.  Repeatable.")
+  in
+  let run h u0 uc matrices envelopes metrics trace =
+    with_telemetry "check" metrics trace @@ fun () ->
+    if h < 1 || Float.is_nan u0 || Float.is_nan uc || u0 < 0. || uc < 0. then begin
+      Fmt.epr "invalid arguments: need H >= 1 and utilizations >= 0 (got H=%d, u0=%g, uc=%g)@."
+        h u0 uc;
+      exit exit_usage
+    end;
+    let labelled = ref [] in
+    let record label findings =
+      labelled := !labelled @ List.map (fun f -> (label, f)) findings
+    in
+    (* Scenario stability: aggregate load of the paper's workload. *)
+    record "scenario"
+      (Contracts.check_stability ~capacity:100. ~offered:((u0 +. uc) *. 100.));
+    (* The shipped scheduler matrices, as a self-check of the model zoo. *)
+    List.iter
+      (fun (name, m) -> record name (Contracts.check_classes m))
+      [
+        ("fifo", Classes.fifo ~n:3);
+        ("sp", Classes.static_priority ~priorities:[| 0; 1; 2 |]);
+        ("bmux", Classes.bmux ~n:3 ~tagged:0);
+        ("edf", Classes.edf ~deadlines:[| 10.; 20.; 30. |]);
+      ];
+    List.iteri
+      (fun i m ->
+        let n = Array.length m in
+        record
+          (Fmt.str "matrix#%d" i)
+          (Contracts.check_matrix ~n (fun j k -> m.(j).(k))))
+      matrices;
+    List.iteri
+      (fun i e ->
+        let label = Fmt.str "envelope#%d" i in
+        record label (Contracts.check_envelope ~label e))
+      envelopes;
+    List.iter (fun (label, f) -> Fmt.pr "%s %a@." label Contracts.pp_finding f) !labelled;
+    let findings = List.map snd !labelled in
+    if findings = [] then
+      Fmt.pr "ok: %d contract check(s), no finding@."
+        (5 + List.length matrices + List.length envelopes)
+    else Fmt.pr "%d finding(s)@." (List.length findings);
+    report_diag_and_exit (Contracts.diag_of findings)
+  in
+  let term =
+    Term.(
+      const run $ hops_arg $ u0_arg $ uc_arg $ matrices_arg $ envelopes_arg $ metrics_arg
+      $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate domain contracts before spending compute: ∆ matrix \
+          well-formedness (Section III), Theorem-2 envelope concavity, and \
+          stability of the offered load.  Exits 0 when every contract holds and 1 \
+          with one line per typed finding otherwise.  Meant as a pre-flight gate \
+          for sweeps: $(b,deltanet check && deltanet sweep ...).")
+    term
+
 let () =
   let info =
     Cmd.info "deltanet" ~version:"1.0.0"
@@ -614,4 +766,5 @@ let () =
             schedulability_cmd;
             scaling_cmd;
             admission_cmd;
+            check_cmd;
           ]))

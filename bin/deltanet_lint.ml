@@ -1,0 +1,42 @@
+(* deltanet-lint — AST-level lint driver.
+
+   Usage: deltanet_lint [--rules] PATH...
+   Directories are walked recursively for .ml files.  Findings print one
+   per line as "file:line rule message"; the exit code is 1 when any
+   finding is reported, 2 on usage errors, 0 otherwise. *)
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if String.length entry > 0 && entry.[0] = '.' then []
+           else ml_files (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] | [ "--help" ] ->
+    print_endline "usage: deltanet_lint [--rules] PATH...";
+    print_endline "Lints .ml files (recursing into directories); exits 1 on findings.";
+    exit (if args = [] then 2 else 0)
+  | [ "--rules" ] ->
+    List.iter
+      (fun (name, doc) -> Printf.printf "%-15s %s\n" name doc)
+      Lint.Engine.catalogue
+  | paths ->
+    let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+    if missing <> [] then begin
+      List.iter (Printf.eprintf "deltanet_lint: no such path: %s\n") missing;
+      exit 2
+    end;
+    let files = List.concat_map ml_files paths in
+    let findings =
+      List.concat_map Lint.Engine.lint_file files
+      |> List.sort_uniq Lint.Finding.compare
+    in
+    List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+    Printf.eprintf "deltanet_lint: %d file(s), %d finding(s)\n" (List.length files)
+      (List.length findings);
+    exit (if findings = [] then 0 else 1)

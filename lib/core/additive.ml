@@ -20,7 +20,7 @@ let analyze ~capacity ~cross ~through ~h ~gamma ~epsilon =
     else begin
       if !Telemetry.on then Telemetry.Counter.incr c_node_steps;
       let sp = Ebb.sample_path_envelope inp ~gamma in
-      if sp.Ebb.envelope_rate > service_rate then ([], infinity)
+      if sp.Ebb.envelope_rate > service_rate then ([], Float.infinity)
       else begin
         (* Per-node delay bound: G(t) = rate * t against S(t) = R * t gives
            d = sigma / R with the combined violation bound (Eq. 20-21). *)
@@ -43,7 +43,7 @@ let delay_bound ?(gamma_points = 40) ~capacity ~cross ~h ~epsilon through =
   (* Stability over the whole path needs rho +. h * gamma +. gamma below the
      leftover rate; reuse the Eq.-32-style cap. *)
   let gmax = (capacity -. cross.Ebb.rho -. through.Ebb.rho) /. float_of_int (h + 1) in
-  if gmax <= 0. then infinity
+  if gmax <= 0. then Float.infinity
   else
     Telemetry.span "additive.gamma_search"
       ~attrs:[ ("h", Telemetry.Int h); ("points", Telemetry.Int gamma_points) ]
@@ -77,7 +77,7 @@ let delay_bound_scenario ?(s_points = 32) (sc : Scenario.t) =
     let eb = Envelope.Mmpp.effective_bandwidth sc.Scenario.source ~s in
     (sc.Scenario.n_through +. sc.Scenario.n_cross) *. eb < sc.Scenario.capacity *. 0.9999
   in
-  if not (stable 1e-6) then infinity
+  if not (stable 1e-6) then Float.infinity
   else
     Telemetry.span "additive.s_grid"
       ~attrs:[ ("h", Telemetry.Int sc.Scenario.h); ("s_points", Telemetry.Int s_points) ]

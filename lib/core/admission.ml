@@ -28,6 +28,7 @@ let bisect_max ~resolution ~hi fits =
   end
 
 let max_cross_utilization ?(s_points = 16) ?(resolution = 1e-4) r ~scheduler =
+  Contracts.ensure (Contracts.check_scenario r.base);
   let fits u_cross =
     let d = Scenario.delay_bound ~s_points ~scheduler (scenario_with r ~u_cross) in
     d <= r.guarantee.deadline
@@ -37,6 +38,7 @@ let max_cross_utilization ?(s_points = 16) ?(resolution = 1e-4) r ~scheduler =
   bisect_max ~resolution ~hi:(Float.max 0. (1. -. u_through)) fits
 
 let max_cross_utilization_edf ?(s_points = 16) ?(resolution = 1e-4) r ~cross_over_through =
+  Contracts.ensure (Contracts.check_scenario r.base);
   let fits u_cross =
     let res =
       Scenario.delay_bound_edf ~s_points (scenario_with r ~u_cross)
@@ -49,6 +51,7 @@ let max_cross_utilization_edf ?(s_points = 16) ?(resolution = 1e-4) r ~cross_ove
   bisect_max ~resolution ~hi:(Float.max 0. (1. -. u_through)) fits
 
 let max_through_flows ?(s_points = 16) r ~scheduler =
+  Contracts.ensure (Contracts.check_scenario r.base);
   let fits n =
     let sc =
       { r.base with Scenario.n_through = n; epsilon = r.guarantee.epsilon }

@@ -25,7 +25,11 @@ val max_cross_utilization :
 (** Largest admissible cross utilization (fraction of capacity at the mean
     rate), by bisection to [resolution] (default 1e-4); [0.] if even an
     empty link fails the guarantee.  The bound is monotone in the load, so
-    bisection is exact up to the resolution. *)
+    bisection is exact up to the resolution.
+
+    Like the other searches below, runs {!Contracts.check_scenario} on the
+    request's base scenario first.
+    @raise Contracts.Violation when a domain contract fails. *)
 
 val max_cross_utilization_edf :
   ?s_points:int ->

@@ -1,7 +1,5 @@
 (* Deterministic end-to-end bounds via min-plus convolution (gamma = 0). *)
 
-module Curve = Minplus.Curve
-
 let c_theta_evals = Telemetry.Counter.make "det_e2e.theta_evals"
 let c_additive_nodes = Telemetry.Counter.make "det_e2e.additive_nodes"
 
@@ -33,7 +31,7 @@ let additive_delay_bound ~nodes ~through =
       if !Telemetry.on then Telemetry.Counter.incr c_additive_nodes;
       let service = node_service nd ~theta:0. in
       let d = Minplus.Deviation.horizontal ~arrival:envelope ~service in
-      if not (Float.is_finite d) then infinity
+      if not (Float.is_finite d) then Float.infinity
       else
         let out = Minplus.Convolution.deconvolve envelope service in
         go out (total +. d) rest

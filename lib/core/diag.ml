@@ -1,6 +1,6 @@
 (* Typed convergence diagnostics and numeric guards. *)
 
-type status = Converged | Unstable | Diverged | Non_finite
+type status = Converged | Unstable | Diverged | Non_finite | Invalid
 
 type t = { status : status; iterations : int; tolerance : float }
 
@@ -18,6 +18,7 @@ let status_to_string = function
   | Unstable -> "unstable"
   | Diverged -> "diverged"
   | Non_finite -> "non-finite"
+  | Invalid -> "invalid"
 
 let pp ppf d =
   Format.fprintf ppf "%s (%d iterations, tolerance %g)" (status_to_string d.status)

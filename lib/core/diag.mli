@@ -13,9 +13,11 @@
     - {!Diverged}: an iteration hit its cap without meeting tolerance; the
       value is the last iterate and must not be trusted as a bound.
     - {!Non_finite}: a NaN leaked out of the numerics — a bug or an
-      ill-conditioned input, never a valid answer. *)
+      ill-conditioned input, never a valid answer.
+    - {!Invalid}: the model violates a domain contract (see
+      {!Contracts}) — the computation was refused, not attempted. *)
 
-type status = Converged | Unstable | Diverged | Non_finite
+type status = Converged | Unstable | Diverged | Non_finite | Invalid
 
 type t = {
   status : status;

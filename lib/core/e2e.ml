@@ -39,7 +39,7 @@ let gamma_max p =
         | _ -> (nd.capacity -. nd.cross_rho -. rho) /. (h +. 1.)
       in
       Float.min acc margin)
-    infinity p.nodes
+    Float.infinity p.nodes
 
 (* --------------------------------------------------------------- *)
 (* Bounding function (Eq. 31 / 34, generalized to per-node constants) *)
@@ -77,7 +77,7 @@ let sigma_for p ~gamma ~epsilon = Exp.invert (total_bound p ~gamma) ~epsilon
 let theta_of_x p ~gamma ~sigma ~x h =
   let nd = p.nodes.(h) in
   let c_h = nd.capacity -. (float_of_int h *. gamma) in
-  if c_h <= 0. then infinity
+  if c_h <= 0. then Float.infinity
   else
     match nd.delta with
     | Scheduler.Delta.Neg_inf ->
@@ -85,7 +85,7 @@ let theta_of_x p ~gamma ~sigma ~x h =
       Float.max 0. ((sigma /. c_h) -. x)
     | Scheduler.Delta.Pos_inf ->
       let margin = c_h -. nd.cross_rho -. gamma in
-      if margin <= 0. then infinity else Float.max 0. ((sigma /. margin) -. x)
+      if margin <= 0. then Float.infinity else Float.max 0. ((sigma /. margin) -. x)
     | Scheduler.Delta.Fin d when d >= 0. ->
       let margin = c_h -. nd.cross_rho -. gamma in
       if margin *. x >= sigma then 0.
@@ -132,7 +132,7 @@ let x_candidates p ~gamma ~sigma =
           if margin > 0. then push ((sigma +. ((nd.cross_rho +. gamma) *. d)) /. margin)
       end)
     p.nodes;
-  List.sort_uniq compare !cands
+  List.sort_uniq Float.compare !cands
 
 let delay_given p ~gamma ~sigma =
   if sigma < 0. then invalid_arg "E2e.delay_given: negative sigma";
@@ -143,7 +143,7 @@ let delay_given p ~gamma ~sigma =
      abscissae, so its minimum over X >= 0 is attained at one of them. *)
   List.fold_left
     (fun acc x -> Float.min acc (objective p ~gamma ~sigma x))
-    infinity cands
+    Float.infinity cands
 
 let delay_at_gamma p ~gamma ~epsilon =
   let sigma = sigma_for p ~gamma ~epsilon in
@@ -218,20 +218,20 @@ let backlog_given p ~gamma ~sigma =
   let arrival = through_envelope_curve p ~gamma ~sigma in
   let backlog_at x =
     let thetas = Array.init (hop_count p) (fun h -> theta_of_x p ~gamma ~sigma ~x h) in
-    if Array.exists (fun t -> not (Float.is_finite t)) thetas then infinity
+    if Array.exists (fun t -> not (Float.is_finite t)) thetas then Float.infinity
     else
       Minplus.Deviation.vertical ~arrival
         ~service:(network_service_curve p ~gamma ~thetas)
   in
   List.fold_left
     (fun acc x -> Float.min acc (backlog_at x))
-    infinity
+    Float.infinity
     (x_candidates p ~gamma ~sigma)
 
 let backlog_bound ?(gamma_points = 40) ~epsilon p =
   if epsilon <= 0. || epsilon >= 1. then invalid_arg "E2e.backlog_bound: epsilon out of range";
   let gmax = gamma_max p in
-  if gmax <= 0. then infinity
+  if gmax <= 0. then Float.infinity
   else
     Telemetry.span "e2e.backlog_gamma_search"
       ~attrs:[ ("h", Telemetry.Int (hop_count p)); ("points", Telemetry.Int gamma_points) ]
@@ -267,7 +267,7 @@ let golden_minimize f lo hi steps =
 let delay_bound ?(gamma_points = 40) ~epsilon p =
   if epsilon <= 0. || epsilon >= 1. then invalid_arg "E2e.delay_bound: epsilon out of range";
   let gmax = gamma_max p in
-  if gmax <= 0. then infinity
+  if gmax <= 0. then Float.infinity
   else
     Telemetry.span "e2e.gamma_search"
       ~attrs:[ ("h", Telemetry.Int (hop_count p)); ("points", Telemetry.Int gamma_points) ]
@@ -313,7 +313,7 @@ let bmux_closed_form p ~gamma ~sigma =
     invalid_arg "E2e.bmux_closed_form: not a BMUX path";
   let h = float_of_int (hop_count p) in
   let denom = nd.capacity -. nd.cross_rho -. (h *. gamma) in
-  if denom <= 0. then infinity else sigma /. denom
+  if denom <= 0. then Float.infinity else sigma /. denom
 
 (* Smallest K in 0..H satisfying Eq. (40):
    sum_{h > K} (C -. rho_c -. h gamma) /. (C -. (h-1) gamma) < 1. *)
@@ -345,7 +345,7 @@ let fifo_closed_form p ~gamma ~sigma =
   end
   else begin
     let denom = c -. rho_c -. (float_of_int k *. gamma) in
-    if denom <= 0. then infinity
+    if denom <= 0. then Float.infinity
     else begin
       let x = sigma /. denom in
       let extra = ref 0. in
@@ -367,7 +367,7 @@ let k_procedure p ~gamma ~sigma =
   | Scheduler.Delta.Neg_inf ->
     (* no cross precedence: theta = 0, X = sigma / (C -. (H-1) gamma) *)
     let denom = c -. (float_of_int (h - 1) *. gamma) in
-    if denom <= 0. then infinity else sigma /. denom
+    if denom <= 0. then Float.infinity else sigma /. denom
   | Scheduler.Delta.Fin d when d >= 0. ->
     let x_of k =
       if k = 0 then 0. else sigma /. (c -. rho_c -. (float_of_int k *. gamma))

@@ -68,7 +68,7 @@ let constraint_value p ~gamma ~x h theta =
    left-to-right segment scan finds the smallest root. *)
 let theta_of_x p ~gamma ~sigma ~x h =
   let c_h = p.capacity -. (float_of_int h *. gamma) in
-  if c_h <= 0. then infinity
+  if c_h <= 0. then Float.infinity
   else begin
     let f = constraint_value p ~gamma ~x h in
     if f 0. >= sigma then 0.
@@ -80,7 +80,7 @@ let theta_of_x p ~gamma ~sigma ~x h =
             | Delta.Fin d when d > 0. -> Some d
             | Delta.Fin _ | Delta.Neg_inf | Delta.Pos_inf -> None)
           (active_classes p)
-        |> List.sort_uniq compare
+        |> List.sort_uniq Float.compare
       in
       let slope_after theta0 =
         (* d f / d theta just after theta0 *)
@@ -90,7 +90,7 @@ let theta_of_x p ~gamma ~sigma ~x h =
       let rec scan lo = function
         | [] ->
           let s = slope_after lo in
-          if s <= 1e-12 then infinity else lo +. ((sigma -. f lo) /. s)
+          if s <= 1e-12 then Float.infinity else lo +. ((sigma -. f lo) /. s)
         | hi :: rest ->
           if f hi >= sigma then begin
             (* root inside (lo, hi]: linear on this segment *)
@@ -136,7 +136,7 @@ let x_candidates p ~gamma ~sigma =
       in
       let x_hi = if margin > 0. then sigma /. margin else sigma /. c_h *. 100. in
       (* X where theta_h reaches 0 *)
-      push (bisect_threshold ~hi:x_hi (fun x -> theta_of_x p ~gamma ~sigma ~x h = 0.));
+      push (bisect_threshold ~hi:x_hi (fun x -> Float.equal (theta_of_x p ~gamma ~sigma ~x h) 0.));
       (* X where theta_h crosses each positive finite delta *)
       List.iter
         (fun k ->
@@ -149,7 +149,7 @@ let x_candidates p ~gamma ~sigma =
         (active_classes p)
     end
   done;
-  List.sort_uniq compare !cands
+  List.sort_uniq Float.compare !cands
 
 let delay_given p ~gamma ~sigma =
   if sigma < 0. then invalid_arg "Multiclass.delay_given: negative sigma";
@@ -162,14 +162,14 @@ let delay_given p ~gamma ~sigma =
   in
   List.fold_left
     (fun acc x -> Float.min acc (objective p ~gamma ~sigma x))
-    infinity
+    Float.infinity
     (with_midpoints cands)
 
 let delay_bound ?(gamma_points = 40) ~epsilon p =
   if epsilon <= 0. || epsilon >= 1. then
     invalid_arg "Multiclass.delay_bound: epsilon out of range";
   let gmax = gamma_max p in
-  if gmax <= 0. then infinity
+  if gmax <= 0. then Float.infinity
   else begin
     let f gamma =
       let sigma = sigma_for p ~gamma ~epsilon in

@@ -12,7 +12,7 @@ let growth_exponent points =
     List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0. lx ly
   in
   let sxx = List.fold_left (fun acc x -> acc +. ((x -. mx) ** 2.)) 0. lx in
-  if sxx = 0. then invalid_arg "Scaling.growth_exponent: degenerate abscissae";
+  if Float.equal sxx 0. then invalid_arg "Scaling.growth_exponent: degenerate abscissae";
   sxy /. sxx
 
 let default_hs = [ 2; 4; 8; 16; 32 ]

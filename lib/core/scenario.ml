@@ -12,7 +12,7 @@ type t = {
 let paper_defaults ~h ~n_through ~n_cross =
   if h < 1 then invalid_arg "Scenario.paper_defaults: path length h must be >= 1";
   let check_count ~what n =
-    if Float.is_nan n || n < 0. || n = infinity then
+    if not (Float.is_finite n) || n < 0. then
       invalid_arg (Printf.sprintf "Scenario.paper_defaults: %s flow count %g must be finite and >= 0" what n)
   in
   check_count ~what:"through" n_through;
@@ -88,7 +88,7 @@ let minimize_over_s_checked ~s_points t f =
     ~attrs:[ ("h", Telemetry.Int t.h); ("s_points", Telemetry.Int s_points) ]
   @@ fun () ->
   match s_stable_max t with
-  | None -> Diag.outcome Diag.Unstable infinity
+  | None -> Diag.outcome Diag.Unstable Float.infinity
   | Some s_max ->
     let evals = ref 0 in
     let nan_seen = ref false in
@@ -176,12 +176,12 @@ let delay_bound_edf_checked ?(s_points = 32) ?(max_iter = 60) ~spec t =
   let seed = delay_bound ~s_points t ~scheduler:Scheduler.Classes.Fifo in
   if Float.is_nan seed then
     Diag.outcome Diag.Non_finite
-      { bound = nan; d_through = nan; d_cross = nan; iterations = 0 }
+      { bound = Float.nan; d_through = Float.nan; d_cross = Float.nan; iterations = 0 }
   else if not (Float.is_finite seed) then
     (* no stable operating point even under FIFO: the fixed point has no
        finite seed and the scenario is unstable, not merely slow to settle *)
     Diag.outcome Diag.Unstable
-      { bound = infinity; d_through = infinity; d_cross = infinity; iterations = 0 }
+      { bound = Float.infinity; d_through = Float.infinity; d_cross = Float.infinity; iterations = 0 }
   else begin
     let gap_of d =
       let d0 = d /. hf in
@@ -189,14 +189,14 @@ let delay_bound_edf_checked ?(s_points = 32) ?(max_iter = 60) ~spec t =
     in
     (* (value, iterations, status, final relative change) *)
     let rec iterate d n =
-      if n >= max_iter then (d, n, Diag.Diverged, infinity)
+      if n >= max_iter then (d, n, Diag.Diverged, Float.infinity)
       else
         let d' = bound_for (gap_of d) in
         if !Telemetry.on then Telemetry.Counter.incr c_edf_iters;
         Telemetry.event "scenario.edf.iter"
           ~attrs:[ ("n", Telemetry.Int (n + 1)); ("bound", Telemetry.Float d') ];
-        if Float.is_nan d' then (d', n + 1, Diag.Non_finite, infinity)
-        else if not (Float.is_finite d') then (d', n + 1, Diag.Unstable, infinity)
+        if Float.is_nan d' then (d', n + 1, Diag.Non_finite, Float.infinity)
+        else if not (Float.is_finite d') then (d', n + 1, Diag.Unstable, Float.infinity)
         else if Float.abs (d' -. d) <= edf_tolerance *. d' then
           let rel = if d' > 0. then Float.abs (d' -. d) /. d' else 0. in
           (d', n + 1, Diag.Converged, rel)

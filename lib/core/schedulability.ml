@@ -46,7 +46,7 @@ let min_delay ?(tol = 1e-9) ~capacity flows =
     if tries = 0 then None else if ok hi then Some hi else bracket (2. *. hi) (tries - 1)
   in
   match bracket 1. 80 with
-  | None -> infinity
+  | None -> Float.infinity
   | Some hi ->
     let rec bisect lo hi =
       if hi -. lo <= tol *. (1. +. hi) then hi
@@ -59,10 +59,10 @@ let min_delay ?(tol = 1e-9) ~capacity flows =
 let fifo_min_delay ~capacity flows =
   let rates = List.fold_left (fun acc (r, _) -> acc +. r) 0. flows in
   let bursts = List.fold_left (fun acc (_, b) -> acc +. b) 0. flows in
-  if rates > capacity then infinity else bursts /. capacity
+  if rates > capacity then Float.infinity else bursts /. capacity
 
 let sp_min_delay ~capacity ~tagged:(_, tagged_burst) ~higher =
   let r_high = List.fold_left (fun acc (r, _) -> acc +. r) 0. higher in
   let b_high = List.fold_left (fun acc (_, b) -> acc +. b) 0. higher in
-  if r_high >= capacity then infinity
+  if r_high >= capacity then Float.infinity
   else (tagged_burst +. b_high) /. (capacity -. r_high)

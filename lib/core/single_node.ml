@@ -22,7 +22,7 @@ let delay_for_sigma ?(tol = 1e-9) ~capacity ~sigma flows =
     if tries = 0 then None else if ok hi then Some hi else bracket (2. *. hi) (tries - 1)
   in
   match bracket 1. 80 with
-  | None -> infinity
+  | None -> Float.infinity
   | Some hi ->
     let rec bisect lo hi =
       if hi -. lo <= tol *. (1. +. hi) then hi

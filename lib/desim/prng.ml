@@ -54,7 +54,7 @@ let bernoulli t ~p =
 
 let geometric t ~p =
   if p <= 0. || p > 1. then invalid_arg "Prng.geometric: p out of range";
-  if p = 1. then 0
+  if Float.equal p 1. then 0
   else
     let u = float t in
     let g = Float.to_int (Float.floor (Float.log1p (-.u) /. Float.log1p (-.p))) in
@@ -72,8 +72,8 @@ let binomial t ~n ~p =
     in
     go (-1) 0
   in
-  if n = 0 || p = 0. then 0
-  else if p = 1. then n
+  if n = 0 || Float.equal p 0. then 0
+  else if Float.equal p 1. then n
   else if p > 0.5 then n - count_successes (1. -. p)
   else count_successes p
 

@@ -14,7 +14,7 @@ module Online = struct
     mutable mx : float;
   }
 
-  let create () = { n = 0; mean = 0.; m2 = 0.; mn = infinity; mx = neg_infinity }
+  let create () = { n = 0; mean = 0.; m2 = 0.; mn = Float.infinity; mx = Float.neg_infinity }
 
   let add t x =
     check_not_nan ~what:"Stats.Online.add" x;
@@ -26,8 +26,8 @@ module Online = struct
     if x > t.mx then t.mx <- x
 
   let count t = t.n
-  let mean t = if t.n = 0 then nan else t.mean
-  let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+  let mean t = if t.n = 0 then Float.nan else t.mean
+  let variance t = if t.n < 2 then Float.nan else t.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (variance t)
   let min t = t.mn
   let max t = t.mx
@@ -98,14 +98,14 @@ module Sample = struct
     end
 
   let max t =
-    if t.n = 0 then neg_infinity
+    if t.n = 0 then Float.neg_infinity
     else begin
       ensure_sorted t;
       t.data.(t.n - 1)
     end
 
   let mean t =
-    if t.n = 0 then nan
+    if t.n = 0 then Float.nan
     else begin
       let s = ref 0. in
       for i = 0 to t.n - 1 do
@@ -138,7 +138,7 @@ module Histogram = struct
 
   let bins t =
     Hashtbl.fold (fun b c acc -> (float_of_int b *. t.width, c) :: acc) t.tbl []
-    |> List.sort compare
+    |> List.sort (fun (x1, _) (x2, _) -> Float.compare x1 x2)
 end
 
 (* Two-sided Student-t 0.975 quantiles for small degrees of freedom. *)

@@ -17,8 +17,8 @@ let windowed_sums trace ~tau =
   out
 
 let log_mean_exp xs =
-  let hi = Array.fold_left Float.max neg_infinity xs in
-  if hi = neg_infinity then neg_infinity
+  let hi = Array.fold_left Float.max Float.neg_infinity xs in
+  if Float.equal hi Float.neg_infinity then Float.neg_infinity
   else begin
     let acc = ref 0. in
     Array.iter (fun x -> acc := !acc +. exp (x -. hi)) xs;
@@ -37,7 +37,7 @@ let effective_bandwidth_of_trace ?(windows = default_windows) trace ~s =
     (fun acc tau ->
       let sums = windowed_sums trace ~tau in
       let nw = float_of_int (Array.length sums) in
-      let mx = Array.fold_left Float.max neg_infinity sums in
+      let mx = Array.fold_left Float.max Float.neg_infinity sums in
       let mean = Array.fold_left ( +. ) 0. sums /. nw in
       let eb =
         if s *. (mx -. mean) <= log nw then
@@ -50,7 +50,7 @@ let effective_bandwidth_of_trace ?(windows = default_windows) trace ~s =
           mx /. float_of_int tau
       in
       Float.max acc eb)
-    neg_infinity windows
+    Float.neg_infinity windows
 
 let ebb_of_trace ?windows trace ~s =
   Ebb.v ~m:1. ~rho:(effective_bandwidth_of_trace ?windows trace ~s) ~alpha:s
@@ -62,6 +62,6 @@ let mean_rate_of_trace trace =
 let max_reliable_s trace ~tau =
   let sums = windowed_sums trace ~tau in
   let n = float_of_int (Array.length sums) in
-  let mx = Array.fold_left Float.max neg_infinity sums in
+  let mx = Array.fold_left Float.max Float.neg_infinity sums in
   let mean = Array.fold_left ( +. ) 0. sums /. n in
-  if mx -. mean <= 0. then infinity else log n /. (mx -. mean)
+  if mx -. mean <= 0. then Float.infinity else log n /. (mx -. mean)

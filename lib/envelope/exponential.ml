@@ -30,13 +30,13 @@ let combine_brute es sigma =
   (* Recursive grid minimization: split sigma between the head term and the
      (recursively combined) rest.  Resolution 1/2048 of sigma per level. *)
   let rec go = function
-    | [] -> fun _ -> infinity
+    | [] -> fun _ -> Float.infinity
     | [ e ] -> fun s -> eval_uncapped e s
     | e :: rest ->
       let tail = go rest in
       fun s ->
         let n = 2048 in
-        let best = ref infinity in
+        let best = ref Float.infinity in
         for i = 0 to n do
           let s1 = s *. float_of_int i /. float_of_int n in
           let v = eval_uncapped e s1 +. tail (s -. s1) in

@@ -16,7 +16,7 @@ let paper_source = v ~p_stay_off:0.989 ~p_stay_on:0.9 ~peak:1.5
 
 let stationary_on { p_stay_off; p_stay_on; _ } =
   let p12 = 1. -. p_stay_off and p21 = 1. -. p_stay_on in
-  if p12 +. p21 = 0. then 0. else p12 /. (p12 +. p21)
+  if Float.equal (p12 +. p21) 0. then 0. else p12 /. (p12 +. p21)
 
 let mean_rate src = stationary_on src *. src.peak
 let peak_rate src = src.peak
@@ -32,11 +32,11 @@ let effective_bandwidth src ~s =
     (* log (p11 + p22 e^{sp}) by log-sum-exp *)
     let l1 = log p11 and l2 = sp +. log p22 in
     let hi = Float.max l1 l2 and lo = Float.min l1 l2 in
-    if hi = neg_infinity then neg_infinity else hi +. Float.log1p (exp (lo -. hi))
+    if Float.equal hi Float.neg_infinity then Float.neg_infinity else hi +. Float.log1p (exp (lo -. hi))
   in
   let q = Float.max 0. (p11 +. p22 -. 1.) in
   (* u = 4 q z / b^2 in [0, 1]; disc = b^2 (1 - u) *)
-  let u = if q = 0. then 0. else Float.min 1. (4. *. q *. exp (sp -. (2. *. log_b))) in
+  let u = if Float.equal q 0. then 0. else Float.min 1. (4. *. q *. exp (sp -. (2. *. log_b))) in
   let log_lambda = log_b -. log 2. +. log (1. +. sqrt (1. -. u)) in
   log_lambda /. s
 

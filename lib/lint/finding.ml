@@ -1,0 +1,20 @@
+(* A lint finding: location, rule id and message.  Rendered one per line
+   as "file:line rule message" so editors, grep and CI can parse it. *)
+
+type t = { file : string; line : int; col : int; rule : string; message : string }
+
+let v ~file ~line ~col ~rule message = { file; line; col; rule; message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let to_string { file; line; rule; message; _ } =
+  Printf.sprintf "%s:%d %s %s" file line rule message

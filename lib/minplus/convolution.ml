@@ -19,8 +19,8 @@ let interval_pieces (f : Curve.t) : interval_piece list =
   let rec go = function
     | [] -> []
     | (pc : Curve.piece) :: rest ->
-      let b = match rest with [] -> infinity | q :: _ -> q.Curve.x in
-      if pc.Curve.y = infinity then go rest
+      let b = match rest with [] -> Float.infinity | q :: _ -> q.Curve.x in
+      if Float.equal pc.Curve.y Float.infinity then go rest
       else { a = pc.Curve.x; b; p = pc.Curve.y; r = pc.Curve.r } :: go rest
   in
   go ps
@@ -36,14 +36,14 @@ let conv_pieces (u : interval_piece) (v : interval_piece) : Curve.t =
     if u.r <= v.r then (u.r, u.b -. u.a, v.r) else (v.r, v.b -. v.a, u.r)
   in
   let mk_pieces =
-    let before = if start > 0. then [ (0., infinity, 0.) ] else [] in
+    let before = if start > 0. then [ (0., Float.infinity, 0.) ] else [] in
     let mid = start +. lo_len in
     let body =
-      if lo_len = infinity || mid >= stop then [ (start, base, lo_r) ]
+      if Float.equal lo_len Float.infinity || mid >= stop then [ (start, base, lo_r) ]
       else if mid <= start then [ (start, base, hi_r) ]
       else [ (start, base, lo_r); (mid, base +. (lo_r *. lo_len), hi_r) ]
     in
-    let after = if stop < infinity then [ (stop, infinity, 0.) ] else [] in
+    let after = if stop < Float.infinity then [ (stop, Float.infinity, 0.) ] else [] in
     before @ body @ after
   in
   (* Raw construction: the leading infinity piece makes this non-monotone,
@@ -78,9 +78,9 @@ let segments_of_convex (f : Curve.t) : float * segment list * float option =
   let rec go = function
     | [] -> ([], None)
     | (pc : Curve.piece) :: rest ->
-      if pc.Curve.y = infinity then ([], Some pc.Curve.x)
+      if Float.equal pc.Curve.y Float.infinity then ([], Some pc.Curve.x)
       else
-        let b = match rest with [] -> infinity | q :: _ -> q.Curve.x in
+        let b = match rest with [] -> Float.infinity | q :: _ -> q.Curve.x in
         let (segs, dom) = go rest in
         ({ len = b -. pc.Curve.x; slope = pc.Curve.r } :: segs, dom)
   in
@@ -92,7 +92,7 @@ let convolve_convex f g =
   if not (Curve.is_convex g) then invalid_arg "Convolution.convolve_convex: second arg not convex";
   let (y0f, sf, domf) = segments_of_convex f in
   let (y0g, sg, domg) = segments_of_convex g in
-  let segs = List.sort (fun s1 s2 -> compare s1.slope s2.slope) (sf @ sg) in
+  let segs = List.sort (fun s1 s2 -> Float.compare s1.slope s2.slope) (sf @ sg) in
   let dom_end =
     match (domf, domg) with
     | Some a, Some b -> Some (a +. b)
@@ -101,7 +101,7 @@ let convolve_convex f g =
   let rec emit x y = function
     | [] -> []
     | s :: rest ->
-      if s.len = infinity then [ (x, y, s.slope) ]
+      if Float.equal s.len Float.infinity then [ (x, y, s.slope) ]
       else if s.len <= 0. then emit x y rest
       else (x, y, s.slope) :: emit (x +. s.len) (y +. (s.slope *. s.len)) rest
   in
@@ -112,7 +112,7 @@ let convolve_convex f g =
     | None -> body
     | Some d ->
       let trimmed = List.filter (fun (x, _, _) -> x < d) body in
-      trimmed @ [ (d, infinity, 0.) ]
+      trimmed @ [ (d, Float.infinity, 0.) ]
   in
   Curve.v_unsafe closed
 
@@ -139,8 +139,8 @@ let subadditive_closure ?(max_iterations = 32) f =
 
 let deconvolve_eval f g t =
   let g_inf = Curve.ultimately_infinite g in
-  if Curve.ultimately_infinite f && not g_inf then infinity
-  else if (not g_inf) && Curve.ultimate_rate f > Curve.ultimate_rate g +. 1e-12 then infinity
+  if Curve.ultimately_infinite f && not g_inf then Float.infinity
+  else if (not g_inf) && Curve.ultimate_rate f > Curve.ultimate_rate g +. 1e-12 then Float.infinity
   else begin
     let candidates =
       0.
@@ -150,15 +150,15 @@ let deconvolve_eval f g t =
              (Curve.breakpoints f))
     in
     let phi u =
-      if u < 0. then neg_infinity
+      if u < 0. then Float.neg_infinity
       else
         let right = Curve.eval f (t +. u) -. Curve.eval g u in
         let left =
-          if u > 0. then Curve.eval_left f (t +. u) -. Curve.eval_left g u else neg_infinity
+          if u > 0. then Curve.eval_left f (t +. u) -. Curve.eval_left g u else Float.neg_infinity
         in
         Float.max right left
     in
-    List.fold_left (fun acc u -> Float.max acc (phi u)) neg_infinity candidates
+    List.fold_left (fun acc u -> Float.max acc (phi u)) Float.neg_infinity candidates
   end
 
 let deconvolve f g =
@@ -172,7 +172,7 @@ let deconvolve f g =
     (0. :: xf) @ List.concat_map (fun a -> List.filter_map (fun b ->
          let d = a -. b in
          if d >= 0. then Some d else None) xg) xf
-    |> List.sort_uniq compare
+    |> List.sort_uniq Float.compare
   in
   if !Telemetry.on then begin
     Telemetry.Counter.incr c_deconvolve;

@@ -15,7 +15,9 @@ type t = piece array
 
 let tol_default = 1e-9
 
-let value_at p t = if p.y = infinity then infinity else p.y +. (p.r *. (t -. p.x))
+let is_inf y = Float.equal y infinity
+
+let value_at p t = if is_inf p.y then infinity else p.y +. (p.r *. (t -. p.x))
 
 (* Drop colinear continuations and merge runs of infinite pieces.  (No
    truncation after an infinite piece: intermediate results of the curve
@@ -26,11 +28,11 @@ let normalize (ps : piece list) : t =
     | p :: rest -> (
       match acc with
       | prev :: _
-        when prev.y <> infinity && p.y <> infinity
+        when (not (is_inf prev.y)) && (not (is_inf p.y))
              && Float.abs (value_at prev p.x -. p.y) <= 1e-12 *. (1. +. Float.abs p.y)
              && Float.abs (prev.r -. p.r) <= 1e-12 *. (1. +. Float.abs prev.r) ->
         merge acc rest
-      | prev :: _ when prev.y = infinity && p.y = infinity -> merge acc rest
+      | prev :: _ when is_inf prev.y && is_inf p.y -> merge acc rest
       | _ -> merge (p :: acc) rest)
   in
   Array.of_list (merge [] ps)
@@ -38,7 +40,7 @@ let normalize (ps : piece list) : t =
 let check_shape ps =
   (match ps with
   | [] -> invalid_arg "Curve.v: empty piece list"
-  | p0 :: _ -> if p0.x <> 0. then invalid_arg "Curve.v: first piece must start at 0.");
+  | p0 :: _ -> if not (Float.equal p0.x 0.) then invalid_arg "Curve.v: first piece must start at 0.");
   let rec go = function
     | [] | [ _ ] -> ()
     | p :: (q :: _ as rest) ->
@@ -49,7 +51,7 @@ let check_shape ps =
   go ps;
   List.iter
     (fun p ->
-      if p.y = infinity && p.r <> 0. then invalid_arg "Curve.v: infinite value needs zero slope";
+      if is_inf p.y && not (Float.equal p.r 0.) then invalid_arg "Curve.v: infinite value needs zero slope";
       if Float.is_nan p.y || Float.is_nan p.r then invalid_arg "Curve.v: nan")
     ps
 
@@ -57,7 +59,7 @@ let check_monotone (ps : piece list) =
   let rec go = function
     | [] -> ()
     | p :: rest ->
-      if p.y <> infinity && p.r < -1e-12 then invalid_arg "Curve.v: decreasing slope";
+      if not (is_inf p.y) && p.r < -1e-12 then invalid_arg "Curve.v: decreasing slope";
       (match rest with
       | q :: _ ->
         let endv = value_at p q.x in
@@ -97,17 +99,17 @@ let constant_rate c =
 
 let rate_latency ~rate ~latency =
   if rate < 0. || latency < 0. then invalid_arg "Curve.rate_latency: negative parameter";
-  if latency = 0. then constant_rate rate
+  if Float.equal latency 0. then constant_rate rate
   else [| { x = 0.; y = 0.; r = 0. }; { x = latency; y = 0.; r = rate } |]
 
 let delta d =
   if d < 0. then invalid_arg "Curve.delta: negative latency";
-  if d = 0. then [| { x = 0.; y = 0.; r = 0. }; { x = Float.min_float; y = infinity; r = 0. } |]
+  if Float.equal d 0. then [| { x = 0.; y = 0.; r = 0. }; { x = Float.min_float; y = infinity; r = 0. } |]
   else [| { x = 0.; y = 0.; r = 0. }; { x = d; y = infinity; r = 0. } |]
 
 let step ~at ~height =
   if at < 0. || height < 0. then invalid_arg "Curve.step: negative parameter";
-  if at = 0. then [| { x = 0.; y = height; r = 0. } |]
+  if Float.equal at 0. then [| { x = 0.; y = height; r = 0. } |]
   else [| { x = 0.; y = 0.; r = 0. }; { x = at; y = height; r = 0. } |]
 
 (* ------------------------------------------------------------------ *)
@@ -128,11 +130,11 @@ let eval_left (f : t) t =
   if t <= 0. then 0.
   else
     let i = index_of f t in
-    if f.(i).x = t && i > 0 then value_at f.(i - 1) t else value_at f.(i) t
+    if Float.equal f.(i).x t && i > 0 then value_at f.(i - 1) t else value_at f.(i) t
 
 let last (f : t) = f.(Array.length f - 1)
 let ultimate_rate (f : t) = (last f).r
-let ultimately_infinite (f : t) = (last f).y = infinity
+let ultimately_infinite (f : t) = is_inf (last f).y
 
 let inverse (f : t) y =
   if y <= eval f 0. then 0.
@@ -154,7 +156,7 @@ let inverse (f : t) y =
 (* Merged-breakpoint machinery                                         *)
 
 let merged_xs (f : t) (g : t) =
-  let xs = List.sort_uniq compare (breakpoints f @ breakpoints g) in
+  let xs = List.sort_uniq Float.compare (breakpoints f @ breakpoints g) in
   xs
 
 (* Build the piece list of [combine f g] on each merged interval, adding the
@@ -165,7 +167,7 @@ let pointwise2 ~(pick : (float * float) -> (float * float) -> float * float) (f 
   let line (h : t) x =
     (* The affine line of [h] valid on [x, next merged breakpoint). *)
     let i = index_of h x in
-    (value_at h.(i) x, if h.(i).y = infinity then 0. else h.(i).r)
+    (value_at h.(i) x, if is_inf h.(i).y then 0. else h.(i).r)
   in
   let out = ref [] in
   let emit x (y, r) = out := { x; y; r } :: !out in
@@ -176,7 +178,7 @@ let pointwise2 ~(pick : (float * float) -> (float * float) -> float * float) (f 
       emit x (pick (yf, rf) (yg, rg));
       (* Interior crossing of the two lines, if it falls strictly inside. *)
       let next = match rest with [] -> infinity | x' :: _ -> x' in
-      (if yf <> infinity && yg <> infinity && rf <> rg then
+      (if (not (is_inf yf)) && (not (is_inf yg)) && not (Float.equal rf rg) then
          let xc = x +. ((yg -. yf) /. (rf -. rg)) in
          if xc > x +. 1e-15 && xc < next -. 1e-15 then
            let yfc = yf +. (rf *. (xc -. x)) and ygc = yg +. (rg *. (xc -. x)) in
@@ -190,7 +192,7 @@ let pointwise2 ~(pick : (float * float) -> (float * float) -> float * float) (f 
    point, which differ by rounding) must be treated as equal so the slope
    choice looks forward, not at noise. *)
 let pick_eps yf yg =
-  if yf = infinity || yg = infinity then 0.
+  if is_inf yf || is_inf yg then 0.
   else 1e-12 *. (1. +. Float.abs yf +. Float.abs yg)
 
 let min f g =
@@ -216,7 +218,7 @@ let token_buckets = function
 
 let add f g =
   pointwise2 f g ~pick:(fun (yf, rf) (yg, rg) ->
-      if yf = infinity || yg = infinity then (infinity, 0.) else (yf +. yg, rf +. rg))
+      if is_inf yf || is_inf yg then (infinity, 0.) else (yf +. yg, rf +. rg))
 
 (* Raw (possibly non-monotone) pointwise difference, as a piece list. *)
 let raw_sub (f : t) (g : t) : piece list =
@@ -225,9 +227,9 @@ let raw_sub (f : t) (g : t) : piece list =
     (fun x ->
       let i = index_of f x and j = index_of g x in
       let yf = value_at f.(i) x and yg = value_at g.(j) x in
-      let rf = if f.(i).y = infinity then 0. else f.(i).r
-      and rg = if g.(j).y = infinity then 0. else g.(j).r in
-      if yf = infinity then { x; y = infinity; r = 0. } else { x; y = yf -. yg; r = rf -. rg })
+      let rf = if is_inf f.(i).y then 0. else f.(i).r
+      and rg = if is_inf g.(j).y then 0. else g.(j).r in
+      if is_inf yf then { x; y = infinity; r = 0. } else { x; y = yf -. yg; r = rf -. rg })
     xs
 
 (* Clip a raw piece list at zero from below, adding crossing breakpoints. *)
@@ -236,9 +238,9 @@ let raw_clip_pos (ps : piece list) : piece list =
     | [] -> List.rev acc
     | p :: rest ->
       let next = match rest with [] -> infinity | q :: _ -> q.x in
-      if p.y = infinity then go ({ p with y = infinity; r = 0. } :: acc) rest
+      if is_inf p.y then go ({ p with y = infinity; r = 0. } :: acc) rest
       else
-        let y_end = if next = infinity then (if p.r >= 0. then infinity else neg_infinity)
+        let y_end = if is_inf next then (if p.r >= 0. then infinity else neg_infinity)
                     else value_at p next in
         if p.y >= 0. && y_end >= 0. then go (p :: acc) rest
         else if p.y <= 0. && y_end <= 0. then go ({ p with y = 0.; r = 0. } :: acc) rest
@@ -265,14 +267,14 @@ let monotone_minorant (ps : piece list) : piece list =
     let p = arr.(i) in
     let next = if i + 1 < n then arr.(i + 1).x else infinity in
     let inf_right = !minfuture in
-    if p.y = infinity then begin
-      (if inf_right = infinity || i + 1 >= n then out := { p with y = infinity; r = 0. } :: !out
+    if is_inf p.y then begin
+      (if is_inf inf_right || i + 1 >= n then out := { p with y = infinity; r = 0. } :: !out
        else out := { p with y = inf_right; r = 0. } :: !out);
       minfuture := Float.min inf_right infinity
     end
     else if p.r >= 0. then begin
       (* increasing piece: follow f until it exceeds inf_right, then flat *)
-      let y_end = if next = infinity then infinity else value_at p next in
+      let y_end = if is_inf next then infinity else value_at p next in
       if y_end <= inf_right then begin
         out := p :: !out;
         minfuture := p.y
@@ -290,7 +292,7 @@ let monotone_minorant (ps : piece list) : piece list =
     end
     else begin
       (* decreasing piece: min over [t, next) is the right-end value *)
-      let y_end = if next = infinity then neg_infinity else value_at p next in
+      let y_end = if is_inf next then neg_infinity else value_at p next in
       let m = Float.min y_end inf_right in
       out := { p with y = m; r = 0. } :: !out;
       minfuture := m
@@ -306,12 +308,12 @@ let sub_clip f g =
 let scale k (f : t) =
   if Float.is_nan k then invalid_arg "Curve.scale: NaN factor";
   if k < 0. then invalid_arg "Curve.scale: negative factor";
-  Array.map (fun p -> if p.y = infinity then p else { p with y = k *. p.y; r = k *. p.r }) f
+  Array.map (fun p -> if is_inf p.y then p else { p with y = k *. p.y; r = k *. p.r }) f
 
 let hshift d (f : t) =
   if Float.is_nan d then invalid_arg "Curve.hshift: NaN shift";
   if d < 0. then invalid_arg "Curve.hshift: negative shift";
-  if d = 0. then f
+  if Float.equal d 0. then f
   else
     let shifted = Array.to_list f |> List.map (fun p -> { p with x = p.x +. d }) in
     normalize ({ x = 0.; y = 0.; r = 0. } :: shifted)
@@ -319,17 +321,17 @@ let hshift d (f : t) =
 let vshift c (f : t) =
   if Float.is_nan c then invalid_arg "Curve.vshift: NaN shift";
   if c < 0. then invalid_arg "Curve.vshift: negative shift";
-  Array.map (fun p -> if p.y = infinity then p else { p with y = p.y +. c }) f
+  Array.map (fun p -> if is_inf p.y then p else { p with y = p.y +. c }) f
 
 let lshift c (f : t) =
   if Float.is_nan c then invalid_arg "Curve.lshift: NaN shift";
   if c < 0. then invalid_arg "Curve.lshift: negative shift";
-  if c = 0. then f
+  if Float.equal c 0. then f
   else
     let i = index_of f c in
     let head =
       let p = f.(i) in
-      if p.y = infinity then { x = 0.; y = infinity; r = 0. }
+      if is_inf p.y then { x = 0.; y = infinity; r = 0. }
       else { x = 0.; y = value_at p c; r = p.r }
     in
     let tail =
@@ -342,7 +344,7 @@ let lshift c (f : t) =
 let gate theta (f : t) =
   if Float.is_nan theta then invalid_arg "Curve.gate: NaN threshold";
   if theta < 0. then invalid_arg "Curve.gate: negative threshold";
-  if theta = 0. then f
+  if Float.equal theta 0. then f
   else
     let tail =
       Array.to_list f
@@ -353,7 +355,7 @@ let gate theta (f : t) =
     let at_theta =
       let i = index_of f theta in
       let p = f.(i) in
-      if p.y = infinity then { x = theta; y = infinity; r = 0. }
+      if is_inf p.y then { x = theta; y = infinity; r = 0. }
       else { x = theta; y = value_at p theta; r = p.r }
     in
     normalize ({ x = 0.; y = 0.; r = 0. } :: at_theta :: tail)
@@ -366,19 +368,19 @@ let is_convex ?(tol = tol_default) (f : t) =
   let rec go = function
     | [] | [ _ ] -> true
     | p :: (q :: _ as rest) ->
-      if q.y = infinity then rest = [ q ]
+      if is_inf q.y then rest = [ q ]
       else
         let cont = Float.abs (value_at p q.x -. q.y) <= tol *. (1. +. Float.abs q.y) in
         cont && p.r <= q.r +. tol && go rest
   in
-  (match ps with [] -> true | p0 :: _ -> p0.y = 0. || p0.y = infinity || p0.y >= 0.) && go ps
+  (match ps with [] -> true | p0 :: _ -> Float.equal p0.y 0. || is_inf p0.y || p0.y >= 0.) && go ps
 
 let is_concave ?(tol = tol_default) (f : t) =
   let ps = Array.to_list f in
   let rec go = function
     | [] | [ _ ] -> true
     | p :: (q :: _ as rest) ->
-      q.y <> infinity
+      not (is_inf q.y)
       && Float.abs (value_at p q.x -. q.y) <= tol *. (1. +. Float.abs q.y)
       && p.r >= q.r -. tol
       && go rest
@@ -388,7 +390,7 @@ let is_concave ?(tol = tol_default) (f : t) =
 let equal ?(tol = tol_default) f g =
   let xs = merged_xs f g in
   let close a b =
-    (a = infinity && b = infinity) || Float.abs (a -. b) <= tol *. (1. +. Float.max (Float.abs a) (Float.abs b))
+    (is_inf a && is_inf b) || Float.abs (a -. b) <= tol *. (1. +. Float.max (Float.abs a) (Float.abs b))
   in
   let ok_at t = close (eval f t) (eval g t) in
   let rec mids = function
@@ -401,7 +403,7 @@ let equal ?(tol = tol_default) f g =
 
 let pp ppf (f : t) =
   let pp_piece ppf p =
-    if p.y = infinity then Fmt.pf ppf "[%g,∞)" p.x
+    if is_inf p.y then Fmt.pf ppf "[%g,∞)" p.x
     else Fmt.pf ppf "(%g: %g + %g·t)" p.x p.y p.r
   in
   Fmt.pf ppf "@[<h>%a@]" (Fmt.list ~sep:Fmt.sp pp_piece) (Array.to_list f)

@@ -19,7 +19,7 @@ let horizontal ~arrival:e ~service:s =
     Curve.ultimately_infinite s
     || Curve.ultimate_rate e <= Curve.ultimate_rate s +. 1e-12
   in
-  if not stable then infinity
+  if not stable then Float.infinity
   else begin
     (* d(t) = inverse s (e t) - t.  Between candidate abscissae, e is affine
        and e(t) stays within one inverse-piece of s, so d is affine and the
@@ -48,7 +48,7 @@ let horizontal ~arrival:e ~service:s =
     end;
     let d_at t =
       let y = Curve.eval e t in
-      if y = 0. then 0. else Float.max 0. (Curve.inverse s y -. t)
+      if Float.equal y 0. then 0. else Float.max 0. (Curve.inverse s y -. t)
     in
     checked "Deviation.horizontal"
       (List.fold_left (fun acc t -> Float.max acc (d_at t)) 0. candidates)
@@ -61,9 +61,9 @@ let vertical ~arrival:e ~service:s =
     Curve.ultimately_infinite s
     || Curve.ultimate_rate e <= Curve.ultimate_rate s +. 1e-12
   in
-  if not stable then infinity
+  if not stable then Float.infinity
   else begin
-    let xs = List.sort_uniq compare (Curve.breakpoints e @ Curve.breakpoints s) in
+    let xs = List.sort_uniq Float.compare (Curve.breakpoints e @ Curve.breakpoints s) in
     let far = 1. +. List.fold_left Float.max 0. xs in
     if !Telemetry.on then begin
       Telemetry.Counter.incr c_vertical;
@@ -71,8 +71,8 @@ let vertical ~arrival:e ~service:s =
     end;
     let gap t =
       let right = Curve.eval e t -. Curve.eval s t in
-      let left = if t > 0. then Curve.eval_left e t -. Curve.eval_left s t else neg_infinity in
-      let fin x = if Float.is_nan x then neg_infinity else x in
+      let left = if t > 0. then Curve.eval_left e t -. Curve.eval_left s t else Float.neg_infinity in
+      let fin x = if Float.is_nan x then Float.neg_infinity else x in
       Float.max (fin right) (fin left)
     in
     checked "Deviation.vertical"

@@ -37,7 +37,7 @@ let stationary_factor = function
   | Constant f -> f
   | Windows _ as s -> min_factor s
   | Gilbert { p_fail; p_recover; factor } ->
-    if p_fail = 0. then 1.
+    if Float.equal p_fail 0. then 1.
     else begin
       let p_degraded = p_fail /. (p_fail +. p_recover) in
       (1. -. p_degraded) +. (p_degraded *. factor)

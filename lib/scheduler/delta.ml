@@ -3,10 +3,10 @@
 type t = Neg_inf | Fin of float | Pos_inf
 
 let fin x =
-  if Float.is_nan x then invalid_arg "Delta.fin: nan"
-  else if x = infinity then Pos_inf
-  else if x = neg_infinity then Neg_inf
-  else Fin x
+  match Float.classify_float x with
+  | FP_nan -> invalid_arg "Delta.fin: nan"
+  | FP_infinite -> if x > 0. then Pos_inf else Neg_inf
+  | FP_normal | FP_subnormal | FP_zero -> Fin x
 
 let zero = Fin 0.
 

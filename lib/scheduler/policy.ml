@@ -5,7 +5,7 @@ type key = { major : float; minor : float; tie : int }
 let compare_key a b =
   match Float.compare a.major b.major with
   | 0 -> (
-    match Float.compare a.minor b.minor with 0 -> compare a.tie b.tie | c -> c)
+    match Float.compare a.minor b.minor with 0 -> Int.compare a.tie b.tie | c -> c)
   | c -> c
 
 type t = {

@@ -8,7 +8,7 @@ let policy ~targets () =
       if t.rate <= 0. then invalid_arg "Sced.policy: non-positive rate";
       if t.latency < 0. then invalid_arg "Sced.policy: negative latency")
     targets;
-  let vfinish = Array.make (Array.length targets) neg_infinity in
+  let vfinish = Array.make (Array.length targets) Float.neg_infinity in
   let key ~arrival ~cls ~size =
     if cls < 0 || cls >= Array.length targets then
       invalid_arg "Sced.policy: class out of range";

@@ -207,7 +207,7 @@ module Gauge = struct
   let make name =
     match
       register name (fun () ->
-          G { g_name = name; g_last = nan; g_max = neg_infinity })
+          G { g_name = name; g_last = Float.nan; g_max = Float.neg_infinity })
     with
     | G g -> g
     | _ -> invalid_arg ("Telemetry.Gauge.make: " ^ name ^ " is not a gauge")
@@ -234,8 +234,8 @@ module Histogram = struct
               hg_counts = Array.make hist_buckets 0;
               hg_n = 0;
               hg_sum = 0.;
-              hg_min = infinity;
-              hg_max = neg_infinity;
+              hg_min = Float.infinity;
+              hg_max = Float.neg_infinity;
             })
     with
     | H h -> h
@@ -266,7 +266,7 @@ module Histogram = struct
   let sum h = h.hg_sum
 
   let quantile h q =
-    if h.hg_n = 0 then nan
+    if h.hg_n = 0 then Float.nan
     else begin
       let q = Float.max 0. (Float.min 1. q) in
       let target = int_of_float (Float.round (q *. float_of_int h.hg_n)) in
@@ -345,8 +345,8 @@ let hist_view h =
   {
     h_count = h.hg_n;
     h_sum = h.hg_sum;
-    h_min = (if h.hg_n = 0 then nan else h.hg_min);
-    h_max = (if h.hg_n = 0 then nan else h.hg_max);
+    h_min = (if h.hg_n = 0 then Float.nan else h.hg_min);
+    h_max = (if h.hg_n = 0 then Float.nan else h.hg_max);
     h_p50 = Histogram.quantile h 0.5;
     h_p90 = Histogram.quantile h 0.9;
     h_p99 = Histogram.quantile h 0.99;
@@ -362,10 +362,10 @@ let snapshot () =
       | H h -> histograms := (h.hg_name, hist_view h) :: !histograms)
     registry;
   {
-    counters = List.sort compare !counters;
-    gauges = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !gauges;
+    counters = List.sort (fun (a, _) (b, _) -> String.compare a b) !counters;
+    gauges = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !gauges;
     histograms =
-      List.sort (fun (a, _) (b, _) -> compare a b) !histograms;
+      List.sort (fun (a, _) (b, _) -> String.compare a b) !histograms;
   }
 
 let reset () =
@@ -374,14 +374,14 @@ let reset () =
       match m with
       | C c -> c.c_value <- 0
       | G g ->
-        g.g_last <- nan;
-        g.g_max <- neg_infinity
+        g.g_last <- Float.nan;
+        g.g_max <- Float.neg_infinity
       | H h ->
         Array.fill h.hg_counts 0 hist_buckets 0;
         h.hg_n <- 0;
         h.hg_sum <- 0.;
-        h.hg_min <- infinity;
-        h.hg_max <- neg_infinity)
+        h.hg_min <- Float.infinity;
+        h.hg_max <- Float.neg_infinity)
     registry
 
 (* ---------------- lifecycle ---------------- *)

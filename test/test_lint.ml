@@ -1,0 +1,252 @@
+(* The AST lint engine: for each rule a triggering, a non-triggering and a
+   suppressed fixture, all run through [Lint.Engine.lint_string] so no file
+   I/O is involved, plus a golden test of the machine-readable output. *)
+
+open Alcotest
+
+let rules ~file src =
+  Lint.Engine.lint_string ~file src |> List.map (fun f -> f.Lint.Finding.rule)
+
+let fires name ~file src rule () =
+  check bool
+    (Printf.sprintf "%s: %S fires %s" name src rule)
+    true
+    (List.mem rule (rules ~file src))
+
+let silent name ~file src rule () =
+  check bool
+    (Printf.sprintf "%s: %S stays silent on %s" name src rule)
+    false
+    (List.mem rule (rules ~file src))
+
+(* ---------------- float-equal ---------------- *)
+
+let test_float_equal_fires =
+  fires "float-equal" ~file:"lib/foo/a.ml" "let f x = x = 1.0" "float-equal"
+
+let test_float_equal_operators () =
+  List.iter
+    (fun op ->
+      check bool (op ^ " on a float literal fires") true
+        (List.mem "float-equal"
+           (rules ~file:"lib/foo/a.ml" (Printf.sprintf "let f x = x %s 0.5" op))))
+    [ "="; "<>"; "=="; "!=" ]
+
+let test_float_equal_heuristic () =
+  (* Plain idents are not syntactically float-looking; Float.compare
+     returns an int, so comparing it with 0 is fine. *)
+  List.iter
+    (fun src ->
+      check bool (src ^ " does not fire") false
+        (List.mem "float-equal" (rules ~file:"lib/foo/a.ml" src)))
+    [
+      "let f a b = a = b";
+      "let f a b = Float.compare a b = 0";
+      "let f a b = Float.equal a b";
+      "let n = 1 = 2";
+    ];
+  (* ... but arithmetic, nan idents and Float constants are. *)
+  List.iter
+    (fun src ->
+      check bool (src ^ " fires") true
+        (List.mem "float-equal" (rules ~file:"lib/foo/a.ml" src)))
+    [
+      "let f a b = a +. 1. = b";
+      "let f x = x = nan";
+      "let f x = x = Float.infinity";
+      "let f x = sqrt x = x";
+    ]
+
+let test_float_equal_suppressed =
+  silent "float-equal" ~file:"lib/foo/a.ml"
+    "let f x = (x = 1.0) [@lint.allow \"float-equal\"]" "float-equal"
+
+(* ---------------- poly-compare ---------------- *)
+
+let test_poly_compare_fires =
+  fires "poly-compare" ~file:"lib/foo/a.ml" "let f xs = List.sort compare xs"
+    "poly-compare"
+
+let test_poly_compare_stdlib =
+  fires "poly-compare" ~file:"lib/foo/a.ml" "let f xs = List.sort Stdlib.compare xs"
+    "poly-compare"
+
+let test_poly_compare_bin_ok =
+  silent "poly-compare" ~file:"bin/a.ml" "let f xs = List.sort compare xs" "poly-compare"
+
+let test_poly_compare_local_definition () =
+  (* A file defining its own [compare] refers to the local, typed one. *)
+  check (list string) "local compare is exempt" []
+    (rules ~file:"lib/foo/a.ml"
+       "let compare a b = Float.compare a b\nlet f xs = List.sort compare xs")
+
+let test_poly_compare_suppressed =
+  silent "poly-compare" ~file:"lib/foo/a.ml"
+    "let f xs = List.sort compare xs [@@lint.allow \"poly-compare\"]" "poly-compare"
+
+(* ---------------- banned-ident ---------------- *)
+
+let test_banned_obj_magic =
+  fires "banned-ident" ~file:"other.ml" "let f x = Obj.magic x" "banned-ident"
+
+let test_banned_random_outside_prng =
+  fires "banned-ident" ~file:"lib/netsim/a.ml" "let x () = Random.float 1." "banned-ident"
+
+let test_banned_random_in_prng_ok =
+  silent "banned-ident" ~file:"lib/desim/prng.ml" "let x () = Random.float 1."
+    "banned-ident"
+
+let test_banned_exit_in_lib =
+  fires "banned-ident" ~file:"lib/foo/a.ml" "let f () = exit 1" "banned-ident"
+
+let test_banned_exit_in_bin_ok =
+  silent "banned-ident" ~file:"bin/a.ml" "let f () = exit 1" "banned-ident"
+
+let test_banned_print_in_lib =
+  fires "banned-ident" ~file:"lib/foo/a.ml" "let f () = print_endline \"x\""
+    "banned-ident"
+
+let test_banned_printf_in_lib =
+  fires "banned-ident" ~file:"lib/foo/a.ml" "let f () = Printf.printf \"x\""
+    "banned-ident"
+
+let test_banned_print_in_bin_ok =
+  silent "banned-ident" ~file:"bin/a.ml" "let f () = print_endline \"x\"" "banned-ident"
+
+let test_banned_suppressed =
+  silent "banned-ident" ~file:"lib/foo/a.ml"
+    "let f x = (Obj.magic x) [@lint.allow \"banned-ident\"]" "banned-ident"
+
+(* ---------------- nan-literal ---------------- *)
+
+let test_nan_literal_fires =
+  fires "nan-literal" ~file:"lib/core/a.ml" "let x = nan" "nan-literal"
+
+let test_nan_literal_infinity =
+  fires "nan-literal" ~file:"lib/netsim/a.ml" "let x = neg_infinity" "nan-literal"
+
+let test_nan_literal_allowlisted =
+  silent "nan-literal" ~file:"lib/scheduler/delta.ml" "let x = infinity" "nan-literal"
+
+let test_nan_literal_qualified_ok =
+  silent "nan-literal" ~file:"lib/core/a.ml" "let x = Float.nan" "nan-literal"
+
+let test_nan_literal_suppressed =
+  silent "nan-literal" ~file:"lib/core/a.ml" "let x = nan [@lint.allow \"nan-literal\"]"
+    "nan-literal"
+
+(* ---------------- unsafe-partial ---------------- *)
+
+let test_unsafe_partial_fires =
+  fires "unsafe-partial" ~file:"lib/core/a.ml" "let f xs = List.hd xs" "unsafe-partial"
+
+let test_unsafe_partial_option_get =
+  fires "unsafe-partial" ~file:"lib/core/a.ml" "let f o = Option.get o" "unsafe-partial"
+
+let test_unsafe_partial_outside_core_ok =
+  silent "unsafe-partial" ~file:"lib/minplus/a.ml" "let f xs = List.hd xs"
+    "unsafe-partial"
+
+let test_unsafe_partial_suppressed =
+  silent "unsafe-partial" ~file:"lib/core/a.ml"
+    "let f xs = (List.hd xs) [@lint.allow \"unsafe-partial\"]" "unsafe-partial"
+
+(* ---------------- suppression semantics ---------------- *)
+
+let test_allow_all () =
+  check (list string) "bare [@lint.allow] silences everything" []
+    (rules ~file:"lib/core/a.ml"
+       "let f xs = (List.sort compare (List.hd xs) = nan) [@lint.allow]")
+
+let test_allow_is_scoped () =
+  (* The attribute silences its subtree only; a sibling still fires. *)
+  let found =
+    rules ~file:"lib/core/a.ml"
+      "let a = nan [@lint.allow \"nan-literal\"]\nlet b = nan"
+  in
+  check (list string) "sibling still fires" [ "nan-literal" ] found
+
+let test_allow_space_separated () =
+  check (list string) "several ids in one payload" []
+    (rules ~file:"lib/core/a.ml"
+       "let f xs = (List.hd xs = nan) [@lint.allow \"unsafe-partial nan-literal float-equal\"]")
+
+(* ---------------- parse errors and output format ---------------- *)
+
+let test_parse_error () =
+  match Lint.Engine.lint_string ~file:"lib/foo/bad.ml" "let = = (" with
+  | [ f ] -> check string "rule" "parse-error" f.Lint.Finding.rule
+  | fs -> failf "expected one parse-error finding, got %d" (List.length fs)
+
+let test_golden_output () =
+  let src =
+    String.concat "\n"
+      [
+        "let a = nan";
+        "let f x = x = 1.0";
+        "let g xs = List.sort compare xs";
+        "let h xs = List.hd xs";
+      ]
+  in
+  let got =
+    Lint.Engine.lint_string ~file:"lib/core/sample.ml" src
+    |> List.map Lint.Finding.to_string
+  in
+  check (list string) "machine-readable output"
+    [
+      "lib/core/sample.ml:1 nan-literal bare nan; use Float.nan (or a Delta / Curve \
+       constructor) so the sentinel is explicit";
+      "lib/core/sample.ml:2 float-equal float (=) comparison; use Float.equal / \
+       Float.compare (or Float.is_nan / Float.classify_float)";
+      "lib/core/sample.ml:3 poly-compare polymorphic compare; use a typed comparator \
+       (Float.compare, Int.compare, String.compare, ...)";
+      "lib/core/sample.ml:4 unsafe-partial partial List.hd in lib/core; match explicitly";
+    ]
+    got
+
+let test_catalogue_covers_rules () =
+  let ids = List.map fst Lint.Engine.catalogue in
+  List.iter
+    (fun r -> check bool (r ^ " is catalogued") true (List.mem r ids))
+    [
+      "float-equal"; "poly-compare"; "banned-ident"; "nan-literal"; "unsafe-partial";
+      "parse-error";
+    ]
+
+let suite =
+  [
+    test_case "float-equal fires" `Quick test_float_equal_fires;
+    test_case "float-equal all operators" `Quick test_float_equal_operators;
+    test_case "float-equal heuristic" `Quick test_float_equal_heuristic;
+    test_case "float-equal suppressed" `Quick test_float_equal_suppressed;
+    test_case "poly-compare fires" `Quick test_poly_compare_fires;
+    test_case "poly-compare Stdlib.compare" `Quick test_poly_compare_stdlib;
+    test_case "poly-compare allowed in bin" `Quick test_poly_compare_bin_ok;
+    test_case "poly-compare local definition exempt" `Quick
+      test_poly_compare_local_definition;
+    test_case "poly-compare suppressed" `Quick test_poly_compare_suppressed;
+    test_case "banned: Obj.magic" `Quick test_banned_obj_magic;
+    test_case "banned: Random outside prng" `Quick test_banned_random_outside_prng;
+    test_case "banned: Random inside prng ok" `Quick test_banned_random_in_prng_ok;
+    test_case "banned: exit in lib" `Quick test_banned_exit_in_lib;
+    test_case "banned: exit in bin ok" `Quick test_banned_exit_in_bin_ok;
+    test_case "banned: print_endline in lib" `Quick test_banned_print_in_lib;
+    test_case "banned: Printf.printf in lib" `Quick test_banned_printf_in_lib;
+    test_case "banned: print in bin ok" `Quick test_banned_print_in_bin_ok;
+    test_case "banned: suppressed" `Quick test_banned_suppressed;
+    test_case "nan-literal fires" `Quick test_nan_literal_fires;
+    test_case "nan-literal neg_infinity" `Quick test_nan_literal_infinity;
+    test_case "nan-literal allowlisted module" `Quick test_nan_literal_allowlisted;
+    test_case "nan-literal qualified ok" `Quick test_nan_literal_qualified_ok;
+    test_case "nan-literal suppressed" `Quick test_nan_literal_suppressed;
+    test_case "unsafe-partial fires" `Quick test_unsafe_partial_fires;
+    test_case "unsafe-partial Option.get" `Quick test_unsafe_partial_option_get;
+    test_case "unsafe-partial outside core ok" `Quick test_unsafe_partial_outside_core_ok;
+    test_case "unsafe-partial suppressed" `Quick test_unsafe_partial_suppressed;
+    test_case "allow without payload" `Quick test_allow_all;
+    test_case "allow is scoped to the subtree" `Quick test_allow_is_scoped;
+    test_case "allow space-separated ids" `Quick test_allow_space_separated;
+    test_case "parse error becomes a finding" `Quick test_parse_error;
+    test_case "golden machine-readable output" `Quick test_golden_output;
+    test_case "catalogue covers every rule" `Quick test_catalogue_covers_rules;
+  ]

@@ -20,4 +20,6 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("robustness", Test_robustness.suite);
       ("telemetry", Test_telemetry.suite);
+      ("lint", Test_lint.suite);
+      ("deltanet.contracts", Test_contracts.suite);
     ]
