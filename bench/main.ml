@@ -5,10 +5,16 @@
    Fig. 1 is a topology diagram — and runs Bechamel micro-benchmarks of the
    analysis kernels (one per figure, plus the substrate hot spots).
 
-   Usage:  dune exec bench/main.exe [-- [short] fig2|fig3|fig4|extension|ablation|micro|all ...]
+   Usage:  dune exec bench/main.exe
+             [-- [short] [--jobs=N]
+              fig2|fig3|fig4|extension|ablation|sweep-seq|sweep-par|micro|all ...]
 
    Several section names may be given; "short" shrinks every section to a
-   seconds-scale smoke run (CI).  Each invocation also writes
+   seconds-scale smoke run (CI); "--jobs=N" (or DELTANET_JOBS) sets the
+   worker-domain count for the parallel sweep paths (0 = all cores) —
+   results are bit-for-bit identical at every setting, which the
+   sweep-seq/sweep-par section pair verifies while recording the
+   sequential and parallel wall times.  Each invocation also writes
    BENCH_deltanet.json: per-section wall time plus the telemetry counter
    deltas (objective evaluations, convolution segment counts, simulated
    slots, ...) accumulated while the section ran.  *)
@@ -216,6 +222,65 @@ let ablation ~short () =
     (if short then [ 4; 8; 16 ] else [ 4; 8; 16; 32; 64 ])
 
 (* ---------------------------------------------------------------- *)
+(* Sequential-vs-parallel comparison on the Fig. 3 sweep kernel.  Two
+   sections so BENCH_deltanet.json records both wall times; the parallel
+   run is cross-checked bitwise against the sequential one. *)
+
+(* jobs requested via --jobs=N / DELTANET_JOBS (set in main; 1 = default) *)
+let par_jobs = ref 1
+
+let sweep_kernel ~short () =
+  let hs = if short then [ 2 ] else [ 2; 5; 10 ] in
+  let mixes = if short then [ 10; 50; 90 ] else [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ] in
+  List.concat_map
+    (fun h ->
+      List.concat_map
+        (fun mix_pct ->
+          let mix = float_of_int mix_pct /. 100. in
+          let u_cross = 0.5 *. mix in
+          let sc = Scenario.of_utilization ~h ~u_through:(0.5 -. u_cross) ~u_cross in
+          [ bound sc Classes.Bmux; bound sc Classes.Fifo ])
+        mixes)
+    hs
+
+(* sequential results + wall, for the cross-check when both sections run *)
+let seq_sweep : (float list * float) option ref = ref None
+
+let sweep_seq ~short () =
+  Fmt.pr "@.== Parallel comparison: Fig.-3 sweep kernel, sequential ==@.";
+  Parallel.Default.set_jobs 1;
+  let t0 = Unix.gettimeofday () in
+  let values = sweep_kernel ~short () in
+  let wall = Unix.gettimeofday () -. t0 in
+  seq_sweep := Some (values, wall);
+  Fmt.pr "   %d bounds in %.3f s (jobs = 1)@." (List.length values) wall
+
+let sweep_par ~short () =
+  let jobs = if !par_jobs > 1 then !par_jobs else Parallel.Pool.recommended_jobs () in
+  Fmt.pr "@.== Parallel comparison: Fig.-3 sweep kernel, %d jobs ==@." jobs;
+  Parallel.Default.set_jobs jobs;
+  let t0 = Unix.gettimeofday () in
+  let values = sweep_kernel ~short () in
+  let wall = Unix.gettimeofday () -. t0 in
+  Parallel.Default.set_jobs !par_jobs;
+  Fmt.pr "   %d bounds in %.3f s (jobs = %d)@." (List.length values) wall jobs;
+  match !seq_sweep with
+  | None -> ()
+  | Some (seq_values, seq_wall) ->
+    let identical =
+      List.length seq_values = List.length values
+      && List.for_all2
+           (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+           seq_values values
+    in
+    if not identical then begin
+      Fmt.epr "FATAL: parallel sweep diverged bitwise from the sequential run@.";
+      (exit [@lint.allow "banned-ident"]) 1
+    end;
+    Fmt.pr "   bitwise identical to the sequential run; speedup %.2fx@."
+      (seq_wall /. wall)
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per figure kernel plus the
    substrate hot paths. *)
 
@@ -398,12 +463,30 @@ let sections ~short =
     ("fig4", fig4 ~short);
     ("extension", extension ~short);
     ("ablation", ablation ~short);
+    ("sweep-seq", sweep_seq ~short);
+    ("sweep-par", sweep_par ~short);
     ("micro", micro ~short);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let short = List.mem "short" args in
+  (* --jobs=N beats DELTANET_JOBS; 0 means all cores; default sequential *)
+  let jobs_args, args =
+    List.partition (fun a -> String.length a > 7 && String.sub a 0 7 = "--jobs=") args
+  in
+  (match jobs_args with
+  | [] -> (
+    match Parallel.Default.jobs_from_env () with
+    | Some n -> par_jobs := if n = 0 then Parallel.Pool.recommended_jobs () else n
+    | None -> ())
+  | a :: _ -> (
+    match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+    | Some n when n >= 0 ->
+      par_jobs := if n = 0 then Parallel.Pool.recommended_jobs () else n
+    | Some _ | None ->
+      Fmt.epr "bad %s (expected --jobs=N with N >= 0; 0 = all cores)@." a;
+      (exit [@lint.allow "banned-ident"]) 2));
   let requested =
     match List.filter (fun a -> a <> "short") args with
     | [] -> [ "all" ]
@@ -418,13 +501,17 @@ let () =
   let known = sections ~short in
   let bad = List.filter (fun n -> not (List.mem_assoc n known)) requested in
   if bad <> [] then begin
-    Fmt.epr "unknown section %S (expected fig2|fig3|fig4|extension|ablation|micro|all)@."
+    Fmt.epr
+      "unknown section %S (expected \
+       fig2|fig3|fig4|extension|ablation|sweep-seq|sweep-par|micro|all)@."
       (List.hd bad);
     (exit [@lint.allow "banned-ident"]) 2
   end;
   (* Null sink: counters/histograms accumulate for the JSON report without
-     any event streaming. *)
+     any event streaming.  The null sink is non-streaming, so the parallel
+     pool stays parallel while counters still record work. *)
   Telemetry.configure ~sink:Telemetry.Sink.null ();
+  Parallel.Default.set_jobs !par_jobs;
   let t0 = Unix.gettimeofday () in
   let reports =
     List.map (fun name -> timed name (List.assoc name known)) requested

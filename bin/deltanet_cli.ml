@@ -115,6 +115,29 @@ let faults_arg =
            gilbert:PFAIL:PREC:F (random transient faults: fail with PFAIL per healthy \
            slot, recover with PREC per degraded slot).  Repeatable.")
 
+(* ---------------- parallel execution ---------------- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel sweep/replication paths (default: the \
+           $(b,DELTANET_JOBS) environment variable, else 1; 0 means all cores).  \
+           Outputs are bit-for-bit identical at every setting.")
+
+let setup_jobs jobs =
+  let n =
+    match jobs with Some n -> Some n | None -> Parallel.Default.jobs_from_env ()
+  in
+  match n with
+  | None -> ()
+  | Some n when n < 0 ->
+    Fmt.epr "invalid --jobs %d (need 0 for auto or a positive count)@." n;
+    exit exit_usage
+  | Some n -> Parallel.Default.set_jobs n
+
 (* ---------------- telemetry flags (all subcommands) ---------------- *)
 
 let metrics_arg =
@@ -205,7 +228,8 @@ let compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio sched =
   (compute_bound_checked ~s_points ~edf_ratio scenario sched).Diag.value
 
 let bound_cmd =
-  let run h u0 uc epsilon s_points edf_ratio sched metric metrics trace =
+  let run h u0 uc epsilon s_points edf_ratio sched metric jobs metrics trace =
+    setup_jobs jobs;
     with_telemetry "bound" metrics trace @@ fun () ->
     let scenario = scenario_or_exit ~h ~u0 ~uc ~epsilon in
     let (outcome, unit_) =
@@ -243,7 +267,7 @@ let bound_cmd =
   let term =
     Term.(
       const run $ hops_arg $ u0_arg $ uc_arg $ epsilon_arg $ s_points_arg $ edf_ratio_arg
-      $ sched_arg $ metric_arg $ metrics_arg $ trace_arg)
+      $ sched_arg $ metric_arg $ jobs_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "bound"
@@ -257,33 +281,43 @@ let bound_cmd =
 (* ---------------- sweep ---------------- *)
 
 let sweep_cmd =
-  let run h u0 epsilon s_points edf_ratio dimension metrics trace =
+  let run h u0 epsilon s_points edf_ratio dimension jobs metrics trace =
+    setup_jobs jobs;
     with_telemetry "sweep" metrics trace @@ fun () ->
     Fmt.pr "# %s sweep, u0=%g, eps=%g@." dimension u0 epsilon;
+    (* Rows fan out on the default pool (one task per sweep point, each
+       computing all three schedulers); printing stays on the main domain,
+       in input order, so the CSV is identical at every --jobs. *)
     (match dimension with
     | "utilization" ->
       Fmt.pr "u,bmux,fifo,edf@.";
-      List.iter
+      Parallel.Default.map_list
         (fun u_pct ->
           let uc = (float_of_int u_pct /. 100.) -. u0 in
-          if uc < 0. || u0 +. uc >= 1. then
-            Fmt.epr "# skipping u=%d%% (infeasible with u0=%g)@." u_pct u0
+          if uc < 0. || u0 +. uc >= 1. then (u_pct, None)
           else begin
             let d s = compute_bound ~h ~u0 ~uc ~epsilon ~s_points ~edf_ratio s in
-            Fmt.pr "%d,%.4f,%.4f,%.4f@." u_pct (d S_bmux) (d S_fifo) (d S_edf)
+            (u_pct, Some (d S_bmux, d S_fifo, d S_edf))
           end)
         [ 20; 30; 40; 50; 60; 70; 80; 90; 95 ]
+      |> List.iter (function
+           | (u_pct, None) ->
+             Fmt.epr "# skipping u=%d%% (infeasible with u0=%g)@." u_pct u0
+           | (u_pct, Some (bmux, fifo, edf)) ->
+             Fmt.pr "%d,%.4f,%.4f,%.4f@." u_pct bmux fifo edf)
     | "hops" ->
       if u0 < 0. || 2. *. u0 >= 1. then begin
         Fmt.epr "unstable scenario: hops sweep runs at uc = u0, so u0 must be in [0, 0.5)@.";
         exit exit_unstable
       end;
       Fmt.pr "h,bmux,fifo,edf@.";
-      List.iter
+      Parallel.Default.map_list
         (fun h ->
           let d s = compute_bound ~h ~u0 ~uc:u0 ~epsilon ~s_points ~edf_ratio s in
-          Fmt.pr "%d,%.4f,%.4f,%.4f@." h (d S_bmux) (d S_fifo) (d S_edf))
+          (h, (d S_bmux, d S_fifo, d S_edf)))
         [ 1; 2; 3; 4; 5; 6; 8; 10; 15; 20; 25; 30 ]
+      |> List.iter (fun (h, (bmux, fifo, edf)) ->
+             Fmt.pr "%d,%.4f,%.4f,%.4f@." h bmux fifo edf)
     | other -> Fmt.epr "unknown sweep dimension %S (utilization|hops)@." other);
     ()
   in
@@ -296,7 +330,7 @@ let sweep_cmd =
   let term =
     Term.(
       const run $ hops_arg $ u0_arg $ epsilon_arg $ s_points_arg $ edf_ratio_arg $ dim_arg
-      $ metrics_arg $ trace_arg)
+      $ jobs_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"CSV sweep of the delay bound over utilization or path length.")
@@ -385,8 +419,9 @@ let simulate_cmd =
 (* ---------------- replicate ---------------- *)
 
 let replicate_cmd =
-  let run h u0 uc slots seed sched edf_ratio faults runs q retries max_wall resume
+  let run h u0 uc slots seed sched edf_ratio faults runs q retries max_wall resume jobs
       metrics trace =
+    setup_jobs jobs;
     with_telemetry "replicate" metrics trace @@ fun () ->
     if runs < 2 then begin
       Fmt.epr "need at least two replications (got %d)@." runs;
@@ -460,7 +495,7 @@ let replicate_cmd =
     Term.(
       const run $ hops_arg $ u0_arg $ uc_arg $ slots_arg $ seed_arg $ sched_arg
       $ edf_ratio_arg $ faults_arg $ runs_arg $ q_arg $ retries_arg $ max_wall_arg
-      $ resume_arg $ metrics_arg $ trace_arg)
+      $ resume_arg $ jobs_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "replicate"
@@ -574,7 +609,8 @@ let admission_cmd =
 (* ---------------- scaling ---------------- *)
 
 let scaling_cmd =
-  let run u0 epsilon metrics trace =
+  let run u0 epsilon jobs metrics trace =
+    setup_jobs jobs;
     with_telemetry "scaling" metrics trace @@ fun () ->
     let sc =
       { (Scenario.of_utilization ~h:2 ~u_through:u0 ~u_cross:u0) with Scenario.epsilon }
@@ -596,7 +632,7 @@ let scaling_cmd =
     Fmt.pr "# Θ(H log H) appears as an exponent slightly above 1;@.";
     Fmt.pr "# the additive baseline's exponent is >= 2.@."
   in
-  let term = Term.(const run $ u0_arg $ epsilon_arg $ metrics_arg $ trace_arg) in
+  let term = Term.(const run $ u0_arg $ epsilon_arg $ jobs_arg $ metrics_arg $ trace_arg) in
   Cmd.v
     (Cmd.info "scaling"
        ~doc:"Empirical growth exponents of the delay bounds in the path length.")

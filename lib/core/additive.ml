@@ -53,16 +53,12 @@ let delay_bound ?(gamma_points = 40) ~capacity ~cross ~h ~epsilon through =
       if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
       snd (analyze ~capacity ~cross ~through ~h ~gamma ~epsilon)
     in
+    (* the per-node recursion inside [analyze] is data-dependent and stays
+       sequential; the independent gamma grid points fan out instead *)
     let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
-    let best = ref (f lo) in
-    let g = ref lo in
-    for _ = 2 to gamma_points do
-      g := !g *. ratio;
-      let v = f !g in
-      if v < !best then best := v
-    done;
-    !best
+    Parallel.Grid.min_value f
+      (Parallel.Grid.log_spaced ~lo ~ratio ~points:gamma_points)
   end
 
 let delay_bound_scenario ?(s_points = 32) (sc : Scenario.t) =
@@ -90,12 +86,6 @@ let delay_bound_scenario ?(s_points = 32) (sc : Scenario.t) =
     let lo = s_max *. 1e-4 and hi = s_max *. 0.5 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (s_points - 1)) in
     let f s = if !Telemetry.on then Telemetry.Counter.incr c_s_evals; f s in
-    let best = ref (f lo) in
-    let s = ref lo in
-    for _ = 2 to s_points do
-      s := !s *. ratio;
-      let v = f !s in
-      if v < !best then best := v
-    done;
-    !best
+    Parallel.Grid.min_value f
+      (Parallel.Grid.log_spaced ~lo ~ratio ~points:s_points)
   end

@@ -244,14 +244,10 @@ let backlog_bound ?(gamma_points = 40) ~epsilon p =
     in
     let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
-    let best = ref (f lo) in
-    let g = ref lo in
-    for _ = 2 to gamma_points do
-      g := !g *. ratio;
-      let v = f !g in
-      if v < !best then best := v
-    done;
-    !best
+    (* grid points fan out on the default pool; Grid keeps the abscissae
+       and the running-minimum fold bit-identical to the sequential loop *)
+    Parallel.Grid.min_value f
+      (Parallel.Grid.log_spaced ~lo ~ratio ~points:gamma_points)
   end
 
 let golden_minimize f lo hi steps =
@@ -277,21 +273,19 @@ let delay_bound ?(gamma_points = 40) ~epsilon p =
       if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
       delay_at_gamma p ~gamma ~epsilon
     in
-    (* Log-spaced coarse grid, then golden-section refinement around the
-       best grid point. *)
+    (* Log-spaced coarse grid (fanned out on the default pool), then
+       golden-section refinement around the best grid point — the
+       refinement is data-dependent, so it stays sequential. *)
     let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
-    let best = ref (lo, f lo) in
-    let g = ref lo in
-    for _ = 2 to gamma_points do
-      g := !g *. ratio;
-      let v = f !g in
-      if v < snd !best then best := (!g, v)
-    done;
-    let center = fst !best in
+    let best =
+      Parallel.Grid.argmin f
+        (Parallel.Grid.log_spaced ~lo ~ratio ~points:gamma_points)
+    in
+    let center = fst best in
     let a = Float.max lo (center /. ratio) and b = Float.min hi (center *. ratio) in
     let gstar = golden_minimize f a b 40 in
-    Float.min (snd !best) (f gstar)
+    Float.min (snd best) (f gstar)
   end
 
 (* --------------------------------------------------------------- *)

@@ -17,9 +17,13 @@ let growth_exponent points =
 
 let default_hs = [ 2; 4; 8; 16; 32 ]
 
+(* Per-H fan-out on the default pool.  Each H is independent, results
+   come back in input order, and a bound computed on a worker degrades
+   its own inner s/γ grids to sequential, so the numbers are identical
+   at every jobs setting. *)
 let delay_growth ?(hs = default_hs) ~scheduler (sc : Scenario.t) =
   let points =
-    List.map
+    Parallel.Default.map_list
       (fun h ->
         let sc_h = { sc with Scenario.h } in
         (float_of_int h, Scenario.delay_bound ~s_points:16 ~scheduler sc_h))
@@ -29,7 +33,7 @@ let delay_growth ?(hs = default_hs) ~scheduler (sc : Scenario.t) =
 
 let additive_growth ?(hs = default_hs) (sc : Scenario.t) =
   let points =
-    List.map
+    Parallel.Default.map_list
       (fun h ->
         let sc_h = { sc with Scenario.h } in
         (float_of_int h, Additive.delay_bound_scenario ~s_points:16 sc_h))

@@ -90,48 +90,46 @@ let minimize_over_s_checked ~s_points t f =
   match s_stable_max t with
   | None -> Diag.outcome Diag.Unstable Float.infinity
   | Some s_max ->
-    let evals = ref 0 in
-    let nan_seen = ref false in
-    let f s =
-      incr evals;
-      let v = f s in
-      if Float.is_nan v then nan_seen := true;
-      v
-    in
+    (* Grid points are evaluated on the default pool, so eval counting and
+       NaN detection read the evaluated grids afterwards instead of
+       mutating shared refs from worker domains.  The totals are identical
+       to the old per-call counting: one eval per grid point. *)
     let lo = s_max *. 1e-4 and hi = s_max *. 0.999 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (s_points - 1)) in
-    let best = ref (lo, f lo) in
-    let s = ref lo in
-    for _ = 2 to s_points do
-      s := !s *. ratio;
-      let v = f !s in
-      if v < snd !best then best := (!s, v)
+    let grid = Parallel.Grid.log_spaced ~lo ~ratio ~points:s_points in
+    let vals = Parallel.Grid.values f grid in
+    let best = ref (grid.(0), vals.(0)) in
+    for i = 1 to s_points - 1 do
+      if vals.(i) < snd !best then best := (grid.(i), vals.(i))
     done;
     let center = fst !best in
     let a = Float.max lo (center /. ratio) and b = Float.min hi (center *. ratio) in
     let refine_points = 12 in
     let rr = (b /. a) ** (1. /. float_of_int (refine_points - 1)) in
+    let rgrid = Parallel.Grid.log_spaced ~lo:a ~ratio:rr ~points:refine_points in
+    let rvals = Parallel.Grid.values f rgrid in
     let sbest = ref (snd !best) in
-    let sv = ref a in
-    for _ = 1 to refine_points do
-      let v = f !sv in
-      if v < !sbest then sbest := v;
-      sv := !sv *. rr
+    for i = 0 to refine_points - 1 do
+      if rvals.(i) < !sbest then sbest := rvals.(i)
     done;
+    let evals = s_points + refine_points in
+    let nan_seen =
+      Array.exists Float.is_nan vals || Array.exists Float.is_nan rvals
+    in
     let status =
-      if !nan_seen || Float.is_nan !sbest then Diag.Non_finite
+      if nan_seen || Float.is_nan !sbest then Diag.Non_finite
       else if Float.is_finite !sbest then Diag.Converged
       else Diag.Unstable
     in
-    Telemetry.Counter.add c_s_evals !evals;
+    Telemetry.Counter.add c_s_evals evals;
     Telemetry.event "scenario.s_grid.result"
       ~attrs:
         [
-          ("evals", Telemetry.Int !evals);
+          ("evals", Telemetry.Int evals);
           ("status", Telemetry.Str (Diag.status_to_string status));
           ("best", Telemetry.Float !sbest);
         ];
-    Diag.outcome ~iterations:!evals status !sbest
+    Diag.outcome ~iterations:evals status !sbest
 
 let delay_bound_checked ?(s_points = 32) ~scheduler t =
   let delta = Scheduler.Classes.delta_through_cross scheduler in

@@ -16,6 +16,9 @@
                      allowlisted modules (Delta, Curve, Diag); use the
                      qualified Float.* constants so intent is explicit
      unsafe-partial  List.hd / List.tl / Option.get in lib/core
+     domain-spawn    Domain.spawn outside lib/parallel; all fan-out goes
+                     through Parallel.Pool so determinism, nesting and
+                     telemetry stay centralized
 
    Suppression: [@lint.allow "rule"] on an expression, or on a value
    binding / structure item ([@@lint.allow "rule"]), silences that rule in
@@ -63,6 +66,10 @@ let catalogue =
        Diag; use the qualified Float.* constants" );
     ( "unsafe-partial",
       "List.hd / List.tl / Option.get in lib/core; match explicitly" );
+    ( "domain-spawn",
+      "raw Domain.spawn outside lib/parallel; use Parallel.Pool (or \
+       Parallel.Default) so chunking, nested-map degradation and the \
+       determinism guarantee stay in one place" );
     ("parse-error", "the file does not parse");
   ]
 
@@ -178,6 +185,9 @@ let check_structure ctx (str : Parsetree.structure) : F.t list =
   let nan_allowlisted =
     List.mem ctx.basename [ "delta.ml"; "curve.ml"; "diag.ml" ]
   in
+  let in_lib_parallel =
+    match ctx.segments with "lib" :: "parallel" :: _ -> true | _ -> false
+  in
   let check_ident ~loc (txt : Longident.t) =
     (match txt with
     | Ldot (Lident "Obj", "magic") ->
@@ -199,6 +209,13 @@ let check_structure ctx (str : Parsetree.structure) : F.t list =
     | Ldot (Lident "Printf", (("printf" | "eprintf") as id)) when ctx.zone = Lib ->
       report ~loc "banned-ident"
         (Printf.sprintf "Printf.%s in lib/; route output through Telemetry or Fmt" id)
+    | _ -> ());
+    (match txt with
+    | Ldot (Lident "Domain", "spawn")
+    | Ldot (Ldot (Lident "Stdlib", "Domain"), "spawn") ->
+      if not in_lib_parallel then
+        report ~loc "domain-spawn"
+          "raw Domain.spawn outside lib/parallel; use Parallel.Pool so fan-out stays deterministic"
     | _ -> ());
     (match txt with
     | Lident "compare" when ctx.zone = Lib && not local_compare ->

@@ -153,14 +153,34 @@ let c_failures = Telemetry.Counter.make "netsim.replicate.failures"
 let c_completed = Telemetry.Counter.make "netsim.replicate.completed"
 let c_resumed = Telemetry.Counter.make "netsim.replicate.resumed"
 
-let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
+(* One replication's complete fate: self-contained per index, so it can be
+   computed on any domain.  All cross-run accumulation (retried totals,
+   failure list, checkpoint writes) happens on the driving domain, in
+   index order, from these records. *)
+type outcome = { o_value : float option; o_retries : int; o_failure : failure option }
+
+let statistic_ci ?jobs ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
   if runs < 2 then invalid_arg "Replicate: need at least two runs";
   if max_retries < 0 then invalid_arg "Replicate: negative max_retries";
   (match max_wall with
   | Some w when Float.is_nan w || w <= 0. ->
     invalid_arg "Replicate: max_wall must be positive"
   | _ -> ());
-  Telemetry.span "netsim.replicate.sweep" ~attrs:[ ("runs", Telemetry.Int runs) ]
+  (match jobs with
+  | Some j when j < 1 -> invalid_arg "Replicate: jobs must be >= 1"
+  | _ -> ());
+  let with_pool k =
+    match jobs with
+    | None -> k (Parallel.Default.get ())
+    | Some j -> Parallel.Pool.with_pool ~jobs:j k
+  in
+  with_pool @@ fun pool ->
+  Telemetry.span "netsim.replicate.sweep"
+    ~attrs:
+      [
+        ("runs", Telemetry.Int runs);
+        ("jobs", Telemetry.Int (Parallel.Pool.effective_jobs pool));
+      ]
   @@ fun () ->
   let seeds = seeds ~runs ~base_seed in
   let done_ = match checkpoint with
@@ -173,11 +193,14 @@ let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
     Telemetry.event "replicate.resume" ~attrs:[ ("replications", Telemetry.Int resumed) ]
   end;
   let oc = Option.map (fun path -> open_checkpoint path ~base_seed ~runs) checkpoint in
+  (* Single-writer checkpointing: the checkpoint channel is owned by the
+     domain that opened it (the driving domain).  Workers compute
+     replications; only the owner appends, in index order, so the file is
+     byte-identical to what a sequential run writes. *)
+  let writer : int = (Domain.self () :> int) in
   Fun.protect
     ~finally:(fun () -> Option.iter close_out_noerr oc)
     (fun () ->
-      let retried = ref 0 in
-      let failures = ref [] in
       let attempt_once ~seed =
         let t0 = Unix.gettimeofday () in
         match f ~seed with
@@ -194,16 +217,17 @@ let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
       in
       (* attempt 0 runs the replication's own seed; attempts 1..max_retries
          rerun it under fresh derived seeds.  A blown wall deadline is not
-         retried: the rerun would almost surely blow it again. *)
-      let rec run_one index ~attempt =
+         retried: the rerun would almost surely blow it again.  Counters are
+         atomic and events only stream when the pool is sequential, so this
+         is safe on a worker domain. *)
+      let rec run_one index ~attempt ~retries =
         let seed =
           if attempt = 0 then seeds.(index) else retry_seed seeds.(index) ~attempt
         in
         match attempt_once ~seed with
-        | Ok v -> Some v
+        | Ok v -> { o_value = Some v; o_retries = retries; o_failure = None }
         | Error (reason, retryable) ->
           if retryable && attempt < max_retries then begin
-            incr retried;
             Telemetry.Counter.incr c_retries;
             Telemetry.event "replicate.retry"
               ~attrs:
@@ -212,10 +236,9 @@ let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
                   ("attempt", Telemetry.Int (attempt + 1));
                   ("reason", Telemetry.Str reason);
                 ];
-            run_one index ~attempt:(attempt + 1)
+            run_one index ~attempt:(attempt + 1) ~retries:(retries + 1)
           end
           else begin
-            failures := { index; attempts = attempt + 1; reason } :: !failures;
             Telemetry.Counter.incr c_failures;
             Telemetry.event "replicate.failure"
               ~attrs:
@@ -224,22 +247,69 @@ let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
                   ("attempts", Telemetry.Int (attempt + 1));
                   ("reason", Telemetry.Str reason);
                 ];
-            None
+            {
+              o_value = None;
+              o_retries = retries;
+              o_failure = Some { index; attempts = attempt + 1; reason };
+            }
           end
       in
+      let missing =
+        List.filter
+          (fun index -> not (Hashtbl.mem done_ index))
+          (List.init runs Fun.id)
+      in
+      (* Waves bound how much completed work a kill can lose: each wave is
+         computed in parallel, then its results are checkpointed before the
+         next wave starts.  A sequential pool uses waves of one, keeping the
+         historic flush-after-every-run durability. *)
+      let wave_size =
+        let ej = Parallel.Pool.effective_jobs pool in
+        if ej = 1 then 1 else ej * 4
+      in
+      let results : float option array = Array.make runs None in
+      Hashtbl.iter (fun i v -> results.(i) <- Some v) done_;
+      let retried = ref 0 in
+      let failures = ref [] in
+      let rec waves = function
+        | [] -> ()
+        | pending ->
+          let rec take k acc rest =
+            match rest with
+            | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+            | _ -> (List.rev acc, rest)
+          in
+          let (wave, rest) = take wave_size [] pending in
+          let outcomes =
+            Parallel.Pool.map pool
+              (fun index -> run_one index ~attempt:0 ~retries:0)
+              (Array.of_list wave)
+          in
+          assert ((Domain.self () :> int) = writer);
+          List.iteri
+            (fun k index ->
+              let o = outcomes.(k) in
+              retried := !retried + o.o_retries;
+              (match o.o_failure with
+              | Some failure -> failures := failure :: !failures
+              | None -> ());
+              match o.o_value with
+              | Some v ->
+                Telemetry.Counter.incr c_completed;
+                results.(index) <- Some v;
+                Option.iter (fun oc -> record_checkpoint oc index v) oc
+              | None -> ())
+            wave;
+          waves rest
+      in
+      waves missing;
       let values = ref [] in
-      for index = 0 to runs - 1 do
-        match Hashtbl.find_opt done_ index with
+      for index = runs - 1 downto 0 do
+        match results.(index) with
         | Some v -> values := v :: !values
-        | None -> (
-          match run_one index ~attempt:0 with
-          | Some v ->
-            Telemetry.Counter.incr c_completed;
-            Option.iter (fun oc -> record_checkpoint oc index v) oc;
-            values := v :: !values
-          | None -> ())
+        | None -> ()
       done;
-      let values = Array.of_list (List.rev !values) in
+      let values = Array.of_list !values in
       let failures = List.rev !failures in
       if Array.length values < 2 then
         failwith
@@ -251,6 +321,6 @@ let statistic_ci ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed f =
              | { reason; _ } :: _ -> "first failure: " ^ reason))
       else summarize ~requested:runs ~retried:!retried ~resumed ~failures values)
 
-let quantile_ci ?max_retries ?max_wall ?checkpoint ~runs ~base_seed ~q f =
-  statistic_ci ?max_retries ?max_wall ?checkpoint ~runs ~base_seed (fun ~seed ->
+let quantile_ci ?jobs ?max_retries ?max_wall ?checkpoint ~runs ~base_seed ~q f =
+  statistic_ci ?jobs ?max_retries ?max_wall ?checkpoint ~runs ~base_seed (fun ~seed ->
       Desim.Stats.Sample.quantile (f ~seed) q)

@@ -24,6 +24,7 @@ type summary = {
 }
 
 val statistic_ci :
+  ?jobs:int ->
   ?max_retries:int ->
   ?max_wall:float ->
   ?checkpoint:string ->
@@ -34,6 +35,18 @@ val statistic_ci :
 (** [statistic_ci ~runs ~base_seed experiment] runs [experiment] with
     [runs] seeds derived from [base_seed] (splitmix64 stream) and
     summarizes the per-run statistics.
+
+    [jobs]: replications are fanned out on a domain pool — the
+    process-wide {!Parallel.Default} pool when omitted, a transient pool
+    of exactly [jobs] otherwise.  Every per-replication seed is derived
+    up front on the driving domain, results are merged in index order,
+    and the summary (mean, half width, [values] order, failures,
+    retries) is bit-for-bit identical for every [jobs].  Checkpointing
+    stays single-writer: workers only compute; the driving domain alone
+    appends completed replications, in index order, wave by wave — so
+    the checkpoint file is byte-identical to a sequential run's, and a
+    kill loses at most the wave in flight (one replication when
+    sequential).  @raise Invalid_argument on [jobs < 1].
 
     [max_retries] (default [0]): a replication whose statistic is
     non-finite or that raises is rerun under a fresh seed derived from its
@@ -56,6 +69,7 @@ val statistic_ci :
     @raise Failure when fewer than two replications complete. *)
 
 val quantile_ci :
+  ?jobs:int ->
   ?max_retries:int ->
   ?max_wall:float ->
   ?checkpoint:string ->

@@ -1,0 +1,29 @@
+let log_spaced ~lo ~ratio ~points =
+  if points < 1 then invalid_arg "Parallel.Grid.log_spaced: points must be >= 1";
+  let xs = Array.make points lo in
+  (* repeated multiplication, not lo *. ratio ** k: the sequential scans
+     this replaces accumulate rounding the same way *)
+  for i = 1 to points - 1 do
+    xs.(i) <- xs.(i - 1) *. ratio
+  done;
+  xs
+
+let values f xs = Default.map f xs
+
+let min_value f xs =
+  if Array.length xs = 0 then invalid_arg "Parallel.Grid.min_value: empty grid";
+  let vals = Default.map f xs in
+  let best = ref vals.(0) in
+  for i = 1 to Array.length vals - 1 do
+    if vals.(i) < !best then best := vals.(i)
+  done;
+  !best
+
+let argmin f xs =
+  if Array.length xs = 0 then invalid_arg "Parallel.Grid.argmin: empty grid";
+  let vals = Default.map f xs in
+  let best = ref (xs.(0), vals.(0)) in
+  for i = 1 to Array.length vals - 1 do
+    if vals.(i) < snd !best then best := (xs.(i), vals.(i))
+  done;
+  !best

@@ -1,0 +1,13 @@
+let derive ~base_seed n =
+  if n < 0 then invalid_arg "Parallel.Seeds.derive: negative count";
+  let rng = Desim.Prng.create ~seed:base_seed in
+  let seeds = Array.make n 0L in
+  (* explicit loop: the draw order must be 0..n-1, and Array.init's
+     evaluation order is not part of its contract *)
+  for i = 0 to n - 1 do
+    seeds.(i) <- Desim.Prng.bits64 rng
+  done;
+  seeds
+
+let generators ~base_seed n =
+  Array.map (fun seed -> Desim.Prng.create ~seed) (derive ~base_seed n)

@@ -2,7 +2,21 @@
 
    The enabled flag is the single hot-path gate: every recording entry
    point loads it and branches before doing any work, so instrumentation
-   left in tight loops costs one predictable branch when telemetry is off. *)
+   left in tight loops costs one predictable branch when telemetry is off.
+
+   Domain-safety contract (for the lib/parallel execution layer):
+
+   - counters, gauges and histograms are lock-free atomics, so worker
+     domains running instrumented kernels concurrently never lose an
+     update and the registry totals stay exact (and, because the work
+     itself is deterministic, identical across worker counts);
+   - the span stack is domain-local, so a span opened inside a worker
+     nests against that worker's own spans, never against another
+     domain's;
+   - sinks are NOT synchronized.  Streaming sinks (fmt, jsonl) must only
+     be driven from one domain; [streaming] exposes exactly that
+     condition and the parallel pool drops to sequential execution while
+     it holds. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 type kv = string * value
@@ -72,10 +86,14 @@ module Sink = struct
       }
     | Metric of { kind : string; name : string; fields : kv list }
 
-  type t = { emit : event -> unit; flush : unit -> unit }
+  (* [quiet] marks sinks that provably drop every event: the null sink and
+     tees of quiet sinks.  While a non-quiet sink is configured the event
+     stream is single-domain by contract, which [streaming] below exposes
+     to the parallel pool. *)
+  type t = { emit : event -> unit; flush : unit -> unit; quiet : bool }
 
-  let make ~emit ~flush = { emit; flush }
-  let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+  let make ~emit ~flush = { emit; flush; quiet = false }
+  let null = { emit = (fun _ -> ()); flush = (fun () -> ()); quiet = true }
 
   let pp_attrs ppf = function
     | [] -> ()
@@ -109,7 +127,7 @@ module Sink = struct
       | Metric { kind; name; fields } ->
         Format.fprintf ppf "# %s %s%a@." kind name pp_attrs fields
     in
-    { emit; flush = (fun () -> Format.pp_print_flush ppf ()) }
+    { emit; flush = (fun () -> Format.pp_print_flush ppf ()); quiet = false }
 
   let jsonl oc =
     let epoch = now () in
@@ -146,22 +164,39 @@ module Sink = struct
              ("name", Json.of_value (Str name)) ]
           @ attr_fields fields)
     in
-    { emit; flush = (fun () -> flush oc) }
+    { emit; flush = (fun () -> flush oc); quiet = false }
 
   let tee sinks =
     {
       emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
       flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+      quiet = List.for_all (fun s -> s.quiet) sinks;
     }
 end
 
 let sink = ref Sink.null
 let emit e = !sink.Sink.emit e
+let streaming () = !enabled && not !sink.Sink.quiet
 
 (* ---------------- metric registry ---------------- *)
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_last : float; mutable g_max : float }
+(* Atomic update by compare-and-swap.  The value read is the exact box the
+   CAS compares against (physical equality), so the loop terminates as soon
+   as no other domain raced the update. *)
+let atomic_update a f =
+  let rec go () =
+    let cur = Atomic.get a in
+    if not (Atomic.compare_and_set a cur (f cur)) then go ()
+  in
+  go ()
+
+type counter = { c_name : string; c_value : int Atomic.t }
+
+type gauge = {
+  g_name : string;
+  g_last : float Atomic.t;
+  g_max : float Atomic.t;
+}
 
 (* Base-2 log buckets: bucket [i] holds x with 2^(i-65) <= x < 2^(i-64)
    (frexp exponent clamped to [-64, 64]); bucket 0 holds x <= 0. *)
@@ -169,36 +204,46 @@ let hist_buckets = 130
 
 type histogram = {
   hg_name : string;
-  hg_counts : int array;
-  mutable hg_n : int;
-  mutable hg_sum : float;
-  mutable hg_min : float;
-  mutable hg_max : float;
+  hg_counts : int Atomic.t array;
+  hg_n : int Atomic.t;
+  hg_sum : float Atomic.t;
+  hg_min : float Atomic.t;
+  hg_max : float Atomic.t;
 }
 
 type metric = C of counter | G of gauge | H of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+(* The registry itself is the one shared structure an Atomic cannot cover:
+   spans auto-register their histogram on first use, which can happen in a
+   worker domain, so registration and whole-registry reads take a lock. *)
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
 let register name mk =
-  match Hashtbl.find_opt registry name with
-  | Some m -> m
-  | None ->
-    let m = mk () in
-    Hashtbl.replace registry name m;
-    m
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> m
+      | None ->
+        let m = mk () in
+        Hashtbl.replace registry name m;
+        m)
 
 module Counter = struct
   type t = counter
 
   let make name =
-    match register name (fun () -> C { c_name = name; c_value = 0 }) with
+    match register name (fun () -> C { c_name = name; c_value = Atomic.make 0 }) with
     | C c -> c
     | _ -> invalid_arg ("Telemetry.Counter.make: " ^ name ^ " is not a counter")
 
-  let add c by = if !enabled then c.c_value <- c.c_value + by
+  let add c by = if !enabled then ignore (Atomic.fetch_and_add c.c_value by)
   let incr c = add c 1
-  let value c = c.c_value
+  let value c = Atomic.get c.c_value
 end
 
 module Gauge = struct
@@ -207,19 +252,24 @@ module Gauge = struct
   let make name =
     match
       register name (fun () ->
-          G { g_name = name; g_last = Float.nan; g_max = Float.neg_infinity })
+          G
+            {
+              g_name = name;
+              g_last = Atomic.make Float.nan;
+              g_max = Atomic.make Float.neg_infinity;
+            })
     with
     | G g -> g
     | _ -> invalid_arg ("Telemetry.Gauge.make: " ^ name ^ " is not a gauge")
 
   let set g v =
     if !enabled then begin
-      g.g_last <- v;
-      if v > g.g_max then g.g_max <- v
+      Atomic.set g.g_last v;
+      atomic_update g.g_max (fun m -> if v > m then v else m)
     end
 
-  let value g = g.g_last
-  let max_value g = g.g_max
+  let value g = Atomic.get g.g_last
+  let max_value g = Atomic.get g.g_max
 end
 
 module Histogram = struct
@@ -231,11 +281,11 @@ module Histogram = struct
           H
             {
               hg_name = name;
-              hg_counts = Array.make hist_buckets 0;
-              hg_n = 0;
-              hg_sum = 0.;
-              hg_min = Float.infinity;
-              hg_max = Float.neg_infinity;
+              hg_counts = Array.init hist_buckets (fun _ -> Atomic.make 0);
+              hg_n = Atomic.make 0;
+              hg_sum = Atomic.make 0.;
+              hg_min = Atomic.make Float.infinity;
+              hg_max = Atomic.make Float.neg_infinity;
             })
     with
     | H h -> h
@@ -255,34 +305,40 @@ module Histogram = struct
 
   let observe h x =
     if !enabled && not (Float.is_nan x) then begin
-      h.hg_counts.(bucket_of x) <- h.hg_counts.(bucket_of x) + 1;
-      h.hg_n <- h.hg_n + 1;
-      h.hg_sum <- h.hg_sum +. x;
-      if x < h.hg_min then h.hg_min <- x;
-      if x > h.hg_max then h.hg_max <- x
+      ignore (Atomic.fetch_and_add h.hg_counts.(bucket_of x) 1);
+      ignore (Atomic.fetch_and_add h.hg_n 1);
+      atomic_update h.hg_sum (fun s -> s +. x);
+      atomic_update h.hg_min (fun m -> if x < m then x else m);
+      atomic_update h.hg_max (fun m -> if x > m then x else m)
     end
 
-  let count h = h.hg_n
-  let sum h = h.hg_sum
+  let count h = Atomic.get h.hg_n
+  let sum h = Atomic.get h.hg_sum
 
   let quantile h q =
-    if h.hg_n = 0 then Float.nan
+    let n = Atomic.get h.hg_n in
+    if n = 0 then Float.nan
     else begin
       let q = Float.max 0. (Float.min 1. q) in
-      let target = int_of_float (Float.round (q *. float_of_int h.hg_n)) in
+      let target = int_of_float (Float.round (q *. float_of_int n)) in
       let target = if target < 1 then 1 else target in
       let acc = ref 0 and i = ref 0 in
       while !acc < target && !i < hist_buckets - 1 do
-        acc := !acc + h.hg_counts.(!i);
+        acc := !acc + Atomic.get h.hg_counts.(!i);
         if !acc < target then incr i
       done;
-      Float.min (bucket_upper !i) h.hg_max
+      Float.min (bucket_upper !i) (Atomic.get h.hg_max)
     end
 end
 
 (* ---------------- spans and events ---------------- *)
 
-let stack : string list ref = ref []
+(* Domain-local: a span opened inside a pool worker nests against that
+   worker's spans only.  The main domain keeps the CLI-visible tree. *)
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let span_hist name = Histogram.make ("span." ^ name ^ ".ms")
 let span_calls name = Counter.make ("span." ^ name ^ ".calls")
@@ -290,6 +346,7 @@ let span_calls name = Counter.make ("span." ^ name ^ ".calls")
 let span ?(attrs = []) name f =
   if not !enabled then f ()
   else begin
+    let stack = stack () in
     let depth = List.length !stack in
     emit (Sink.Span_start { name; depth; attrs });
     stack := name :: !stack;
@@ -313,7 +370,8 @@ let span ?(attrs = []) name f =
   end
 
 let event ?(attrs = []) name =
-  if !enabled then
+  if !enabled then begin
+    let stack = stack () in
     emit
       (Sink.Point
          {
@@ -322,6 +380,7 @@ let event ?(attrs = []) name =
            name;
            attrs;
          })
+  end
 
 (* ---------------- snapshots ---------------- *)
 
@@ -342,11 +401,12 @@ type snapshot = {
 }
 
 let hist_view h =
+  let n = Atomic.get h.hg_n in
   {
-    h_count = h.hg_n;
-    h_sum = h.hg_sum;
-    h_min = (if h.hg_n = 0 then Float.nan else h.hg_min);
-    h_max = (if h.hg_n = 0 then Float.nan else h.hg_max);
+    h_count = n;
+    h_sum = Atomic.get h.hg_sum;
+    h_min = (if n = 0 then Float.nan else Atomic.get h.hg_min);
+    h_max = (if n = 0 then Float.nan else Atomic.get h.hg_max);
     h_p50 = Histogram.quantile h 0.5;
     h_p90 = Histogram.quantile h 0.9;
     h_p99 = Histogram.quantile h 0.99;
@@ -354,13 +414,16 @@ let hist_view h =
 
 let snapshot () =
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | C c -> counters := (c.c_name, c.c_value) :: !counters
-      | G g -> gauges := (g.g_name, g.g_last, g.g_max) :: !gauges
-      | H h -> histograms := (h.hg_name, hist_view h) :: !histograms)
-    registry;
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C c -> counters := (c.c_name, Atomic.get c.c_value) :: !counters
+          | G g ->
+            gauges :=
+              (g.g_name, Atomic.get g.g_last, Atomic.get g.g_max) :: !gauges
+          | H h -> histograms := (h.hg_name, hist_view h) :: !histograms)
+        registry);
   {
     counters = List.sort (fun (a, _) (b, _) -> String.compare a b) !counters;
     gauges = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !gauges;
@@ -369,26 +432,27 @@ let snapshot () =
   }
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | C c -> c.c_value <- 0
-      | G g ->
-        g.g_last <- Float.nan;
-        g.g_max <- Float.neg_infinity
-      | H h ->
-        Array.fill h.hg_counts 0 hist_buckets 0;
-        h.hg_n <- 0;
-        h.hg_sum <- 0.;
-        h.hg_min <- Float.infinity;
-        h.hg_max <- Float.neg_infinity)
-    registry
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C c -> Atomic.set c.c_value 0
+          | G g ->
+            Atomic.set g.g_last Float.nan;
+            Atomic.set g.g_max Float.neg_infinity
+          | H h ->
+            Array.iter (fun b -> Atomic.set b 0) h.hg_counts;
+            Atomic.set h.hg_n 0;
+            Atomic.set h.hg_sum 0.;
+            Atomic.set h.hg_min Float.infinity;
+            Atomic.set h.hg_max Float.neg_infinity)
+        registry)
 
 (* ---------------- lifecycle ---------------- *)
 
 let configure ?sink:(s = Sink.null) () =
   sink := s;
-  stack := [];
+  stack () := [];
   enabled := true
 
 let shutdown () =

@@ -15,7 +15,14 @@
       happen.
     - {b No dependencies.}  Only the standard library and [unix] (for the
       wall clock), so every sublibrary — including [minplus] at the bottom
-      of the dependency tree — can be instrumented. *)
+      of the dependency tree — can be instrumented.
+    - {b Domain-safe metrics.}  Counters, gauges and histograms are
+      lock-free atomics and the span stack is domain-local, so worker
+      domains (the [parallel] execution layer) can run instrumented
+      kernels concurrently without losing updates.  Streaming sinks are
+      the exception: they must be driven from a single domain, and
+      {!streaming} exposes exactly that condition so parallel pools can
+      drop to sequential execution while a streaming sink is live. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 type kv = string * value
@@ -34,6 +41,13 @@ val on : bool ref
 
 val now : unit -> float
 (** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+val streaming : unit -> bool
+(** [true] while telemetry is enabled with a sink that actually emits
+    events (anything but {!Sink.null} or a tee of nulls).  Streaming
+    sinks are single-domain by contract — span trees and JSONL streams
+    interleaved from several domains would be garbage — so the parallel
+    execution layer forces [jobs = 1] whenever this returns [true]. *)
 
 (** {1 Sinks} *)
 

@@ -45,10 +45,43 @@ let test_shape_invariants () =
   in
   Alcotest.(check bool) "EDF keeps >30% advantage at H=10" true (edf_over_bmux < 0.7)
 
+(* End-to-end determinism at the CLI boundary: the exact bytes a user
+   sees — sweep CSVs and replication summaries — must not change with
+   [--jobs].  Runs the real binary, byte-diffs the outputs. *)
+let test_cli_jobs_byte_identical () =
+  let cli = Filename.concat Filename.parent_dir_name "bin/deltanet_cli.exe" in
+  let capture args =
+    let out = Filename.temp_file "deltanet-jobs" ".out" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+      (fun () ->
+        let cmd =
+          Printf.sprintf "%s %s > %s 2>&1" (Filename.quote cli) args
+            (Filename.quote out)
+        in
+        let rc = Sys.command cmd in
+        if rc <> 0 then Alcotest.failf "%s exited with %d" args rc;
+        let ic = open_in_bin out in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)))
+  in
+  List.iter
+    (fun args ->
+      let seq = capture (args ^ " --jobs 1") in
+      let par = capture (args ^ " --jobs 4") in
+      Alcotest.(check string) (args ^ ": jobs 1 vs 4") seq par)
+    [
+      "sweep utilization --hops 2 --s-points 6";
+      "replicate --runs 6 --slots 400 --seed 20100621";
+    ]
+
 let suite =
   [
     Alcotest.test_case "fig2 golden points" `Slow test_fig2_points;
     Alcotest.test_case "fig3 golden points" `Slow test_fig3_points;
     Alcotest.test_case "fig4 golden points" `Slow test_fig4_points;
     Alcotest.test_case "shape invariants" `Slow test_shape_invariants;
+    Alcotest.test_case "CLI output byte-identical across jobs" `Slow
+      test_cli_jobs_byte_identical;
   ]

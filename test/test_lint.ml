@@ -151,6 +151,29 @@ let test_unsafe_partial_suppressed =
   silent "unsafe-partial" ~file:"lib/core/a.ml"
     "let f xs = (List.hd xs) [@lint.allow \"unsafe-partial\"]" "unsafe-partial"
 
+(* ---------------- domain-spawn ---------------- *)
+
+let test_domain_spawn_fires =
+  fires "domain-spawn" ~file:"lib/core/a.ml"
+    "let d = Domain.spawn (fun () -> 1)" "domain-spawn"
+
+let test_domain_spawn_bin_fires =
+  (* no zone is exempt: the CLI and bench must also go through the pool *)
+  fires "domain-spawn" ~file:"bin/a.ml"
+    "let d = Domain.spawn (fun () -> 1)" "domain-spawn"
+
+let test_domain_spawn_in_parallel_ok =
+  silent "domain-spawn" ~file:"lib/parallel/pool.ml"
+    "let d = Domain.spawn (fun () -> 1)" "domain-spawn"
+
+let test_domain_spawn_other_functions_ok =
+  silent "domain-spawn" ~file:"lib/core/a.ml"
+    "let n = Domain.recommended_domain_count ()" "domain-spawn"
+
+let test_domain_spawn_suppressed =
+  silent "domain-spawn" ~file:"lib/core/a.ml"
+    "let d = (Domain.spawn f) [@lint.allow \"domain-spawn\"]" "domain-spawn"
+
 (* ---------------- suppression semantics ---------------- *)
 
 let test_allow_all () =
@@ -210,7 +233,7 @@ let test_catalogue_covers_rules () =
     (fun r -> check bool (r ^ " is catalogued") true (List.mem r ids))
     [
       "float-equal"; "poly-compare"; "banned-ident"; "nan-literal"; "unsafe-partial";
-      "parse-error";
+      "domain-spawn"; "parse-error";
     ]
 
 let suite =
@@ -243,6 +266,13 @@ let suite =
     test_case "unsafe-partial Option.get" `Quick test_unsafe_partial_option_get;
     test_case "unsafe-partial outside core ok" `Quick test_unsafe_partial_outside_core_ok;
     test_case "unsafe-partial suppressed" `Quick test_unsafe_partial_suppressed;
+    test_case "domain-spawn fires" `Quick test_domain_spawn_fires;
+    test_case "domain-spawn fires in bin too" `Quick test_domain_spawn_bin_fires;
+    test_case "domain-spawn allowed in lib/parallel" `Quick
+      test_domain_spawn_in_parallel_ok;
+    test_case "domain-spawn ignores other Domain functions" `Quick
+      test_domain_spawn_other_functions_ok;
+    test_case "domain-spawn suppressed" `Quick test_domain_spawn_suppressed;
     test_case "allow without payload" `Quick test_allow_all;
     test_case "allow is scoped to the subtree" `Quick test_allow_is_scoped;
     test_case "allow space-separated ids" `Quick test_allow_space_separated;

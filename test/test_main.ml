@@ -1,4 +1,10 @@
 let () =
+  (* The CI jobs-matrix runs this binary under DELTANET_JOBS in {1, 4};
+     honouring the variable here puts the entire suite — goldens
+     included — under the determinism guarantee at every pool size. *)
+  (match Parallel.Default.jobs_from_env () with
+  | Some n -> Parallel.Default.set_jobs n
+  | None -> ());
   Alcotest.run "deltanet"
     [
       ("minplus.curve", Test_curve.suite);
@@ -22,4 +28,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("lint", Test_lint.suite);
       ("deltanet.contracts", Test_contracts.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -281,7 +281,9 @@ let test_replicate_retry () =
     incr calls;
     if !calls = 1 then Float.nan else Int64.to_float (Int64.rem seed 97L)
   in
-  let s = Replicate.statistic_ci ~max_retries:1 ~runs:5 ~base_seed:3L f in
+  (* call-counting [f] assumes sequential execution; the parallel suite
+     covers retry behaviour under a multi-domain pool *)
+  let s = Replicate.statistic_ci ~jobs:1 ~max_retries:1 ~runs:5 ~base_seed:3L f in
   Alcotest.(check int) "all completed" 5 s.Replicate.completed;
   Alcotest.(check int) "one retry" 1 s.Replicate.retried;
   Alcotest.(check int) "no failures" 0 (List.length s.Replicate.failures)
@@ -293,7 +295,8 @@ let test_replicate_partial () =
     incr calls;
     if !calls = 2 then failwith "injected fault" else 1.0
   in
-  let s = Replicate.statistic_ci ~max_retries:0 ~runs:4 ~base_seed:3L f in
+  (* call-counting [f]: pin to one domain so "second call" = index 1 *)
+  let s = Replicate.statistic_ci ~jobs:1 ~max_retries:0 ~runs:4 ~base_seed:3L f in
   Alcotest.(check int) "requested" 4 s.Replicate.requested;
   Alcotest.(check int) "completed" 3 s.Replicate.completed;
   (match s.Replicate.failures with
@@ -336,8 +339,12 @@ let test_checkpoint_resume () =
         if !n > 3 then raise Sys.Break;
         f ~seed
       in
+      (* sequential semantics on purpose (kill-after-3 means exactly three
+         checkpointed replications only at jobs 1); the parallel suite has
+         the wave-based resume-parity counterpart *)
       (match
-         Replicate.statistic_ci ~checkpoint:path ~runs:8 ~base_seed:21L f_killed
+         Replicate.statistic_ci ~jobs:1 ~checkpoint:path ~runs:8 ~base_seed:21L
+           f_killed
        with
       | _ -> Alcotest.fail "expected the simulated kill to propagate"
       | exception Sys.Break -> ());
@@ -347,7 +354,10 @@ let test_checkpoint_resume () =
         incr resumed_calls;
         f ~seed
       in
-      let s = Replicate.statistic_ci ~checkpoint:path ~runs:8 ~base_seed:21L f_resumed in
+      let s =
+        Replicate.statistic_ci ~jobs:1 ~checkpoint:path ~runs:8 ~base_seed:21L
+          f_resumed
+      in
       Alcotest.(check int) "resumed from checkpoint" 3 s.Replicate.resumed;
       Alcotest.(check int) "only missing runs executed" 5 !resumed_calls;
       Alcotest.(check int) "all completed" 8 s.Replicate.completed;
