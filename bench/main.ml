@@ -7,7 +7,7 @@
 
    Usage:  dune exec bench/main.exe
              [-- [short] [--jobs=N]
-              fig2|fig3|fig4|extension|ablation|sweep-seq|sweep-par|micro|all ...]
+              fig2|fig3|fig4|extension|ablation|sweep-seq|sweep-par|eq38|micro|all ...]
 
    Several section names may be given; "short" shrinks every section to a
    seconds-scale smoke run (CI); "--jobs=N" (or DELTANET_JOBS) sets the
@@ -229,19 +229,44 @@ let ablation ~short () =
 (* jobs requested via --jobs=N / DELTANET_JOBS (set in main; 1 = default) *)
 let par_jobs = ref 1
 
+(* --enforce-speedup: fail the run if sweep-par comes out slower than
+   sweep-seq (the CI non-inversion gate) *)
+let enforce_speedup = ref false
+
 let sweep_kernel ~short () =
   let hs = if short then [ 2 ] else [ 2; 5; 10 ] in
   let mixes = if short then [ 10; 50; 90 ] else [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ] in
-  List.concat_map
-    (fun h ->
-      List.concat_map
-        (fun mix_pct ->
-          let mix = float_of_int mix_pct /. 100. in
-          let u_cross = 0.5 *. mix in
-          let sc = Scenario.of_utilization ~h ~u_through:(0.5 -. u_cross) ~u_cross in
-          [ bound sc Classes.Bmux; bound sc Classes.Fifo ])
-        mixes)
-    hs
+  let points = List.concat_map (fun h -> List.map (fun m -> (h, m)) mixes) hs in
+  (* Fan out across scenario points — the only grain here whose task cost
+     (two full gamma searches) pays for waking a domain; the grid maps
+     inside each bound are below the cutoff and stay sequential (inside a
+     worker they would degrade to sequential anyway).  The [?work] hint
+     (~s_points x gamma-grid x node-steps at the largest H) keeps the
+     short variant under the default cutoff, so it runs sequentially
+     instead of paying fan-out overhead on 3 small points. *)
+  let max_h = List.fold_left (fun acc (h, _) -> Stdlib.max acc h) 1 points in
+  List.concat
+    (Parallel.Default.map_list ~work:(2_000 * max_h)
+       (fun (h, mix_pct) ->
+         let mix = float_of_int mix_pct /. 100. in
+         let u_cross = 0.5 *. mix in
+         let sc = Scenario.of_utilization ~h ~u_through:(0.5 -. u_cross) ~u_cross in
+         [ bound sc Classes.Bmux; bound sc Classes.Fifo ])
+       points)
+
+(* timed repetitions of the sweep kernel: one pass is ~0.15 s, too short
+   to time reliably on a shared box, so both sections measure the same
+   fixed number of passes *)
+let sweep_reps ~short = if short then 2 else 6
+
+let timed_sweep ~short () =
+  let reps = sweep_reps ~short in
+  let t0 = Unix.gettimeofday () in
+  let values = ref [] in
+  for _ = 1 to reps do
+    values := sweep_kernel ~short ()
+  done;
+  (!values, Unix.gettimeofday () -. t0)
 
 (* sequential results + wall, for the cross-check when both sections run *)
 let seq_sweep : (float list * float) option ref = ref None
@@ -249,21 +274,23 @@ let seq_sweep : (float list * float) option ref = ref None
 let sweep_seq ~short () =
   Fmt.pr "@.== Parallel comparison: Fig.-3 sweep kernel, sequential ==@.";
   Parallel.Default.set_jobs 1;
-  let t0 = Unix.gettimeofday () in
-  let values = sweep_kernel ~short () in
-  let wall = Unix.gettimeofday () -. t0 in
+  (* untimed warmup: first-touch page faults and minor-heap growth land
+     here, not in the measured run (both sections warm up identically) *)
+  ignore (Sys.opaque_identity (sweep_kernel ~short ()));
+  let (values, wall) = timed_sweep ~short () in
   seq_sweep := Some (values, wall);
-  Fmt.pr "   %d bounds in %.3f s (jobs = 1)@." (List.length values) wall
+  Fmt.pr "   %d bounds x %d passes in %.3f s (jobs = 1)@." (List.length values)
+    (sweep_reps ~short) wall
 
 let sweep_par ~short () =
   let jobs = if !par_jobs > 1 then !par_jobs else Parallel.Pool.recommended_jobs () in
   Fmt.pr "@.== Parallel comparison: Fig.-3 sweep kernel, %d jobs ==@." jobs;
   Parallel.Default.set_jobs jobs;
-  let t0 = Unix.gettimeofday () in
-  let values = sweep_kernel ~short () in
-  let wall = Unix.gettimeofday () -. t0 in
+  ignore (Sys.opaque_identity (sweep_kernel ~short ()));
+  let (values, wall) = timed_sweep ~short () in
   Parallel.Default.set_jobs !par_jobs;
-  Fmt.pr "   %d bounds in %.3f s (jobs = %d)@." (List.length values) wall jobs;
+  Fmt.pr "   %d bounds x %d passes in %.3f s (jobs = %d)@." (List.length values)
+    (sweep_reps ~short) wall jobs;
   match !seq_sweep with
   | None -> ()
   | Some (seq_values, seq_wall) ->
@@ -278,7 +305,127 @@ let sweep_par ~short () =
       (exit [@lint.allow "banned-ident"]) 1
     end;
     Fmt.pr "   bitwise identical to the sequential run; speedup %.2fx@."
-      (seq_wall /. wall)
+      (seq_wall /. wall);
+    (* the non-inversion gate: only meaningful when the run actually fans
+       out (jobs > 1), with a 10% grace for timer noise — a real inversion
+       shows up as 1.3x+ *)
+    if !enforce_speedup && jobs > 1 && wall > seq_wall *. 1.1 then begin
+      Fmt.epr "FATAL: parallel sweep (%.3f s) slower than sequential (%.3f s)@."
+        wall seq_wall;
+      (exit [@lint.allow "banned-ident"]) 1
+    end
+
+(* ---------------------------------------------------------------- *)
+(* Eq. 38 kernel vs reference: ns per objective evaluation.  The compiled
+   [E2e.Kernel] must beat the list-based [E2e.Reference] while returning
+   bit-identical bounds (the equality is pinned in test/test_e2e.ml; here
+   we measure the speed gap and record it in BENCH_deltanet.json so CI can
+   catch regressions of the kernel/reference ratio). *)
+
+(* ns-per-op samples reported by the running section, drained into the
+   section report by [timed] *)
+let section_ns_per_op : (string * float) list ref = ref []
+let report_ns name ns = section_ns_per_op := (name, ns) :: !section_ns_per_op
+
+(* Best (minimum) ns/op over several batches: the minimum discards
+   scheduler / GC interference, which is strictly additive noise, and makes
+   the kernel/reference ratio stable enough for a CI gate. *)
+let time_ns_per_op f n =
+  ignore (Sys.opaque_identity (f ()));
+  let batches = 5 in
+  let per_batch = Stdlib.max 1 (n / batches) in
+  let best = ref Float.infinity in
+  for _ = 1 to batches do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to per_batch do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let ns = 1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int per_batch in
+    if ns < !best then best := ns
+  done;
+  !best
+
+(* set by --baseline=FILE: compare the eq38 kernel/reference ratio against
+   the committed BENCH_deltanet.json and fail on a >25% regression *)
+let baseline_file : string option ref = ref None
+
+let eq38 ~short () =
+  Fmt.pr "@.== Eq. 38: compiled kernel vs reference, ns per objective eval ==@.";
+  Fmt.pr "   (homogeneous FIFO paths; eval = fixed (gamma, sigma); sweep = 40@.";
+  Fmt.pr "    gamma points with sigma_for per point, the gamma-search shape)@.@.";
+  Fmt.pr "  %4s %6s %14s %14s %9s@." "H" "shape" "reference" "kernel" "speedup";
+  let through = Envelope.Ebb.v ~m:1. ~rho:15. ~alpha:0.8 in
+  let cross = Envelope.Ebb.v ~m:1. ~rho:35. ~alpha:0.8 in
+  let hs = if short then [ 5; 10 ] else [ 5; 10; 20 ] in
+  (* enough evaluations that the kernel/reference ratio is stable to a few
+     percent even in short mode — the CI regression gate compares ratios at
+     a 25% tolerance, so per-sample noise must sit well below that *)
+  let iters = if short then 10_000 else 40_000 in
+  let sweep_reps = if short then 100 else 400 in
+  List.iter
+    (fun h ->
+      let p =
+        Deltanet.E2e.homogeneous ~h ~capacity:100. ~cross
+          ~delta:(Scheduler.Delta.Fin 0.) ~through
+      in
+      let gamma = 0.5 in
+      let sigma = Deltanet.E2e.sigma_for p ~gamma ~epsilon in
+      let k = Deltanet.E2e.Kernel.make p in
+      (* fixed-point evaluation: one objective minimization at (gamma, sigma);
+         the kernel re-compiles its per-node constants each time, exactly as
+         one gamma-search probe does *)
+      let r_eval =
+        time_ns_per_op
+          (fun () -> Deltanet.E2e.Reference.delay_given p ~gamma ~sigma)
+          iters
+      in
+      let k_eval =
+        time_ns_per_op
+          (fun () ->
+            Deltanet.E2e.Kernel.set k ~gamma ~sigma;
+            Deltanet.E2e.Kernel.delay k)
+          iters
+      in
+      report_ns (Printf.sprintf "eq38.h%d.eval.reference" h) r_eval;
+      report_ns (Printf.sprintf "eq38.h%d.eval.kernel" h) k_eval;
+      Fmt.pr "  %4d %6s %11.0f ns %11.0f ns %8.2fx@." h "eval" r_eval k_eval
+        (r_eval /. k_eval);
+      (* sweep evaluation: the full gamma grid of [delay_bound], including
+         the sigma_for inversion per point *)
+      let gmax = Deltanet.E2e.gamma_max p in
+      let lo = gmax *. 1e-6 and points = 40 in
+      let ratio = (0.999 /. 1e-6) ** (1. /. float_of_int (points - 1)) in
+      let grid = Parallel.Grid.log_spaced ~lo ~ratio ~points in
+      let r_sweep =
+        time_ns_per_op
+          (fun () ->
+            Array.iter
+              (fun g ->
+                let s = Deltanet.E2e.Reference.sigma_for p ~gamma:g ~epsilon in
+                ignore
+                  (Sys.opaque_identity
+                     (Deltanet.E2e.Reference.delay_given p ~gamma:g ~sigma:s)))
+              grid)
+          sweep_reps
+        /. float_of_int points
+      in
+      let k_sweep =
+        time_ns_per_op
+          (fun () ->
+            Array.iter
+              (fun g ->
+                let s = Deltanet.E2e.Kernel.sigma_for k ~gamma:g ~epsilon in
+                Deltanet.E2e.Kernel.set k ~gamma:g ~sigma:s;
+                ignore (Sys.opaque_identity (Deltanet.E2e.Kernel.delay k)))
+              grid)
+          sweep_reps
+        /. float_of_int points
+      in
+      report_ns (Printf.sprintf "eq38.h%d.sweep.reference" h) r_sweep;
+      report_ns (Printf.sprintf "eq38.h%d.sweep.kernel" h) k_sweep;
+      Fmt.pr "  %4d %6s %11.0f ns %11.0f ns %8.2fx@." h "sweep" r_sweep k_sweep
+        (r_sweep /. k_sweep))
+    hs
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per figure kernel plus the
@@ -407,6 +554,7 @@ type section_report = {
   sec_name : string;
   sec_wall_s : float;
   sec_counters : (string * int) list;
+  sec_ns_per_op : (string * float) list;
 }
 
 (* Wall time plus the delta of every telemetry counter across the section.
@@ -414,6 +562,7 @@ type section_report = {
    rather than a reset — sections stay independent of ordering. *)
 let timed name f =
   let before = Telemetry.snapshot () in
+  section_ns_per_op := [];
   let t0 = Unix.gettimeofday () in
   f ();
   let wall = Unix.gettimeofday () -. t0 in
@@ -429,7 +578,9 @@ let timed name f =
         if v - v0 <> 0 then Some (n, v - v0) else None)
       after.Telemetry.counters
   in
-  { sec_name = name; sec_wall_s = wall; sec_counters = deltas }
+  let ns = List.rev !section_ns_per_op in
+  section_ns_per_op := [];
+  { sec_name = name; sec_wall_s = wall; sec_counters = deltas; sec_ns_per_op = ns }
 
 let json_of_report r =
   Telemetry.Json.obj
@@ -439,22 +590,146 @@ let json_of_report r =
       ( "counters",
         Telemetry.Json.obj
           (List.map (fun (n, v) -> (n, string_of_int v)) r.sec_counters) );
+      ( "ns_per_op",
+        Telemetry.Json.obj
+          (List.map (fun (n, v) -> (n, Telemetry.Json.number v)) r.sec_ns_per_op)
+      );
     ]
 
-let write_bench_json ~mode ~total_wall_s reports =
+(* Schema history:
+     1  sections with wall_s + counters only
+     2  adds top-level settings {jobs, cutoff} and per-section ns_per_op
+   The reader below rejects anything but the current version, so a stale
+   committed baseline fails loudly instead of silently comparing against
+   fields that no longer mean the same thing. *)
+let bench_schema_version = 2
+
+let write_bench_json ~mode ~jobs ~total_wall_s reports =
   let oc = open_out "BENCH_deltanet.json" in
   output_string oc
     (Telemetry.Json.obj
        [
          ("schema", "\"deltanet-bench\"");
-         ("version", "1");
+         ("version", string_of_int bench_schema_version);
          ("mode", "\"" ^ mode ^ "\"");
+         ( "settings",
+           Telemetry.Json.obj
+             [
+               ("jobs", string_of_int jobs);
+               ("cutoff", string_of_int (Parallel.Pool.parallel_cutoff ()));
+             ] );
          ("sections", Telemetry.Json.arr (List.map json_of_report reports));
          ("total_wall_s", Telemetry.Json.number total_wall_s);
        ]);
   output_char oc '\n';
   close_out oc;
   Fmt.pr "[wrote BENCH_deltanet.json: %d section(s)]@." (List.length reports)
+
+(* ---------------------------------------------------------------- *)
+(* BENCH_deltanet.json reader.  The file is machine-written by
+   [write_bench_json] with unique keys throughout, so a flat substring scan
+   recovers any numeric field without a JSON parser dependency. *)
+
+let find_substring s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+let json_number_field src ~key =
+  match find_substring src ("\"" ^ key ^ "\"") 0 with
+  | None -> None
+  | Some i ->
+    let n = String.length src in
+    let j = ref (i + String.length key + 2) in
+    while !j < n && (src.[!j] = ':' || src.[!j] = ' ' || src.[!j] = '\n') do
+      incr j
+    done;
+    let k = ref !j in
+    while
+      !k < n
+      && (match src.[!k] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr k
+    done;
+    if !k = !j then None else float_of_string_opt (String.sub src !j (!k - !j))
+
+(* Read a bench file, rejecting missing or stale schemas. *)
+let read_bench_file path =
+  let src =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if find_substring src "\"deltanet-bench\"" 0 = None then
+    failwith (path ^ ": not a deltanet-bench file");
+  (match json_number_field src ~key:"version" with
+  | Some v when int_of_float v = bench_schema_version -> ()
+  | Some v ->
+    failwith
+      (Printf.sprintf
+         "%s: stale bench schema version %d (expected %d); regenerate with \
+          `dune exec bench/main.exe`"
+         path (int_of_float v) bench_schema_version)
+  | None -> failwith (path ^ ": no schema version field"));
+  src
+
+(* Compare the eq38 kernel/reference ratios of this run against the
+   committed baseline.  The ratio is machine-independent (both sides ran on
+   the same box), so CI can enforce it across runner generations. *)
+let check_against_baseline path reports =
+  let src = read_bench_file path in
+  let current =
+    List.concat_map (fun r -> r.sec_ns_per_op) reports
+  in
+  let kernel_suffix = ".kernel" in
+  let checked = ref 0 in
+  let log_now = ref 0. and log_base = ref 0. in
+  List.iter
+    (fun (key, k_now) ->
+      let n = String.length key and m = String.length kernel_suffix in
+      if n > m && String.equal (String.sub key (n - m) m) kernel_suffix then begin
+        let ref_key = String.sub key 0 (n - m) ^ ".reference" in
+        match
+          ( List.assoc_opt ref_key current,
+            json_number_field src ~key,
+            json_number_field src ~key:ref_key )
+        with
+        | Some r_now, Some k_base, Some r_base
+          when k_now > 0. && r_now > 0. && k_base > 0. && r_base > 0. ->
+          incr checked;
+          let ratio_now = k_now /. r_now and ratio_base = k_base /. r_base in
+          log_now := !log_now +. log ratio_now;
+          log_base := !log_base +. log ratio_base;
+          Fmt.pr "   %-28s ratio %.4f (baseline %.4f)@."
+            (String.sub key 0 (n - m))
+            ratio_now ratio_base
+        | _ -> ()
+      end)
+    current;
+  if !checked = 0 then
+    Fmt.pr "   baseline %s has no comparable ns_per_op keys; nothing checked@." path
+  else begin
+    (* gate on the geometric mean across keys: per-key timings on shared CI
+       runners are noisy, but the mean kernel/reference ratio is stable and
+       still moves decisively when the kernel itself regresses *)
+    let k = float_of_int !checked in
+    let mean_now = exp (!log_now /. k) and mean_base = exp (!log_base /. k) in
+    let ok = mean_now <= mean_base *. 1.25 in
+    Fmt.pr "   %-28s ratio %.4f (baseline %.4f) %s@." "geometric mean" mean_now
+      mean_base
+      (if ok then "ok" else "REGRESSED >25%");
+    if not ok then begin
+      Fmt.epr "FATAL: eq38 kernel/reference mean ratio regressed >25%% vs %s@." path;
+      (exit [@lint.allow "banned-ident"]) 1
+    end
+  end
 
 let sections ~short =
   [
@@ -465,25 +740,59 @@ let sections ~short =
     ("ablation", ablation ~short);
     ("sweep-seq", sweep_seq ~short);
     ("sweep-par", sweep_par ~short);
+    ("eq38", eq38 ~short);
     ("micro", micro ~short);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let short = List.mem "short" args in
+  let flag_value prefix a =
+    let n = String.length prefix in
+    if String.length a > n && String.equal (String.sub a 0 n) prefix then
+      Some (String.sub a n (String.length a - n))
+    else None
+  in
+  (* --validate=FILE: check the bench-file schema and exit (CI gate) *)
+  (match List.find_map (flag_value "--validate=") args with
+  | Some path ->
+    (match read_bench_file path with
+    | _ ->
+      Fmt.pr "%s: valid deltanet-bench file (schema version %d)@." path
+        bench_schema_version;
+      (exit [@lint.allow "banned-ident"]) 0
+    | exception Failure msg ->
+      Fmt.epr "%s@." msg;
+      (exit [@lint.allow "banned-ident"]) 1)
+  | None -> ());
+  baseline_file := List.find_map (flag_value "--baseline=") args;
+  enforce_speedup := List.mem "--enforce-speedup" args;
+  let args =
+    List.filter
+      (fun a ->
+        flag_value "--baseline=" a = None && a <> "--enforce-speedup")
+      args
+  in
   (* --jobs=N beats DELTANET_JOBS; 0 means all cores; default sequential *)
   let jobs_args, args =
     List.partition (fun a -> String.length a > 7 && String.sub a 0 7 = "--jobs=") args
   in
+  (* The bench measures: oversubscribing domains beyond the hardware
+     parallelism can only add scheduling overhead (and on a 1-core box
+     turns every parallel section into a timeslicing benchmark), so a
+     requested jobs count is capped at [recommended_jobs]. *)
+  let cap_jobs n =
+    let req = if n = 0 then Parallel.Pool.recommended_jobs () else n in
+    Stdlib.min req (Parallel.Pool.recommended_jobs ())
+  in
   (match jobs_args with
   | [] -> (
     match Parallel.Default.jobs_from_env () with
-    | Some n -> par_jobs := if n = 0 then Parallel.Pool.recommended_jobs () else n
+    | Some n -> par_jobs := cap_jobs n
     | None -> ())
   | a :: _ -> (
     match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
-    | Some n when n >= 0 ->
-      par_jobs := if n = 0 then Parallel.Pool.recommended_jobs () else n
+    | Some n when n >= 0 -> par_jobs := cap_jobs n
     | Some _ | None ->
       Fmt.epr "bad %s (expected --jobs=N with N >= 0; 0 = all cores)@." a;
       (exit [@lint.allow "banned-ident"]) 2));
@@ -503,7 +812,7 @@ let () =
   if bad <> [] then begin
     Fmt.epr
       "unknown section %S (expected \
-       fig2|fig3|fig4|extension|ablation|sweep-seq|sweep-par|micro|all)@."
+       fig2|fig3|fig4|extension|ablation|sweep-seq|sweep-par|eq38|micro|all)@."
       (List.hd bad);
     (exit [@lint.allow "banned-ident"]) 2
   end;
@@ -511,11 +820,18 @@ let () =
      any event streaming.  The null sink is non-streaming, so the parallel
      pool stays parallel while counters still record work. *)
   Telemetry.configure ~sink:Telemetry.Sink.null ();
+  Parallel.Default.apply_cutoff_env ();
   Parallel.Default.set_jobs !par_jobs;
   let t0 = Unix.gettimeofday () in
   let reports =
     List.map (fun name -> timed name (List.assoc name known)) requested
   in
   let total = Unix.gettimeofday () -. t0 in
-  write_bench_json ~mode:(if short then "short" else "full") ~total_wall_s:total reports;
+  write_bench_json ~mode:(if short then "short" else "full") ~jobs:!par_jobs
+    ~total_wall_s:total reports;
+  (match !baseline_file with
+  | None -> ()
+  | Some path ->
+    Fmt.pr "@.== ns/op regression check vs %s ==@." path;
+    check_against_baseline path reports);
   Fmt.pr "@.[total: %.1f s]@." total

@@ -128,6 +128,11 @@ let jobs_arg =
            Outputs are bit-for-bit identical at every setting.")
 
 let setup_jobs jobs =
+  (* DELTANET_PAR_CUTOFF tunes the adaptive sequential cutoff (abstract
+     work units below which hinted maps skip domain fan-out; 0 disables);
+     it composes with --jobs rather than replacing it — jobs picks the
+     pool size, the cutoff decides which grids are worth using it. *)
+  Parallel.Default.apply_cutoff_env ();
   let n =
     match jobs with Some n -> Some n | None -> Parallel.Default.jobs_from_env ()
   in

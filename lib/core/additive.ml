@@ -57,7 +57,7 @@ let delay_bound ?(gamma_points = 40) ~capacity ~cross ~h ~epsilon through =
        sequential; the independent gamma grid points fan out instead *)
     let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
-    Parallel.Grid.min_value f
+    Parallel.Grid.min_value ~work:((16 * h) + 32) f
       (Parallel.Grid.log_spaced ~lo ~ratio ~points:gamma_points)
   end
 
@@ -86,6 +86,7 @@ let delay_bound_scenario ?(s_points = 32) (sc : Scenario.t) =
     let lo = s_max *. 1e-4 and hi = s_max *. 0.5 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (s_points - 1)) in
     let f s = if !Telemetry.on then Telemetry.Counter.incr c_s_evals; f s in
-    Parallel.Grid.min_value f
+    (* each s-point is a full inner gamma search over [analyze] *)
+    Parallel.Grid.min_value ~work:(40 * ((16 * sc.Scenario.h) + 32)) f
       (Parallel.Grid.log_spaced ~lo ~ratio ~points:s_points)
   end

@@ -55,18 +55,22 @@ let delay_bound_uniform_theta ?(theta_points = 64) ~nodes through =
     delay_bound ~nodes ~through ~thetas:(List.map (fun _ -> theta) nodes)
   in
   (* Bracket: a reasonable upper end for theta is the single-node FIFO-style
-     horizon burst/(C - rates); use the largest finite bound scale found by
-     doubling. *)
+     horizon burst/(C - rates), scaled off the theta = 0 bound. *)
   let d0 = f 0. in
-  let hi =
-    let rec grow hi tries = if tries = 0 then hi else grow (2. *. hi) (tries - 1) in
-    ignore grow;
-    Float.max 1. (if Float.is_finite d0 then 4. *. d0 else 1.)
+  let hi = Float.max 1. (if Float.is_finite d0 then 4. *. d0 else 1.) in
+  (* The grid points are independent: fan them out on the default pool
+     (convolution per evaluation dominates, hence the [?work] hint) and
+     keep the running-minimum fold on the calling domain in index order,
+     seeded with [d0] — the same comparisons as the sequential loop. *)
+  let thetas =
+    Array.init theta_points (fun i ->
+        hi *. float_of_int (i + 1) /. float_of_int theta_points)
+  in
+  let vals =
+    Parallel.Grid.values ~work:(500 * List.length nodes) f thetas
   in
   let best = ref d0 in
-  for i = 1 to theta_points do
-    let theta = hi *. float_of_int i /. float_of_int theta_points in
-    let v = f theta in
-    if v < !best then best := v
+  for i = 0 to theta_points - 1 do
+    if vals.(i) < !best then best := vals.(i)
   done;
   !best

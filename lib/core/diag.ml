@@ -11,7 +11,7 @@ let v ?(iterations = 0) ?(tolerance = 0.) status = { status; iterations; toleran
 let outcome ?iterations ?tolerance status value =
   { value; diag = v ?iterations ?tolerance status }
 
-let ok d = d.status = Converged
+let ok d = match d.status with Converged -> true | _ -> false
 
 let status_to_string = function
   | Converged -> "converged"

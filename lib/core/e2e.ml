@@ -45,7 +45,8 @@ let gamma_max p =
 (* Bounding function (Eq. 31 / 34, generalized to per-node constants) *)
 
 let stochastic_nodes p =
-  Array.to_list p.nodes |> List.filter (fun nd -> nd.delta <> Scheduler.Delta.Neg_inf)
+  Array.to_list p.nodes
+  |> List.filter (fun nd -> not (Scheduler.Delta.equal nd.delta Scheduler.Delta.Neg_inf))
 
 let total_bound p ~gamma =
   if gamma <= 0. then invalid_arg "E2e.total_bound: non-positive gamma";
@@ -134,35 +135,359 @@ let x_candidates p ~gamma ~sigma =
     p.nodes;
   List.sort_uniq Float.compare !cands
 
+(* --------------------------------------------------------------- *)
+(* Compiled per-path solver kernel for Eq. (38)                      *)
+
+(* The zero-allocation core behind [delay_given] / [delay_bound]:
+   [make] flattens the path into plain arrays once, [set] compiles the
+   per-node constants (c_h, margin_h, clipped-∆ case tags) for one
+   (gamma, sigma) and writes the candidate abscissae into a reusable
+   scratch buffer sorted in place, and the theta/objective evaluations
+   dispatch on int case tags with no allocation, no variant matching
+   and no list sorting in the inner loop.  Every float expression
+   mirrors the list-based reference operation for operation — same
+   operands, same order — so all results are bit-identical to
+   [Reference.delay_given]/[Reference.sigma_for]; the QCheck suite pins
+   this bit-for-bit. *)
+module Kernel = struct
+  type t = {
+    h : int;
+    (* gamma-independent per-node inputs *)
+    cap : float array;
+    rho : float array;
+    dv : float array;  (* Fin d; 0. for the infinite cases *)
+    tag : int array;   (* 0 Neg_inf | 1 Pos_inf | 2 Fin d >= 0 | 3 Fin d < 0 *)
+    (* sigma_for precompute: every envelope in Eq. (31)/(34) shares the
+       decay [alpha], so one exp and one log alpha serve them all *)
+    alpha : float;
+    m_thr : float;
+    inv_a : float;     (* 1. /. alpha *)
+    log_a : float;     (* log alpha *)
+    stoch_m : float array; (* cross_m of the stochastic nodes, in order *)
+    (* per-(gamma, sigma) compiled state, overwritten by [set] *)
+    mutable sigma : float;
+    c : float array;    (* c_h = capacity -. h *. gamma *)
+    mg : float array;   (* margin = c_h -. cross_rho -. gamma *)
+    r : float array;    (* cross_rho +. gamma *)
+    s_c : float array;  (* sigma /. c_h *)
+    s_m : float array;  (* sigma /. margin *)
+    case : int array;   (* see [theta_at] *)
+    cand : float array; (* sorted unique candidate abscissae, first [ncand] *)
+    mutable ncand : int;
+  }
+
+  let make p =
+    let h = hop_count p in
+    let cap = Array.make h 0. and rho = Array.make h 0. and dv = Array.make h 0. in
+    let tag = Array.make h 0 in
+    for i = 0 to h - 1 do
+      let nd = p.nodes.(i) in
+      cap.(i) <- nd.capacity;
+      rho.(i) <- nd.cross_rho;
+      match nd.delta with
+      | Scheduler.Delta.Neg_inf -> tag.(i) <- 0
+      | Scheduler.Delta.Pos_inf -> tag.(i) <- 1
+      | Scheduler.Delta.Fin d when d >= 0. ->
+        tag.(i) <- 2;
+        dv.(i) <- d
+      | Scheduler.Delta.Fin d ->
+        tag.(i) <- 3;
+        dv.(i) <- d
+    done;
+    let alpha = p.through.Envelope.Ebb.alpha in
+    let stoch_m =
+      let buf = ref [] in
+      for i = h - 1 downto 0 do
+        let nd = p.nodes.(i) in
+        if not (Scheduler.Delta.equal nd.delta Scheduler.Delta.Neg_inf) then
+          buf := nd.cross_m :: !buf
+      done;
+      Array.of_list !buf
+    in
+    {
+      h;
+      cap;
+      rho;
+      dv;
+      tag;
+      alpha;
+      m_thr = p.through.Envelope.Ebb.m;
+      inv_a = 1. /. alpha;
+      log_a = log alpha;
+      stoch_m;
+      sigma = Float.nan;
+      c = Array.make h 0.;
+      mg = Array.make h 0.;
+      r = Array.make h 0.;
+      s_c = Array.make h 0.;
+      s_m = Array.make h 0.;
+      case = Array.make h 0;
+      cand = Array.make ((3 * h) + 1) 0.;
+      ncand = 0;
+    }
+
+  (* [sigma_for] with the shared-decay algebra folded out: the reference
+     builds (stoch + 1) Exponential.t records through [geometric_sum] and
+     [combine], but all of them carry the same [a = alpha], so [q], [log
+     alpha] and [alpha *. w] are computed once and only the per-node [log
+     m_i] remain (cached against the previous node — homogeneous paths
+     pay a single log).  Each remaining float op replicates the reference
+     expression exactly; reads only immutable fields, so one kernel may
+     serve [sigma_for] from several domains concurrently. *)
+  let sigma_for t ~gamma ~epsilon =
+    if gamma <= 0. then invalid_arg "E2e.total_bound: non-positive gamma";
+    if t.m_thr < 0. || Float.is_nan t.m_thr then
+      invalid_arg "Exponential.v: negative prefactor";
+    if t.alpha <= 0. || Float.is_nan t.alpha then
+      invalid_arg "Exponential.v: non-positive rate";
+    let q = exp (-.t.alpha *. gamma) in
+    let omq = 1. -. q in
+    let m_g = t.m_thr /. omq in
+    let n = Array.length t.stoch_m in
+    if n = 0 then begin
+      (* combine [eps_g] = eps_g *)
+      if epsilon <= 0. then invalid_arg "Exponential.invert: non-positive epsilon";
+      Float.max 0. (log (m_g /. epsilon) /. t.alpha)
+    end
+    else begin
+      let w = ref 0. in
+      for _ = 0 to n do
+        w := !w +. t.inv_a
+      done;
+      let w = !w in
+      let aw = t.alpha *. w in
+      let acc = ref 0. in
+      acc := !acc +. ((log m_g +. t.log_a) /. aw);
+      let last_m = ref Float.nan and last_log = ref 0. in
+      for i = 0 to n - 1 do
+        let cm = t.stoch_m.(i) in
+        if cm < 0. || Float.is_nan cm then
+          invalid_arg "Exponential.v: negative prefactor";
+        let mi = if i < n - 1 then cm /. omq /. omq else cm /. omq in
+        let lm =
+          if Int64.bits_of_float mi = Int64.bits_of_float !last_m then !last_log
+          else begin
+            let l = log mi in
+            last_m := mi;
+            last_log := l;
+            l
+          end
+        in
+        acc := !acc +. ((lm +. t.log_a) /. aw)
+      done;
+      let log_m = log w +. !acc in
+      let m_c = exp log_m in
+      let a_c = 1. /. w in
+      if epsilon <= 0. then invalid_arg "Exponential.invert: non-positive epsilon";
+      Float.max 0. (log (m_c /. epsilon) /. a_c)
+    end
+
+  (* case tags compiled by [set]:
+     0 — theta = +inf for every x (c_h <= 0, or BMUX with margin <= 0)
+     1 — strict priority (Neg_inf)
+     2 — BMUX, margin > 0
+     3 — Fin d >= 0, margin > 0
+     4 — Fin d >= 0, margin <= 0
+     5 — Fin d < 0 *)
+  let set t ~gamma ~sigma =
+    t.sigma <- sigma;
+    (* candidate multiset: 0. first, then per node in index order — the
+       same pushes, filters and float expressions as [x_candidates] *)
+    t.cand.(0) <- 0.;
+    t.ncand <- 1;
+    for i = 0 to t.h - 1 do
+      let c_h = t.cap.(i) -. (float_of_int i *. gamma) in
+      let margin = c_h -. t.rho.(i) -. gamma in
+      t.c.(i) <- c_h;
+      t.mg.(i) <- margin;
+      t.r.(i) <- t.rho.(i) +. gamma;
+      t.s_c.(i) <- sigma /. c_h;
+      t.s_m.(i) <- sigma /. margin;
+      let push x =
+        if Float.is_finite x && x >= 0. then begin
+          t.cand.(t.ncand) <- x;
+          t.ncand <- t.ncand + 1
+        end
+      in
+      if c_h <= 0. then t.case.(i) <- 0
+      else
+        match t.tag.(i) with
+        | 0 ->
+          t.case.(i) <- 1;
+          push t.s_c.(i)
+        | 1 ->
+          if margin > 0. then begin
+            t.case.(i) <- 2;
+            push t.s_m.(i)
+          end
+          else t.case.(i) <- 0
+        | 2 ->
+          if margin > 0. then begin
+            t.case.(i) <- 3;
+            push t.s_m.(i);
+            push (t.s_m.(i) -. t.dv.(i))
+          end
+          else t.case.(i) <- 4
+        | _ ->
+          t.case.(i) <- 5;
+          push (-.t.dv.(i));
+          push t.s_c.(i);
+          if margin > 0. then push ((sigma +. (t.r.(i) *. t.dv.(i))) /. margin)
+    done;
+    (* in-place insertion sort + adjacent dedup: the candidate sets are
+       tiny (<= 3H + 1), and the result equals List.sort_uniq
+       Float.compare on the same multiset *)
+    for i = 1 to t.ncand - 1 do
+      let x = t.cand.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && Float.compare t.cand.(!j) x > 0 do
+        t.cand.(!j + 1) <- t.cand.(!j);
+        decr j
+      done;
+      t.cand.(!j + 1) <- x
+    done;
+    if t.ncand > 1 then begin
+      let w = ref 1 in
+      for i = 1 to t.ncand - 1 do
+        if Float.compare t.cand.(i) t.cand.(!w - 1) <> 0 then begin
+          t.cand.(!w) <- t.cand.(i);
+          incr w
+        end
+      done;
+      t.ncand <- !w
+    end
+
+  let candidate_count t = t.ncand
+
+  (* [theta_of_x] over the compiled constants: int-tag dispatch, no
+     allocation.  The guards and both sides of every comparison are the
+     reference expressions with the invariant subterms precomputed. *)
+  let[@inline] theta_at t x i =
+    match t.case.(i) with
+    | 0 -> Float.infinity
+    | 1 -> Float.max 0. (t.s_c.(i) -. x)
+    | 2 -> Float.max 0. (t.s_m.(i) -. x)
+    | 3 ->
+      if t.mg.(i) *. x >= t.sigma then 0.
+      else if t.s_m.(i) -. x <= t.dv.(i) then t.s_m.(i) -. x
+      else begin
+        let theta2 = ((t.sigma +. (t.r.(i) *. (x +. t.dv.(i)))) /. t.c.(i)) -. x in
+        Float.max theta2 t.dv.(i)
+      end
+    | 4 ->
+      if t.mg.(i) *. x >= t.sigma then 0.
+      else begin
+        let theta2 = ((t.sigma +. (t.r.(i) *. (x +. t.dv.(i)))) /. t.c.(i)) -. x in
+        Float.max theta2 t.dv.(i)
+      end
+    | _ ->
+      Float.max 0.
+        (((t.sigma +. (t.r.(i) *. Float.max 0. (x +. t.dv.(i)))) /. t.c.(i)) -. x)
+
+  let objective_at t x =
+    let acc = ref x in
+    for i = 0 to t.h - 1 do
+      acc := !acc +. theta_at t x i
+    done;
+    !acc
+
+  let delay t =
+    if !Telemetry.on then Telemetry.Counter.add c_objective_evals t.ncand;
+    let best = ref Float.infinity in
+    for i = 0 to t.ncand - 1 do
+      best := Float.min !best (objective_at t t.cand.(i))
+    done;
+    !best
+
+  let optimal_thetas t =
+    if !Telemetry.on then Telemetry.Counter.add c_objective_evals (t.ncand + 1);
+    let bx = ref 0. and bv = ref (objective_at t 0.) in
+    for i = 0 to t.ncand - 1 do
+      let x = t.cand.(i) in
+      let v = objective_at t x in
+      if v < !bv then begin
+        bx := x;
+        bv := v
+      end
+    done;
+    let x = !bx in
+    (Array.init t.h (fun i -> theta_at t x i), x)
+
+  let delay_at_gamma t ~gamma ~epsilon =
+    let sigma = sigma_for t ~gamma ~epsilon in
+    set t ~gamma ~sigma;
+    delay t
+end
+
+(* The pre-kernel list-based solver, retained verbatim: the oracle for
+   the QCheck bit-for-bit equivalence properties and the baseline side
+   of the ns/op benchmark. *)
+module Reference = struct
+  let delay_given p ~gamma ~sigma =
+    if sigma < 0. then invalid_arg "E2e.delay_given: negative sigma";
+    let cands = x_candidates p ~gamma ~sigma in
+    if !Telemetry.on then
+      Telemetry.Counter.add c_objective_evals (List.length cands);
+    (* The objective is piecewise linear with kinks exactly at the candidate
+       abscissae, so its minimum over X >= 0 is attained at one of them. *)
+    List.fold_left
+      (fun acc x -> Float.min acc (objective p ~gamma ~sigma x))
+      Float.infinity cands
+
+  let optimal_thetas p ~gamma ~sigma =
+    let cands = x_candidates p ~gamma ~sigma in
+    if !Telemetry.on then
+      Telemetry.Counter.add c_objective_evals (List.length cands + 1);
+    let best =
+      List.fold_left
+        (fun (bx, bv) x ->
+          let v = objective p ~gamma ~sigma x in
+          if v < bv then (x, v) else (bx, bv))
+        (0., objective p ~gamma ~sigma 0.)
+        cands
+    in
+    let x = fst best in
+    (Array.init (hop_count p) (fun h -> theta_of_x p ~gamma ~sigma ~x h), x)
+
+  let sigma_for = sigma_for
+
+  (* O(H^2): [suffix_sum] re-walks the tail for every candidate K. *)
+  let smallest_k ~extra_ok ~h ~c ~rho_c ~gamma =
+    let term k =
+      (c -. rho_c -. (float_of_int k *. gamma))
+      /. (c -. (float_of_int (k - 1) *. gamma))
+    in
+    let rec suffix_sum k = if k > h then 0. else term k +. suffix_sum (k + 1) in
+    let rec find k =
+      if k > h then h
+      else if suffix_sum (k + 1) < 1. && extra_ok k then k
+      else find (k + 1)
+    in
+    find 0
+end
+
 let delay_given p ~gamma ~sigma =
   if sigma < 0. then invalid_arg "E2e.delay_given: negative sigma";
-  let cands = x_candidates p ~gamma ~sigma in
-  if !Telemetry.on then
-    Telemetry.Counter.add c_objective_evals (List.length cands);
-  (* The objective is piecewise linear with kinks exactly at the candidate
-     abscissae, so its minimum over X >= 0 is attained at one of them. *)
-  List.fold_left
-    (fun acc x -> Float.min acc (objective p ~gamma ~sigma x))
-    Float.infinity cands
+  let k = Kernel.make p in
+  Kernel.set k ~gamma ~sigma;
+  Kernel.delay k
 
 let delay_at_gamma p ~gamma ~epsilon =
-  let sigma = sigma_for p ~gamma ~epsilon in
-  delay_given p ~gamma ~sigma
+  let k = Kernel.make p in
+  Kernel.delay_at_gamma k ~gamma ~epsilon
 
 let optimal_thetas p ~gamma ~sigma =
-  let cands = x_candidates p ~gamma ~sigma in
-  if !Telemetry.on then
-    Telemetry.Counter.add c_objective_evals (List.length cands + 1);
-  let best =
-    List.fold_left
-      (fun (bx, bv) x ->
-        let v = objective p ~gamma ~sigma x in
-        if v < bv then (x, v) else (bx, bv))
-      (0., objective p ~gamma ~sigma 0.)
-      cands
-  in
-  let x = fst best in
-  (Array.init (hop_count p) (fun h -> theta_of_x p ~gamma ~sigma ~x h), x)
+  let k = Kernel.make p in
+  Kernel.set k ~gamma ~sigma;
+  Kernel.optimal_thetas k
+
+(* Estimated cost of one [delay_at_gamma] in abstract work units
+   (~Eq.-38 node-steps): ~3H+1 candidates x H nodes, plus the
+   transcendentals of [sigma_for].  Feeds the [?work] cutoff hints of
+   the parallel grid scans here and in Scenario/Additive/Scaling. *)
+let eval_cost p =
+  let h = hop_count p in
+  (3 * h * h) + (8 * h) + 50
 
 (* --------------------------------------------------------------- *)
 (* The network service curve as an explicit min-plus object          *)
@@ -245,8 +570,10 @@ let backlog_bound ?(gamma_points = 40) ~epsilon p =
     let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
     (* grid points fan out on the default pool; Grid keeps the abscissae
-       and the running-minimum fold bit-identical to the sequential loop *)
-    Parallel.Grid.min_value f
+       and the running-minimum fold bit-identical to the sequential loop.
+       Curve construction dominates each evaluation, hence the h^3 hint. *)
+    let h = hop_count p in
+    Parallel.Grid.min_value ~work:((32 * h * h * h) + 200) f
       (Parallel.Grid.log_spaced ~lo ~ratio ~points:gamma_points)
   end
 
@@ -260,6 +587,40 @@ let golden_minimize f lo hi steps =
   in
   go lo hi steps
 
+(* The shared gamma-search skeleton: a log-spaced coarse grid fanned out
+   on the default pool (the index-order strict-< fold below is exactly
+   [Parallel.Grid.argmin]), then sequential golden-section refinement
+   around the best grid point.  [grid_eval] must be safe to call from
+   worker domains; [golden_eval] runs on the calling domain only, so it
+   may reuse one compiled kernel.  Both are pure functions of gamma, so
+   the golden phase memoizes per gamma bit-pattern — by its 40th step
+   golden-section has shrunk the bracket below float resolution and the
+   probe abscissae collapse to bit-equal values, making the hits real —
+   seeded with the grid evaluations. *)
+let gamma_search ~gamma_points ~work ~grid_eval ~golden_eval ~lo ~hi =
+  let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
+  let grid = Parallel.Grid.log_spaced ~lo ~ratio ~points:gamma_points in
+  let vals = Parallel.Grid.values ~work grid_eval grid in
+  let bi = ref 0 in
+  for i = 1 to Array.length vals - 1 do
+    if vals.(i) < vals.(!bi) then bi := i
+  done;
+  let memo = Hashtbl.create 97 in
+  Array.iteri (fun i g -> Hashtbl.replace memo (Int64.bits_of_float g) vals.(i)) grid;
+  let fm gamma =
+    let key = Int64.bits_of_float gamma in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+      let v = golden_eval gamma in
+      Hashtbl.replace memo key v;
+      v
+  in
+  let center = grid.(!bi) in
+  let a = Float.max lo (center /. ratio) and b = Float.min hi (center *. ratio) in
+  let gstar = golden_minimize fm a b 40 in
+  Float.min vals.(!bi) (fm gstar)
+
 let delay_bound ?(gamma_points = 40) ~epsilon p =
   if epsilon <= 0. || epsilon >= 1. then invalid_arg "E2e.delay_bound: epsilon out of range";
   let gmax = gamma_max p in
@@ -269,54 +630,62 @@ let delay_bound ?(gamma_points = 40) ~epsilon p =
       ~attrs:[ ("h", Telemetry.Int (hop_count p)); ("points", Telemetry.Int gamma_points) ]
     @@ fun () ->
   begin
-    let f gamma =
+    let grid_eval gamma =
       if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
       delay_at_gamma p ~gamma ~epsilon
     in
-    (* Log-spaced coarse grid (fanned out on the default pool), then
-       golden-section refinement around the best grid point — the
-       refinement is data-dependent, so it stays sequential. *)
-    let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
-    let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
-    let best =
-      Parallel.Grid.argmin f
-        (Parallel.Grid.log_spaced ~lo ~ratio ~points:gamma_points)
+    let kern = Kernel.make p in
+    let golden_eval gamma =
+      if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
+      Kernel.delay_at_gamma kern ~gamma ~epsilon
     in
-    let center = fst best in
-    let a = Float.max lo (center /. ratio) and b = Float.min hi (center *. ratio) in
-    let gstar = golden_minimize f a b 40 in
-    Float.min (snd best) (f gstar)
+    gamma_search ~gamma_points ~work:(eval_cost p) ~grid_eval ~golden_eval
+      ~lo:(gmax *. 1e-6) ~hi:(gmax *. 0.999)
   end
 
 (* --------------------------------------------------------------- *)
 (* Closed forms and the paper's explicit K-procedure                 *)
 
-let require_homogeneous p name =
+let is_homogeneous p =
   let nd0 = p.nodes.(0) in
-  Array.iter
+  Array.for_all
     (fun nd ->
-      if nd.capacity <> nd0.capacity || nd.cross_rho <> nd0.cross_rho
-         || not (Scheduler.Delta.equal nd.delta nd0.delta)
-      then invalid_arg (name ^ ": path is not homogeneous"))
-    p.nodes;
-  nd0
+      Float.equal nd.capacity nd0.capacity
+      && Float.equal nd.cross_rho nd0.cross_rho
+      && Scheduler.Delta.equal nd.delta nd0.delta)
+    p.nodes
+
+let require_homogeneous p name =
+  if not (is_homogeneous p) then invalid_arg (name ^ ": path is not homogeneous");
+  p.nodes.(0)
 
 let bmux_closed_form p ~gamma ~sigma =
   let nd = require_homogeneous p "E2e.bmux_closed_form" in
-  if nd.delta <> Scheduler.Delta.Pos_inf then
+  if not (Scheduler.Delta.equal nd.delta Scheduler.Delta.Pos_inf) then
     invalid_arg "E2e.bmux_closed_form: not a BMUX path";
   let h = float_of_int (hop_count p) in
   let denom = nd.capacity -. nd.cross_rho -. (h *. gamma) in
   if denom <= 0. then Float.infinity else sigma /. denom
 
 (* Smallest K in 0..H satisfying Eq. (40):
-   sum_{h > K} (C -. rho_c -. h gamma) /. (C -. (h-1) gamma) < 1. *)
+   sum_{h > K} (C -. rho_c -. h gamma) /. (C -. (h-1) gamma) < 1.
+   One O(H) backward pass materializes every suffix sum: the recursion
+   [suffix_sum k = term k +. suffix_sum (k+1)] associates to the right,
+   and the backward fill below performs the same additions in the same
+   order, so each [suffix.(k)] is bit-identical to the
+   [Reference.smallest_k] recomputation (pinned by a test up to H = 10^3). *)
 let smallest_k ~extra_ok ~h ~c ~rho_c ~gamma =
-  let term k = (c -. rho_c -. (float_of_int k *. gamma)) /. (c -. (float_of_int (k - 1) *. gamma)) in
-  let rec suffix_sum k = if k > h then 0. else term k +. suffix_sum (k + 1) in
+  let term k =
+    (c -. rho_c -. (float_of_int k *. gamma))
+    /. (c -. (float_of_int (k - 1) *. gamma))
+  in
+  let suffix = Array.make (h + 2) 0. in
+  for k = h downto 1 do
+    suffix.(k) <- term k +. suffix.(k + 1)
+  done;
   let rec find k =
     if k > h then h
-    else if suffix_sum (k + 1) < 1. && extra_ok k then k
+    else if suffix.(k + 1) < 1. && extra_ok k then k
     else find (k + 1)
   in
   find 0
@@ -392,3 +761,39 @@ let k_procedure p ~gamma ~sigma =
     let x = x_of k in
     if !Telemetry.on then Telemetry.Counter.incr c_objective_evals;
     objective p ~gamma ~sigma x
+
+(* --------------------------------------------------------------- *)
+(* Closed-form dispatch ahead of candidate enumeration               *)
+
+let delay_given_fast p ~gamma ~sigma =
+  if sigma < 0. then invalid_arg "E2e.delay_given_fast: negative sigma";
+  if is_homogeneous p then k_procedure p ~gamma ~sigma
+  else delay_given p ~gamma ~sigma
+
+let delay_bound_fast ?(gamma_points = 40) ~epsilon p =
+  if epsilon <= 0. || epsilon >= 1. then
+    invalid_arg "E2e.delay_bound_fast: epsilon out of range";
+  if not (is_homogeneous p) then delay_bound ~gamma_points ~epsilon p
+  else begin
+    let gmax = gamma_max p in
+    if gmax <= 0. then Float.infinity
+    else
+      Telemetry.span "e2e.gamma_search_fast"
+        ~attrs:
+          [ ("h", Telemetry.Int (hop_count p)); ("points", Telemetry.Int gamma_points) ]
+      @@ fun () ->
+    begin
+      (* [Kernel.sigma_for] only reads immutable kernel state, so one
+         kernel serves the parallel grid and the golden phase alike. *)
+      let kern = Kernel.make p in
+      let f gamma =
+        if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
+        let sigma = Kernel.sigma_for kern ~gamma ~epsilon in
+        k_procedure p ~gamma ~sigma
+      in
+      let h = hop_count p in
+      gamma_search ~gamma_points
+        ~work:((8 * h) + 50)
+        ~grid_eval:f ~golden_eval:f ~lo:(gmax *. 1e-6) ~hi:(gmax *. 0.999)
+    end
+  end

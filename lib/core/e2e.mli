@@ -59,11 +59,71 @@ val theta_of_x : path -> gamma:float -> sigma:float -> x:float -> int -> float
     0-indexed node [h] given [X = x]; [infinity] when node [h]'s constraint
     is infeasible at every [theta]. *)
 
+(** The compiled zero-allocation Eq.-38 solver.
+
+    [make] flattens a path into plain float/int arrays once; [set]
+    compiles the per-node constants ([c_h], [margin_h], clipped-∆ case
+    tags) for one [(gamma, sigma)] and writes the candidate abscissae
+    into a reusable scratch buffer sorted in place; [delay] /
+    [optimal_thetas] then evaluate the objective with no allocation and
+    no variant matching in the inner loop.  Every float expression
+    mirrors the list-based reference operation for operation, so results
+    are {b bit-identical} to {!Reference.delay_given} /
+    {!Reference.sigma_for} (pinned by QCheck).
+
+    Concurrency: [set]/[delay]/[optimal_thetas] mutate the kernel, so a
+    kernel must be driven from one domain at a time; {!Kernel.sigma_for}
+    only reads immutable state and may be shared across domains. *)
+module Kernel : sig
+  type t
+
+  val make : path -> t
+
+  val set : t -> gamma:float -> sigma:float -> unit
+  (** Compile the solver state for [(gamma, sigma)], overwriting any
+      previous state. *)
+
+  val candidate_count : t -> int
+  (** Number of (unique, sorted) candidate abscissae after {!set}. *)
+
+  val delay : t -> float
+  (** {!delay_given} over the compiled state. *)
+
+  val optimal_thetas : t -> float array * float
+  (** The minimizing [(thetas, X)] over the compiled state. *)
+
+  val sigma_for : t -> gamma:float -> epsilon:float -> float
+  (** {!sigma_for} with the shared-decay geometric sums folded into one
+      exp / a handful of logs; bit-identical to the reference. *)
+
+  val delay_at_gamma : t -> gamma:float -> epsilon:float -> float
+  (** [sigma_for] then [set] then [delay], reusing the scratch state. *)
+end
+
+(** The pre-kernel list-based solver, retained verbatim as the oracle
+    for the QCheck bit-for-bit equivalence suite and the baseline side
+    of the ns/op benchmarks. *)
+module Reference : sig
+  val delay_given : path -> gamma:float -> sigma:float -> float
+  val optimal_thetas : path -> gamma:float -> sigma:float -> float array * float
+  val sigma_for : path -> gamma:float -> epsilon:float -> float
+
+  val smallest_k :
+    extra_ok:(int -> bool) -> h:int -> c:float -> rho_c:float -> gamma:float -> int
+  (** The O(H^2) recursive suffix-sum version of {!smallest_k}. *)
+end
+
 val delay_given : path -> gamma:float -> sigma:float -> float
 (** Exact minimum of Eq. (38) over [X >= 0.] (piecewise-linear kink
-    enumeration); [infinity] when infeasible. *)
+    enumeration, via a freshly compiled {!Kernel}); [infinity] when
+    infeasible. *)
 
 val delay_at_gamma : path -> gamma:float -> epsilon:float -> float
+
+val eval_cost : path -> int
+(** Estimated cost of one {!delay_at_gamma} in abstract work units
+    (~Eq.-38 node-steps), used as the [?work] hint for parallel grid
+    scans over this path. *)
 
 (** {1 The network service curve as an explicit min-plus object}
 
@@ -105,6 +165,17 @@ val delay_bound : ?gamma_points:int -> epsilon:float -> path -> float
     These require a homogeneous path and are used to cross-validate
     {!delay_given}. *)
 
+val is_homogeneous : path -> bool
+(** Every node shares [capacity], [cross_rho] and [delta] (the inputs
+    Eq. 38 actually reads) with node 0. *)
+
+val smallest_k :
+  extra_ok:(int -> bool) -> h:int -> c:float -> rho_c:float -> gamma:float -> int
+(** Smallest [K] in [0..H] satisfying Eq. (40) (with the caller's extra
+    feasibility predicate), via a single O(H) backward prefix sum whose
+    partial sums are bit-identical to {!Reference.smallest_k}'s
+    recursion. *)
+
 val bmux_closed_form : path -> gamma:float -> sigma:float -> float
 (** Eq. (43): [sigma /. (C -. rho_c -. H gamma)].
     @raise Invalid_argument unless every node is BMUX ([Pos_inf]). *)
@@ -116,3 +187,19 @@ val k_procedure : path -> gamma:float -> sigma:float -> float
 (** The paper's explicit choice of [K] and [X] (Eq. 40–42) followed by the
     exact [theta_h X]; an upper bound on {!delay_given} that is near-optimal
     in practice.  @raise Invalid_argument unless the path is homogeneous. *)
+
+val delay_given_fast : path -> gamma:float -> sigma:float -> float
+(** {!delay_given} with the closed-form dispatch in front: homogeneous
+    paths go to {!k_procedure} (O(H) [smallest_k] + closed forms, Eq.
+    40–44) before falling back to kernel candidate enumeration.  Always
+    a valid upper bound.  For SP ([Neg_inf]), BMUX ([Pos_inf]) and FIFO
+    ([Fin 0.]) deltas the K-procedure is exact to ~1e-9 relative (pinned
+    by QCheck); for general finite deltas it can exceed the exact
+    minimum (the paper's Eq. 40–42 choice of [K] is only near-optimal),
+    so this is an opt-in fast path — the bitwise-reproducible sweeps
+    keep using {!delay_given}. *)
+
+val delay_bound_fast : ?gamma_points:int -> epsilon:float -> path -> float
+(** {!delay_bound} evaluated through {!delay_given_fast}: on homogeneous
+    paths the whole gamma search costs O(H) per point instead of O(H^3).
+    Falls back to {!delay_bound} on heterogeneous paths. *)

@@ -20,7 +20,7 @@ let v ~h ~capacity ~cross ~through =
     cross;
   { h; capacity; cross; through }
 
-let active_classes p = List.filter (fun k -> k.delta <> Delta.Neg_inf) p.cross
+let active_classes p = List.filter (fun k -> not (Delta.equal k.delta Delta.Neg_inf)) p.cross
 
 let gamma_max p =
   let cross_rho =

@@ -34,7 +34,7 @@ let delay_for_sigma ?(tol = 1e-9) ~capacity ~sigma flows =
 
 let combined_bound flows =
   let included =
-    List.filter (fun f -> f.delta <> Scheduler.Delta.Neg_inf) flows
+    List.filter (fun f -> not (Scheduler.Delta.equal f.delta Scheduler.Delta.Neg_inf)) flows
   in
   match included with
   | [] -> invalid_arg "Single_node: no flow can precede the tagged flow"

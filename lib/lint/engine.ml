@@ -8,7 +8,14 @@
                      float-valued; use Float.equal / Float.compare, or
                      Float.is_nan / Float.classify_float for nan and
                      infinity tests
-     poly-compare    polymorphic compare / Stdlib.compare in lib/
+     poly-compare    polymorphic compare / Stdlib.compare in lib/; also
+                     = / <> where an operand is a nullary constructor
+                     literal (e.g. [x <> Neg_inf]) — structural equality
+                     on variants silently degrades to polymorphic compare;
+                     use the type's [equal] or a pattern match.  (), true,
+                     false, [], (::) and None are exempt: their structural
+                     comparison is the idiom and never descends into a
+                     payload
      banned-ident    Obj.magic anywhere; Random.* outside lib/desim/prng.ml;
                      exit outside bin/; Printf.printf and the print_*
                      family in lib/ (route output through Telemetry/Fmt)
@@ -28,6 +35,11 @@
 module F = Finding
 
 type zone = Lib | Bin | Bench | Other
+
+let zone_equal a b =
+  match (a, b) with
+  | Lib, Lib | Bin, Bin | Bench, Bench | Other, Other -> true
+  | (Lib | Bin | Bench | Other), _ -> false
 
 type context = {
   file : string;
@@ -56,8 +68,9 @@ let catalogue =
        Float.compare (or Float.is_nan / Float.classify_float for nan and \
        infinity tests)" );
     ( "poly-compare",
-      "polymorphic compare in lib/; use a typed comparator such as \
-       Float.compare, Int.compare or String.compare" );
+      "polymorphic compare in lib/, or = / <> against a nullary constructor \
+       literal; use a typed comparator such as Float.compare, Int.compare or \
+       String.compare, a typed equal (e.g. Delta.equal), or a pattern match" );
     ( "banned-ident",
       "Obj.magic anywhere; Random.* outside lib/desim/prng.ml; exit outside \
        bin/; Printf.printf / print_* in lib/ (use Telemetry or Fmt)" );
@@ -146,6 +159,18 @@ let rec float_like (e : Parsetree.expression) =
 
 let eq_ops = [ "="; "<>"; "=="; "!=" ]
 
+(* Nullary constructor literal as a comparison operand, e.g. [Neg_inf] or
+   [Delta.Neg_inf].  The built-in structural constructors — unit, booleans,
+   list constructors, [None] — are exempt: comparing against them is the
+   idiom and never descends into a constructor payload. *)
+let exempt_constructors = [ "()"; "true"; "false"; "[]"; "::"; "None" ]
+
+let nullary_constructor (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Lident name | Ldot (_, name); _ }, None) ->
+    if List.mem name exempt_constructors then None else Some name
+  | _ -> None
+
 (* ---------------- the checker ---------------- *)
 
 let check_structure ctx (str : Parsetree.structure) : F.t list =
@@ -197,16 +222,16 @@ let check_structure ctx (str : Parsetree.structure) : F.t list =
         report ~loc "banned-ident"
           "Random.* outside lib/desim/prng.ml; use Desim.Prng for reproducible streams"
     | Lident "exit" | Ldot (Lident "Stdlib", "exit") ->
-      if ctx.zone <> Bin then
+      if not (zone_equal ctx.zone Bin) then
         report ~loc "banned-ident"
           "exit outside bin/; return a result or raise instead"
     | Lident
         (( "print_endline" | "print_string" | "print_newline" | "print_int"
          | "print_float" | "print_char" ) as id)
-      when ctx.zone = Lib ->
+      when zone_equal ctx.zone Lib ->
       report ~loc "banned-ident"
         (Printf.sprintf "%s in lib/; route output through Telemetry or Fmt" id)
-    | Ldot (Lident "Printf", (("printf" | "eprintf") as id)) when ctx.zone = Lib ->
+    | Ldot (Lident "Printf", (("printf" | "eprintf") as id)) when zone_equal ctx.zone Lib ->
       report ~loc "banned-ident"
         (Printf.sprintf "Printf.%s in lib/; route output through Telemetry or Fmt" id)
     | _ -> ());
@@ -218,10 +243,10 @@ let check_structure ctx (str : Parsetree.structure) : F.t list =
           "raw Domain.spawn outside lib/parallel; use Parallel.Pool so fan-out stays deterministic"
     | _ -> ());
     (match txt with
-    | Lident "compare" when ctx.zone = Lib && not local_compare ->
+    | Lident "compare" when zone_equal ctx.zone Lib && not local_compare ->
       report ~loc "poly-compare"
         "polymorphic compare; use a typed comparator (Float.compare, Int.compare, String.compare, ...)"
-    | Ldot (Lident "Stdlib", "compare") when ctx.zone = Lib ->
+    | Ldot (Lident "Stdlib", "compare") when zone_equal ctx.zone Lib ->
       report ~loc "poly-compare"
         "polymorphic Stdlib.compare; use a typed comparator (Float.compare, Int.compare, String.compare, ...)"
     | _ -> ());
@@ -251,7 +276,17 @@ let check_structure ctx (str : Parsetree.structure) : F.t list =
         report ~loc "float-equal"
           (Printf.sprintf
              "float (%s) comparison; use Float.equal / Float.compare (or Float.is_nan / Float.classify_float)"
-             op)
+             op);
+      (match ctx.zone with
+      | Lib when String.equal op "=" || String.equal op "<>" -> (
+        match (nullary_constructor a, nullary_constructor b) with
+        | Some name, _ | _, Some name ->
+          report ~loc "poly-compare"
+            (Printf.sprintf
+               "polymorphic (%s) against constructor %s; use the type's equal (e.g. Delta.equal) or a pattern match"
+               op name)
+        | None, None -> ())
+      | _ -> ())
     | _ -> ()
   in
   let with_allows attrs f =

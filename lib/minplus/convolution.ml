@@ -52,19 +52,28 @@ let conv_pieces (u : interval_piece) (v : interval_piece) : Curve.t =
 
 let convolve f g =
   let fs = interval_pieces f and gs = interval_pieces g in
-  let candidates =
-    List.concat_map (fun u -> List.map (fun v -> conv_pieces u v) gs) fs
-  in
   if !Telemetry.on then begin
     Telemetry.Counter.incr c_convolve;
     Telemetry.Histogram.observe h_convolve_segments
-      (float_of_int (List.length candidates))
+      (float_of_int (List.length fs * List.length gs))
   end;
-  match candidates with
-  | [] ->
+  (* Fold the pairwise convolutions in candidate order (outer [fs], inner
+     [gs]): the same minimum chain as folding over the materialized
+     candidate list, without ever building it. *)
+  let acc = ref None in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          let c = conv_pieces u v in
+          acc := Some (match !acc with None -> c | Some a -> Curve.min a c))
+        gs)
+    fs;
+  match !acc with
+  | None ->
     (* both curves are identically infinite beyond 0; approximate by delta *)
     Curve.delta 0.
-  | c :: rest -> List.fold_left Curve.min c rest
+  | Some c -> c
 
 (* ------------------------------------------------------------------ *)
 (* Convex convolution by slope sorting                                 *)

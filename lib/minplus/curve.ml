@@ -37,6 +37,29 @@ let normalize (ps : piece list) : t =
   in
   Array.of_list (merge [] ps)
 
+(* [normalize] over the prefix [buf.(0 .. len - 1)] of a scratch buffer,
+   with the same merge conditions, without the list round-trip. *)
+let normalize_sub (buf : piece array) len : t =
+  if len = 0 then [||]
+  else begin
+    let out = Array.make len buf.(0) in
+    let m = ref 1 in
+    for i = 1 to len - 1 do
+      let p = buf.(i) in
+      let prev = out.(!m - 1) in
+      if (not (is_inf prev.y)) && (not (is_inf p.y))
+         && Float.abs (value_at prev p.x -. p.y) <= 1e-12 *. (1. +. Float.abs p.y)
+         && Float.abs (prev.r -. p.r) <= 1e-12 *. (1. +. Float.abs prev.r)
+      then ()
+      else if is_inf prev.y && is_inf p.y then ()
+      else begin
+        out.(!m) <- p;
+        incr m
+      end
+    done;
+    if !m = len then out else Array.sub out 0 !m
+  end
+
 let check_shape ps =
   (match ps with
   | [] -> invalid_arg "Curve.v: empty piece list"
@@ -155,38 +178,77 @@ let inverse (f : t) y =
 (* ------------------------------------------------------------------ *)
 (* Merged-breakpoint machinery                                         *)
 
-let merged_xs (f : t) (g : t) =
-  let xs = List.sort_uniq Float.compare (breakpoints f @ breakpoints g) in
-  xs
+(* Both piece arrays are sorted by strictly increasing [x], so the union of
+   abscissae is a linear merge with adjacent dedup — the same sequence as
+   [List.sort_uniq Float.compare (breakpoints f @ breakpoints g)], without
+   building either list. *)
+let merged_xs_arr (f : t) (g : t) =
+  let nf = Array.length f and ng = Array.length g in
+  let out = Array.make (nf + ng) 0. in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  let push x =
+    if !k = 0 || Float.compare out.(!k - 1) x <> 0 then begin
+      out.(!k) <- x;
+      incr k
+    end
+  in
+  while !i < nf || !j < ng do
+    if !j >= ng || (!i < nf && Float.compare f.(!i).x g.(!j).x <= 0) then begin
+      push f.(!i).x;
+      incr i
+    end
+    else begin
+      push g.(!j).x;
+      incr j
+    end
+  done;
+  if !k = nf + ng then out else Array.sub out 0 !k
+
+let merged_xs (f : t) (g : t) = Array.to_list (merged_xs_arr f g)
+
+(* Walk an index forward to the piece of [h] covering ascending abscissae:
+   after the loop, [!i] equals [index_of h x]. *)
+let advance (h : t) i x =
+  let n = Array.length h in
+  while !i + 1 < n && h.(!i + 1).x <= x do
+    incr i
+  done
 
 (* Build the piece list of [combine f g] on each merged interval, adding the
    interior crossing point required by pointwise min/max.  [pick] selects the
    value and slope given the two local lines. *)
 let pointwise2 ~(pick : (float * float) -> (float * float) -> float * float) (f : t) (g : t) : t =
-  let xs = merged_xs f g in
-  let line (h : t) x =
-    (* The affine line of [h] valid on [x, next merged breakpoint). *)
-    let i = index_of h x in
-    (value_at h.(i) x, if is_inf h.(i).y then 0. else h.(i).r)
+  let xs = merged_xs_arr f g in
+  let nxs = Array.length xs in
+  (* At most two pieces per merged abscissa (the line, plus one interior
+     crossing), emitted into a scratch buffer; the walking indices replace
+     the per-abscissa binary search with the same resulting piece. *)
+  let buf = Array.make (2 * nxs) { x = 0.; y = 0.; r = 0. } in
+  let len = ref 0 in
+  let emit x (y, r) =
+    buf.(!len) <- { x; y; r };
+    incr len
   in
-  let out = ref [] in
-  let emit x (y, r) = out := { x; y; r } :: !out in
-  let rec go = function
-    | [] -> ()
-    | x :: rest ->
-      let (yf, rf) = line f x and (yg, rg) = line g x in
-      emit x (pick (yf, rf) (yg, rg));
-      (* Interior crossing of the two lines, if it falls strictly inside. *)
-      let next = match rest with [] -> infinity | x' :: _ -> x' in
-      (if (not (is_inf yf)) && (not (is_inf yg)) && not (Float.equal rf rg) then
-         let xc = x +. ((yg -. yf) /. (rf -. rg)) in
-         if xc > x +. 1e-15 && xc < next -. 1e-15 then
-           let yfc = yf +. (rf *. (xc -. x)) and ygc = yg +. (rg *. (xc -. x)) in
-           emit xc (pick (yfc, rf) (ygc, rg)));
-      go rest
-  in
-  go xs;
-  normalize (List.rev !out)
+  let fi = ref 0 and gi = ref 0 in
+  for idx = 0 to nxs - 1 do
+    let x = xs.(idx) in
+    advance f fi x;
+    advance g gi x;
+    let pf = f.(!fi) and pg = g.(!gi) in
+    let yf = value_at pf x and rf = if is_inf pf.y then 0. else pf.r in
+    let yg = value_at pg x and rg = if is_inf pg.y then 0. else pg.r in
+    emit x (pick (yf, rf) (yg, rg));
+    (* Interior crossing of the two lines, if it falls strictly inside. *)
+    let next = if idx + 1 < nxs then xs.(idx + 1) else infinity in
+    if (not (is_inf yf)) && (not (is_inf yg)) && not (Float.equal rf rg) then begin
+      let xc = x +. ((yg -. yf) /. (rf -. rg)) in
+      if xc > x +. 1e-15 && xc < next -. 1e-15 then begin
+        let yfc = yf +. (rf *. (xc -. x)) and ygc = yg +. (rg *. (xc -. x)) in
+        emit xc (pick (yfc, rf) (ygc, rg))
+      end
+    end
+  done;
+  normalize_sub buf !len
 
 (* Values within [eps] of each other (e.g. the two lines at a crossing
    point, which differ by rounding) must be treated as equal so the slope
@@ -220,47 +282,70 @@ let add f g =
   pointwise2 f g ~pick:(fun (yf, rf) (yg, rg) ->
       if is_inf yf || is_inf yg then (infinity, 0.) else (yf +. yg, rf +. rg))
 
-(* Raw (possibly non-monotone) pointwise difference, as a piece list. *)
-let raw_sub (f : t) (g : t) : piece list =
-  let xs = merged_xs f g in
-  List.map
-    (fun x ->
-      let i = index_of f x and j = index_of g x in
-      let yf = value_at f.(i) x and yg = value_at g.(j) x in
-      let rf = if is_inf f.(i).y then 0. else f.(i).r
-      and rg = if is_inf g.(j).y then 0. else g.(j).r in
-      if is_inf yf then { x; y = infinity; r = 0. } else { x; y = yf -. yg; r = rf -. rg })
-    xs
+(* Raw (possibly non-monotone) pointwise difference, as a piece array. *)
+let raw_sub (f : t) (g : t) : piece array =
+  let xs = merged_xs_arr f g in
+  let n = Array.length xs in
+  let out = Array.make n { x = 0.; y = 0.; r = 0. } in
+  let fi = ref 0 and gi = ref 0 in
+  for k = 0 to n - 1 do
+    let x = xs.(k) in
+    advance f fi x;
+    advance g gi x;
+    let pf = f.(!fi) and pg = g.(!gi) in
+    let yf = value_at pf x and yg = value_at pg x in
+    let rf = if is_inf pf.y then 0. else pf.r
+    and rg = if is_inf pg.y then 0. else pg.r in
+    out.(k) <-
+      (if is_inf yf then { x; y = infinity; r = 0. } else { x; y = yf -. yg; r = rf -. rg })
+  done;
+  out
 
-(* Clip a raw piece list at zero from below, adding crossing breakpoints. *)
-let raw_clip_pos (ps : piece list) : piece list =
-  let rec go acc = function
-    | [] -> List.rev acc
-    | p :: rest ->
-      let next = match rest with [] -> infinity | q :: _ -> q.x in
-      if is_inf p.y then go ({ p with y = infinity; r = 0. } :: acc) rest
-      else
-        let y_end = if is_inf next then (if p.r >= 0. then infinity else neg_infinity)
-                    else value_at p next in
-        if p.y >= 0. && y_end >= 0. then go (p :: acc) rest
-        else if p.y <= 0. && y_end <= 0. then go ({ p with y = 0.; r = 0. } :: acc) rest
-        else
-          let xc = p.x +. (-.p.y /. p.r) in
-          if p.y < 0. then
-            (* rises through zero at xc *)
-            go ({ x = xc; y = 0.; r = p.r } :: { p with y = 0.; r = 0. } :: acc) rest
-          else
-            (* falls through zero at xc *)
-            go ({ x = xc; y = 0.; r = 0. } :: p :: acc) rest
+(* Clip the prefix [ps.(0 .. len - 1)] at zero from below, adding crossing
+   breakpoints; at most two pieces out per piece in. *)
+let raw_clip_pos (ps : piece array) len : piece array * int =
+  let out = Array.make (2 * Stdlib.max len 1) { x = 0.; y = 0.; r = 0. } in
+  let m = ref 0 in
+  let push p =
+    out.(!m) <- p;
+    incr m
   in
-  go [] ps
+  for i = 0 to len - 1 do
+    let p = ps.(i) in
+    let next = if i + 1 < len then ps.(i + 1).x else infinity in
+    if is_inf p.y then push { p with y = infinity; r = 0. }
+    else begin
+      let y_end = if is_inf next then (if p.r >= 0. then infinity else neg_infinity)
+                  else value_at p next in
+      if p.y >= 0. && y_end >= 0. then push p
+      else if p.y <= 0. && y_end <= 0. then push { p with y = 0.; r = 0. }
+      else begin
+        let xc = p.x +. (-.p.y /. p.r) in
+        if p.y < 0. then begin
+          (* rises through zero at xc *)
+          push { p with y = 0.; r = 0. };
+          push { x = xc; y = 0.; r = p.r }
+        end
+        else begin
+          (* falls through zero at xc *)
+          push p;
+          push { x = xc; y = 0.; r = 0. }
+        end
+      end
+    end
+  done;
+  (out, !m)
 
-(* Largest non-decreasing function below a raw piece list:
-   m(t) = inf_{u >= t} f(u).  Right-to-left sweep. *)
-let monotone_minorant (ps : piece list) : piece list =
-  let arr = Array.of_list ps in
-  let n = Array.length arr in
-  let out = ref [] in
+(* Largest non-decreasing function below the prefix [arr.(0 .. n - 1)]:
+   m(t) = inf_{u >= t} f(u).  Right-to-left sweep, collected backward into
+   a scratch buffer and reversed in place. *)
+let monotone_minorant (arr : piece array) n : piece array * int =
+  let out = Array.make (2 * Stdlib.max n 1) { x = 0.; y = 0.; r = 0. } in
+  let m = ref 0 in
+  let push p =
+    out.(!m) <- p;
+    incr m
+  in
   let minfuture = ref infinity in
   (* After processing piece i, [minfuture] holds inf over [x_i, inf). *)
   for i = n - 1 downto 0 do
@@ -268,42 +353,50 @@ let monotone_minorant (ps : piece list) : piece list =
     let next = if i + 1 < n then arr.(i + 1).x else infinity in
     let inf_right = !minfuture in
     if is_inf p.y then begin
-      (if is_inf inf_right || i + 1 >= n then out := { p with y = infinity; r = 0. } :: !out
-       else out := { p with y = inf_right; r = 0. } :: !out);
+      (if is_inf inf_right || i + 1 >= n then push { p with y = infinity; r = 0. }
+       else push { p with y = inf_right; r = 0. });
       minfuture := Float.min inf_right infinity
     end
     else if p.r >= 0. then begin
       (* increasing piece: follow f until it exceeds inf_right, then flat *)
       let y_end = if is_inf next then infinity else value_at p next in
       if y_end <= inf_right then begin
-        out := p :: !out;
+        push p;
         minfuture := p.y
       end
       else if p.y >= inf_right then begin
-        out := { p with y = inf_right; r = 0. } :: !out;
+        push { p with y = inf_right; r = 0. };
         minfuture := inf_right
       end
       else begin
         let xc = p.x +. ((inf_right -. p.y) /. p.r) in
-        if xc < next then out := { x = xc; y = inf_right; r = 0. } :: !out;
-        out := p :: !out;
+        if xc < next then push { x = xc; y = inf_right; r = 0. };
+        push p;
         minfuture := p.y
       end
     end
     else begin
       (* decreasing piece: min over [t, next) is the right-end value *)
       let y_end = if is_inf next then neg_infinity else value_at p next in
-      let m = Float.min y_end inf_right in
-      out := { p with y = m; r = 0. } :: !out;
-      minfuture := m
+      let mn = Float.min y_end inf_right in
+      push { p with y = mn; r = 0. };
+      minfuture := mn
     end
   done;
-  !out
+  let len = !m in
+  for k = 0 to (len / 2) - 1 do
+    let tmp = out.(k) in
+    out.(k) <- out.(len - 1 - k);
+    out.(len - 1 - k) <- tmp
+  done;
+  (out, len)
 
 let sub_clip f g =
   let raw = raw_sub f g in
-  let clipped = raw_clip_pos raw in
-  normalize (raw_clip_pos (monotone_minorant clipped))
+  let (clipped, c_len) = raw_clip_pos raw (Array.length raw) in
+  let (mono, m_len) = monotone_minorant clipped c_len in
+  let (final, f_len) = raw_clip_pos mono m_len in
+  normalize_sub final f_len
 
 let scale k (f : t) =
   if Float.is_nan k then invalid_arg "Curve.scale: NaN factor";
@@ -314,9 +407,15 @@ let hshift d (f : t) =
   if Float.is_nan d then invalid_arg "Curve.hshift: NaN shift";
   if d < 0. then invalid_arg "Curve.hshift: negative shift";
   if Float.equal d 0. then f
-  else
-    let shifted = Array.to_list f |> List.map (fun p -> { p with x = p.x +. d }) in
-    normalize ({ x = 0.; y = 0.; r = 0. } :: shifted)
+  else begin
+    let n = Array.length f in
+    let buf = Array.make (n + 1) { x = 0.; y = 0.; r = 0. } in
+    for i = 0 to n - 1 do
+      let p = f.(i) in
+      buf.(i + 1) <- { p with x = p.x +. d }
+    done;
+    normalize_sub buf (n + 1)
+  end
 
 let vshift c (f : t) =
   if Float.is_nan c then invalid_arg "Curve.vshift: NaN shift";
@@ -327,38 +426,52 @@ let lshift c (f : t) =
   if Float.is_nan c then invalid_arg "Curve.lshift: NaN shift";
   if c < 0. then invalid_arg "Curve.lshift: negative shift";
   if Float.equal c 0. then f
-  else
+  else begin
+    let n = Array.length f in
     let i = index_of f c in
     let head =
       let p = f.(i) in
       if is_inf p.y then { x = 0.; y = infinity; r = 0. }
       else { x = 0.; y = value_at p c; r = p.r }
     in
-    let tail =
-      Array.to_list f
-      |> List.filter (fun p -> p.x > c)
-      |> List.map (fun p -> { p with x = p.x -. c })
-    in
-    normalize (head :: tail)
+    let buf = Array.make n { x = 0.; y = 0.; r = 0. } in
+    buf.(0) <- head;
+    let len = ref 1 in
+    for j = 0 to n - 1 do
+      let p = f.(j) in
+      if p.x > c then begin
+        buf.(!len) <- { p with x = p.x -. c };
+        incr len
+      end
+    done;
+    normalize_sub buf !len
+  end
 
 let gate theta (f : t) =
   if Float.is_nan theta then invalid_arg "Curve.gate: NaN threshold";
   if theta < 0. then invalid_arg "Curve.gate: negative threshold";
   if Float.equal theta 0. then f
-  else
-    let tail =
-      Array.to_list f
-      |> List.filter_map (fun p ->
-             let next = p.x in
-             if next > theta then Some p else None)
-    in
+  else begin
+    let n = Array.length f in
     let at_theta =
       let i = index_of f theta in
       let p = f.(i) in
       if is_inf p.y then { x = theta; y = infinity; r = 0. }
       else { x = theta; y = value_at p theta; r = p.r }
     in
-    normalize ({ x = 0.; y = 0.; r = 0. } :: at_theta :: tail)
+    let buf = Array.make (n + 1) { x = 0.; y = 0.; r = 0. } in
+    buf.(0) <- { x = 0.; y = 0.; r = 0. };
+    buf.(1) <- at_theta;
+    let len = ref 2 in
+    for j = 0 to n - 1 do
+      let p = f.(j) in
+      if p.x > theta then begin
+        buf.(!len) <- p;
+        incr len
+      end
+    done;
+    normalize_sub buf !len
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Predicates                                                          *)

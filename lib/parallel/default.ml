@@ -18,6 +18,19 @@ let jobs_from_env () =
     | Some n when n >= 0 -> Some n
     | Some _ | None -> None)
 
+let cutoff_from_env () =
+  match Sys.getenv_opt "DELTANET_PAR_CUTOFF" with
+  | None | Some "" -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> Some n
+    | Some _ | None -> None)
+
+let apply_cutoff_env () =
+  match cutoff_from_env () with
+  | Some n -> Pool.set_parallel_cutoff n
+  | None -> ()
+
 let resolve n = if n = 0 then Pool.recommended_jobs () else n
 
 let set_jobs n =
@@ -45,6 +58,8 @@ let get () =
   Mutex.unlock lock;
   p
 
-let map f xs = Pool.map (get ()) f xs
-let map_list f xs = Pool.map_list (get ()) f xs
-let map_reduce ~map ~reduce ~init xs = Pool.map_reduce (get ()) ~map ~reduce ~init xs
+let map ?work f xs = Pool.map ?work (get ()) f xs
+let map_list ?work f xs = Pool.map_list ?work (get ()) f xs
+
+let map_reduce ?work ~map ~reduce ~init xs =
+  Pool.map_reduce ?work (get ()) ~map ~reduce ~init xs

@@ -13,6 +13,15 @@ val jobs_from_env : unit -> int option
 (** [DELTANET_JOBS] parsed as a positive int ([0] means auto-detect via
     {!Pool.recommended_jobs}); [None] when unset, empty or malformed. *)
 
+val cutoff_from_env : unit -> int option
+(** [DELTANET_PAR_CUTOFF] parsed as a non-negative int ([0] disables the
+    cutoff); [None] when unset, empty or malformed. *)
+
+val apply_cutoff_env : unit -> unit
+(** {!Pool.set_parallel_cutoff} from [DELTANET_PAR_CUTOFF] when set; a
+    no-op otherwise.  Called by the CLI and bench at startup, alongside
+    their [--jobs] handling. *)
+
 val set_jobs : int -> unit
 (** Resize the default pool: [0] selects {!Pool.recommended_jobs},
     [1] sequential, [n > 1] that many domains.  Shuts down the previous
@@ -25,13 +34,14 @@ val jobs : unit -> int
 val get : unit -> Pool.t
 (** The default pool, created on first use. *)
 
-val map : ('a -> 'b) -> 'a array -> 'b array
-(** {!Pool.map} on the default pool. *)
+val map : ?work:int -> ('a -> 'b) -> 'a array -> 'b array
+(** {!Pool.map} on the default pool ([?work] as there). *)
 
-val map_list : ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?work:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!Pool.map_list} on the default pool. *)
 
 val map_reduce :
+  ?work:int ->
   map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc ->
   'a array -> 'acc
 (** {!Pool.map_reduce} on the default pool. *)

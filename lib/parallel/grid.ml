@@ -8,20 +8,20 @@ let log_spaced ~lo ~ratio ~points =
   done;
   xs
 
-let values f xs = Default.map f xs
+let values ?work f xs = Default.map ?work f xs
 
-let min_value f xs =
+let min_value ?work f xs =
   if Array.length xs = 0 then invalid_arg "Parallel.Grid.min_value: empty grid";
-  let vals = Default.map f xs in
+  let vals = Default.map ?work f xs in
   let best = ref vals.(0) in
   for i = 1 to Array.length vals - 1 do
     if vals.(i) < !best then best := vals.(i)
   done;
   !best
 
-let argmin f xs =
+let argmin ?work f xs =
   if Array.length xs = 0 then invalid_arg "Parallel.Grid.argmin: empty grid";
-  let vals = Default.map f xs in
+  let vals = Default.map ?work f xs in
   let best = ref (xs.(0), vals.(0)) in
   for i = 1 to Array.length vals - 1 do
     if vals.(i) < snd !best then best := (xs.(i), vals.(i))

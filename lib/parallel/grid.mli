@@ -16,15 +16,16 @@ val log_spaced : lo:float -> ratio:float -> points:int -> float array
     entries), by repeated multiplication.
     @raise Invalid_argument on [points < 1]. *)
 
-val min_value : ('a -> float) -> 'a array -> float
+val min_value : ?work:int -> ('a -> float) -> 'a array -> float
 (** Parallel map, then the sequential running minimum
     [if v < best then v] in index order, seeded with the first value.
+    [?work] is the per-point cost hint forwarded to {!Pool.map}.
     @raise Invalid_argument on an empty grid. *)
 
-val argmin : ('a -> float) -> 'a array -> 'a * float
+val argmin : ?work:int -> ('a -> float) -> 'a array -> 'a * float
 (** Like {!min_value} but keeps the abscissa of the first strict
     minimum, matching [if v < snd best then (x, v)].
     @raise Invalid_argument on an empty grid. *)
 
-val values : ('a -> float) -> 'a array -> float array
+val values : ?work:int -> ('a -> float) -> 'a array -> float array
 (** Just the parallel evaluations, in input order. *)

@@ -52,7 +52,7 @@ let is_delta_scheduler m =
 let precedence_set m ~j =
   if j < 0 || j >= m.n then invalid_arg "Classes.precedence_set: out of range";
   List.filter
-    (fun k -> m.table.(j).(k) <> Delta.Neg_inf)
+    (fun k -> not (Delta.equal m.table.(j).(k) Delta.Neg_inf))
     (List.init m.n Fun.id)
 
 type two_class = Fifo | Bmux | Sp_through_high | Edf_gap of float

@@ -317,6 +317,184 @@ let test_scenario_backlog () =
     (Fmt.str "fifo %g <= bmux %g" b_fifo b_bmux)
     true (b_fifo <= b_bmux +. 1e-6)
 
+(* ---------------- kernel vs reference (bit-for-bit) ---------------- *)
+
+let bit_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let delta_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Delta.Neg_inf);
+        (1, return Delta.Pos_inf);
+        (2, map (fun d -> Delta.Fin d) (float_range (-30.) 30.));
+      ])
+
+let node_gen =
+  QCheck.Gen.(
+    map
+      (fun (capacity, cross_rho, cross_m, delta) ->
+        { E2e.capacity; cross_rho; cross_m; delta })
+      (quad (float_range 60. 150.) (float_range 0.5 40.) (float_range 0.5 3.) delta_gen))
+
+let print_node (nd : E2e.node) =
+  Fmt.str "{C=%g rho_c=%g m=%g d=%a}" nd.E2e.capacity nd.E2e.cross_rho nd.E2e.cross_m
+    Delta.pp nd.E2e.delta
+
+(* A random heterogeneous path (mixed SP/FIFO/EDF/BMUX deltas, H in
+   1..20) plus a gamma fraction and a sigma offset.  The generator keeps
+   [C -. rho_c -. rho >= 5] at every node, so [gamma_max > 0] always. *)
+let path_arb =
+  let through = Ebb.v ~m:1. ~rho:15. ~alpha:0.8 in
+  let gen =
+    QCheck.Gen.(
+      int_range 1 20 >>= fun h ->
+      array_repeat h node_gen >>= fun nodes ->
+      pair (float_range 1e-4 0.9) (float_range 0. 500.)
+      >>= fun (u, extra) -> return ({ E2e.nodes; through }, u, extra))
+  in
+  let print (p, u, extra) =
+    Fmt.str "H=%d u=%g extra=%g nodes=[%s]"
+      (Array.length p.E2e.nodes)
+      u extra
+      (String.concat "; " (Array.to_list (Array.map print_node p.E2e.nodes)))
+  in
+  QCheck.make ~print gen
+
+(* The tentpole's contract: the compiled zero-allocation kernel replays
+   the list-based reference float-for-float, so sigma_for, delay_given
+   and optimal_thetas (thetas and X) are bit-identical — for every
+   scheduler mix and every H.  [delay_given] (the kernel-backed public
+   entry) must agree too. *)
+let prop_kernel_matches_reference =
+  QCheck.Test.make ~name:"kernel = reference bit-for-bit (Eq. 38)" ~count:400 path_arb
+    (fun (p, u, extra) ->
+      let gamma = E2e.gamma_max p *. u in
+      let k = E2e.Kernel.make p in
+      let sref = E2e.Reference.sigma_for p ~gamma ~epsilon:1e-9 in
+      let sker = E2e.Kernel.sigma_for k ~gamma ~epsilon:1e-9 in
+      if not (bit_eq sref sker) then
+        QCheck.Test.fail_reportf "sigma_for: reference %.17g kernel %.17g" sref sker;
+      let sigma = sref +. extra in
+      let dref = E2e.Reference.delay_given p ~gamma ~sigma in
+      E2e.Kernel.set k ~gamma ~sigma;
+      let dker = E2e.Kernel.delay k in
+      if not (bit_eq dref dker) then
+        QCheck.Test.fail_reportf "delay: reference %.17g kernel %.17g" dref dker;
+      if not (bit_eq dref (E2e.delay_given p ~gamma ~sigma)) then
+        QCheck.Test.fail_reportf "public delay_given diverges from reference";
+      let (tref, xref) = E2e.Reference.optimal_thetas p ~gamma ~sigma in
+      let (tker, xker) = E2e.Kernel.optimal_thetas k in
+      if not (bit_eq xref xker) then
+        QCheck.Test.fail_reportf "optimal X: reference %.17g kernel %.17g" xref xker;
+      if Array.length tref <> Array.length tker then
+        QCheck.Test.fail_reportf "theta arity: %d vs %d" (Array.length tref)
+          (Array.length tker);
+      Array.iteri
+        (fun i v ->
+          if not (bit_eq v tker.(i)) then
+            QCheck.Test.fail_reportf "theta %d: reference %.17g kernel %.17g" i v
+              tker.(i))
+        tref;
+      true)
+
+(* Homogeneous path + (gamma, sigma) for the K-procedure properties. *)
+let homog_arb =
+  let through = Ebb.v ~m:1. ~rho:15. ~alpha:0.8 in
+  let gen =
+    QCheck.Gen.(
+      int_range 1 20 >>= fun h ->
+      quad (float_range 60. 150.) (float_range 0.5 40.) (float_range 0.5 3.) delta_gen
+      >>= fun (capacity, rho_c, m_c, delta) ->
+      pair (float_range 1e-4 0.9) (float_range 0. 500.)
+      >>= fun (u, extra) ->
+      let cross = Ebb.v ~m:m_c ~rho:rho_c ~alpha:0.8 in
+      return (E2e.homogeneous ~h ~capacity ~cross ~delta ~through, u, extra))
+  in
+  let print (p, u, extra) =
+    Fmt.str "H=%d u=%g extra=%g node=%s"
+      (Array.length p.E2e.nodes)
+      u extra
+      (print_node p.E2e.nodes.(0))
+  in
+  QCheck.make ~print gen
+
+(* Eq. 40–44 dispatch: the paper's explicit K-procedure equals the
+   candidate-enumeration minimum (to ~1e-9 relative) for SP, BMUX and
+   FIFO deltas, and upper-bounds it for every homogeneous delta. *)
+let prop_k_procedure_vs_enumeration =
+  QCheck.Test.make ~name:"k_procedure vs candidate enumeration (homogeneous)"
+    ~count:400 homog_arb
+    (fun (p, u, extra) ->
+      let gamma = E2e.gamma_max p *. u in
+      let sigma = E2e.Reference.sigma_for p ~gamma ~epsilon:1e-9 +. extra in
+      let exact = E2e.delay_given p ~gamma ~sigma in
+      let kproc = E2e.k_procedure p ~gamma ~sigma in
+      let fast = E2e.delay_given_fast p ~gamma ~sigma in
+      if not (bit_eq fast kproc) then
+        QCheck.Test.fail_reportf "delay_given_fast %.17g <> k_procedure %.17g" fast
+          kproc;
+      (* always a valid upper bound *)
+      if not (exact <= kproc +. 1e-9 *. (1. +. Float.abs kproc)) then
+        QCheck.Test.fail_reportf "k_procedure %.17g below exact %.17g" kproc exact;
+      (* exact (not just an upper bound) for the three named disciplines *)
+      let must_be_exact =
+        match p.E2e.nodes.(0).E2e.delta with
+        | Delta.Neg_inf | Delta.Pos_inf -> true
+        | Delta.Fin d -> Float.equal d 0.
+      in
+      if must_be_exact then begin
+        let agree =
+          (exact = infinity && kproc = infinity)
+          || Float.abs (exact -. kproc)
+             <= 1e-9 *. (1. +. Float.max (Float.abs exact) (Float.abs kproc))
+        in
+        if not agree then
+          QCheck.Test.fail_reportf "SP/BMUX/FIFO: k_procedure %.17g <> exact %.17g"
+            kproc exact
+      end;
+      true)
+
+(* On genuinely heterogeneous paths the fast path must fall back to the
+   kernel and reproduce delay_given bit-for-bit. *)
+let prop_fast_path_heterogeneous_bitwise =
+  QCheck.Test.make ~name:"delay_given_fast = delay_given on heterogeneous paths"
+    ~count:200 path_arb
+    (fun (p, u, extra) ->
+      QCheck.assume (not (E2e.is_homogeneous p));
+      let gamma = E2e.gamma_max p *. u in
+      let sigma = E2e.Reference.sigma_for p ~gamma ~epsilon:1e-9 +. extra in
+      bit_eq (E2e.delay_given_fast p ~gamma ~sigma) (E2e.delay_given p ~gamma ~sigma))
+
+let test_smallest_k_matches_reference () =
+  (* The O(H) backward-prefix-sum smallest_k against the O(H^2) recursive
+     reference, for H up to 10^3 and nontrivial extra feasibility
+     predicates — both the chosen K and (because the prefix sums replay
+     the recursion's additions in order) exact agreement. *)
+  let predicates h =
+    [
+      ("all", fun _ -> true);
+      ("none", fun _ -> false);
+      ("even", fun k -> k mod 2 = 0);
+      ("upper-half", fun k -> k >= h / 2);
+      ("multiple-of-7", fun k -> k mod 7 = 0);
+    ]
+  in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun (name, extra_ok) ->
+          List.iter
+            (fun (c, rho_c, gamma) ->
+              let fast = E2e.smallest_k ~extra_ok ~h ~c ~rho_c ~gamma in
+              let slow = E2e.Reference.smallest_k ~extra_ok ~h ~c ~rho_c ~gamma in
+              Alcotest.(check int)
+                (Fmt.str "H=%d %s c=%g rho_c=%g gamma=%g" h name c rho_c gamma)
+                slow fast)
+            [ (100., 35., 0.5); (100., 35., 3.); (80., 60., 0.05); (200., 10., 2.) ])
+        (predicates h))
+    [ 1; 2; 3; 7; 50; 333; 1000 ]
+
 (* ---------------- additive baseline ---------------- *)
 
 let test_additive_dominates_network_bound () =
@@ -385,4 +563,9 @@ let suite =
     Alcotest.test_case "additive dominates" `Slow test_additive_dominates_network_bound;
     Alcotest.test_case "additive superlinear" `Slow test_additive_superlinear_growth;
     Alcotest.test_case "additive per-node increasing" `Quick test_additive_per_node_increasing;
+    QCheck_alcotest.to_alcotest prop_kernel_matches_reference;
+    QCheck_alcotest.to_alcotest prop_k_procedure_vs_enumeration;
+    QCheck_alcotest.to_alcotest prop_fast_path_heterogeneous_bitwise;
+    Alcotest.test_case "smallest_k O(H) = reference up to H=1000" `Quick
+      test_smallest_k_matches_reference;
   ]

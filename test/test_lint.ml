@@ -84,6 +84,43 @@ let test_poly_compare_suppressed =
   silent "poly-compare" ~file:"lib/foo/a.ml"
     "let f xs = List.sort compare xs [@@lint.allow \"poly-compare\"]" "poly-compare"
 
+let test_poly_compare_constructor_literal () =
+  (* = / <> against a nullary constructor literal degrades to polymorphic
+     compare on the whole variant; both orders and qualified names fire. *)
+  List.iter
+    (fun src ->
+      check bool (src ^ " fires") true
+        (List.mem "poly-compare" (rules ~file:"lib/foo/a.ml" src)))
+    [
+      "let f d = d <> Neg_inf";
+      "let f d = d = Pos_inf";
+      "let f d = Neg_inf = d";
+      "let f nd = nd.delta <> Delta.Neg_inf";
+      "let f nd = nd.delta <> Scheduler.Delta.Neg_inf";
+    ]
+
+let test_poly_compare_constructor_exemptions () =
+  (* The built-in structural constructors stay idiomatic, constructors with
+     a payload are not literals, == / != are physical-equality checks the
+     rule leaves alone, and bin/ is out of scope. *)
+  List.iter
+    (fun (file, src) ->
+      check bool (src ^ " does not fire") false
+        (List.mem "poly-compare" (rules ~file src)))
+    [
+      ("lib/foo/a.ml", "let f x = x = None");
+      ("lib/foo/a.ml", "let f x = x <> []");
+      ("lib/foo/a.ml", "let f x = x = true");
+      ("lib/foo/a.ml", "let f x = x = ()");
+      ("lib/foo/a.ml", "let f x = x = Fin 0.");
+      ("lib/foo/a.ml", "let f d = d == Neg_inf");
+      ("bin/a.ml", "let f d = d <> Neg_inf");
+    ]
+
+let test_poly_compare_constructor_suppressed =
+  silent "poly-compare" ~file:"lib/foo/a.ml"
+    "let f d = (d <> Neg_inf) [@lint.allow \"poly-compare\"]" "poly-compare"
+
 (* ---------------- banned-ident ---------------- *)
 
 let test_banned_obj_magic =
@@ -248,6 +285,12 @@ let suite =
     test_case "poly-compare local definition exempt" `Quick
       test_poly_compare_local_definition;
     test_case "poly-compare suppressed" `Quick test_poly_compare_suppressed;
+    test_case "poly-compare constructor literal" `Quick
+      test_poly_compare_constructor_literal;
+    test_case "poly-compare constructor exemptions" `Quick
+      test_poly_compare_constructor_exemptions;
+    test_case "poly-compare constructor suppressed" `Quick
+      test_poly_compare_constructor_suppressed;
     test_case "banned: Obj.magic" `Quick test_banned_obj_magic;
     test_case "banned: Random outside prng" `Quick test_banned_random_outside_prng;
     test_case "banned: Random inside prng ok" `Quick test_banned_random_in_prng_ok;

@@ -243,6 +243,110 @@ let test_null_sink_not_streaming () =
       Pool.with_pool ~jobs:4 (fun p ->
           Alcotest.(check int) "stays parallel under null sink" 4 (Pool.effective_jobs p)))
 
+(* ---------------- adaptive sequential cutoff ---------------- *)
+
+(* restore the process-wide cutoff after mutating it *)
+let with_cutoff n k =
+  let prev = Pool.parallel_cutoff () in
+  Pool.set_parallel_cutoff n;
+  Fun.protect ~finally:(fun () -> Pool.set_parallel_cutoff prev) k
+
+let cutoff_count () =
+  match List.assoc_opt "parallel.pool.maps_cutoff" (Telemetry.snapshot ()).Telemetry.counters with
+  | Some v -> v
+  | None -> 0
+
+let test_cutoff_defaults_and_validation () =
+  Alcotest.(check int) "default cutoff" Pool.default_parallel_cutoff
+    (Pool.parallel_cutoff ());
+  with_cutoff 123 (fun () ->
+      Alcotest.(check int) "set/get" 123 (Pool.parallel_cutoff ()));
+  Alcotest.(check int) "restored" Pool.default_parallel_cutoff (Pool.parallel_cutoff ());
+  check_invalid "negative cutoff" (fun () -> Pool.set_parallel_cutoff (-1))
+
+let test_cutoff_sequentializes_small_hinted_maps () =
+  (* under the null sink (counters on, still parallel-capable), a hinted
+     map with n * work below the cutoff must run on the calling domain
+     and bump the cutoff counter; a hinted map at/above the cutoff and an
+     unhinted map must still fan out *)
+  Telemetry.configure ~sink:Telemetry.Sink.null ();
+  Fun.protect ~finally:Telemetry.shutdown @@ fun () ->
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let xs = Array.init 64 Fun.id in
+  let c0 = cutoff_count () in
+  let small = Pool.map ~work:1 p (fun x -> x * x) xs in
+  Alcotest.(check (array int)) "small hinted map correct" (Array.map (fun x -> x * x) xs)
+    small;
+  Alcotest.(check int) "below-cutoff map counted" (c0 + 1) (cutoff_count ());
+  let on_caller =
+    Pool.map ~work:1 p (fun _ -> not (Pool.in_worker ())) (Array.init 8 Fun.id)
+  in
+  Alcotest.(check bool) "below-cutoff tasks run on the calling domain" true
+    (Array.for_all Fun.id on_caller);
+  let c1 = cutoff_count () in
+  let big = Pool.map ~work:Pool.default_parallel_cutoff p (fun x -> x + 1) xs in
+  Alcotest.(check (array int)) "big hinted map correct" (Array.map (fun x -> x + 1) xs) big;
+  Alcotest.(check int) "at/above cutoff not counted" c1 (cutoff_count ());
+  let _ = Pool.map p Fun.id xs in
+  Alcotest.(check int) "unhinted map never counted" c1 (cutoff_count ())
+
+let test_cutoff_zero_disables () =
+  Telemetry.configure ~sink:Telemetry.Sink.null ();
+  Fun.protect ~finally:Telemetry.shutdown @@ fun () ->
+  with_cutoff 0 @@ fun () ->
+  Pool.with_pool ~jobs:4 @@ fun p ->
+  let c0 = cutoff_count () in
+  let r = Pool.map ~work:1 p (fun x -> 3 * x) (Array.init 16 Fun.id) in
+  Alcotest.(check (array int)) "map correct" (Array.init 16 (fun x -> 3 * x)) r;
+  Alcotest.(check int) "cutoff 0 = always fan out" c0 (cutoff_count ())
+
+let test_cutoff_bitwise_with_and_without_hint () =
+  (* determinism does not depend on which side of the cutoff a map lands:
+     hinted-sequential, hinted-parallel and unhinted runs agree bitwise *)
+  let xs = Array.init 211 (fun i -> (float_of_int i /. 13.) +. 0.01) in
+  let f x = (log x *. sin (x *. 5.)) +. sqrt x in
+  let expected = Array.map f xs in
+  with_jobs 4 (fun () ->
+      List.iter
+        (fun (name, work) ->
+          let got = match work with None -> Default.map f xs | Some w -> Default.map ~work:w f xs in
+          Array.iteri
+            (fun i v -> check_bitwise (Printf.sprintf "%s index %d" name i) expected.(i) v)
+            got)
+        [ ("unhinted", None); ("hinted below cutoff", Some 1);
+          ("hinted above cutoff", Some 1_000_000) ])
+
+let test_cutoff_from_env () =
+  let prev = Option.value (Sys.getenv_opt "DELTANET_PAR_CUTOFF") ~default:"" in
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "DELTANET_PAR_CUTOFF" prev)
+    (fun () ->
+      Unix.putenv "DELTANET_PAR_CUTOFF" "";
+      Alcotest.(check (option int)) "empty = unset" None (Default.cutoff_from_env ());
+      Unix.putenv "DELTANET_PAR_CUTOFF" "5000";
+      Alcotest.(check (option int)) "parsed" (Some 5000) (Default.cutoff_from_env ());
+      Unix.putenv "DELTANET_PAR_CUTOFF" " 7 ";
+      Alcotest.(check (option int)) "trimmed" (Some 7) (Default.cutoff_from_env ());
+      Unix.putenv "DELTANET_PAR_CUTOFF" "0";
+      Alcotest.(check (option int)) "0 = disable marker" (Some 0)
+        (Default.cutoff_from_env ());
+      Unix.putenv "DELTANET_PAR_CUTOFF" "-4";
+      Alcotest.(check (option int)) "negative rejected" None (Default.cutoff_from_env ());
+      Unix.putenv "DELTANET_PAR_CUTOFF" "lots";
+      Alcotest.(check (option int)) "garbage rejected" None (Default.cutoff_from_env ());
+      (* apply_cutoff_env installs the parsed value and leaves the cutoff
+         untouched when the variable is unset/invalid *)
+      let saved = Pool.parallel_cutoff () in
+      Fun.protect
+        ~finally:(fun () -> Pool.set_parallel_cutoff saved)
+        (fun () ->
+          Unix.putenv "DELTANET_PAR_CUTOFF" "4242";
+          Default.apply_cutoff_env ();
+          Alcotest.(check int) "applied" 4242 (Pool.parallel_cutoff ());
+          Unix.putenv "DELTANET_PAR_CUTOFF" "bogus";
+          Default.apply_cutoff_env ();
+          Alcotest.(check int) "invalid leaves cutoff" 4242 (Pool.parallel_cutoff ())))
+
 (* ---------------- seeds ---------------- *)
 
 let test_seeds_deterministic () =
@@ -591,6 +695,14 @@ let suite =
     Alcotest.test_case "nested map degrades to sequential" `Quick test_nested_map_degrades;
     Alcotest.test_case "streaming sink forces sequential" `Quick test_effective_jobs_streaming;
     Alcotest.test_case "null sink stays parallel" `Quick test_null_sink_not_streaming;
+    Alcotest.test_case "cutoff defaults and validation" `Quick
+      test_cutoff_defaults_and_validation;
+    Alcotest.test_case "cutoff sequentializes small hinted maps" `Quick
+      test_cutoff_sequentializes_small_hinted_maps;
+    Alcotest.test_case "cutoff 0 disables" `Quick test_cutoff_zero_disables;
+    Alcotest.test_case "cutoff bitwise with and without hint" `Quick
+      test_cutoff_bitwise_with_and_without_hint;
+    Alcotest.test_case "DELTANET_PAR_CUTOFF parsing" `Quick test_cutoff_from_env;
     Alcotest.test_case "seed derivation deterministic" `Quick test_seeds_deterministic;
     Alcotest.test_case "seeds distinct" `Quick test_seeds_distinct;
     Alcotest.test_case "seeds validation and generators" `Quick test_seeds_invalid_and_generators;
