@@ -8,6 +8,12 @@
      replicate       independent replications with CIs, retries and resume
      schedulability  deterministic single-node check (Theorem 2)
      check           validate domain contracts (∆ matrices, envelopes, load)
+     serve           long-running admission-control daemon (JSON lines on stdin)
+     loadgen         deterministic request-line generator for serve
+
+   The serve daemon reads one JSON request per line on stdin and writes
+   one JSON response per line on stdout; SIGTERM/SIGINT drain the input
+   buffer, emit a final stats line and exit 0.
 
    Exit codes: 0 success; 1 runtime/numerical failure or partial results;
    2 invalid arguments; 3 unstable scenario (no finite bound exists).     *)
@@ -791,6 +797,284 @@ let check_cmd =
           for sweeps: $(b,deltanet check && deltanet sweep ...).")
     term
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let budget_arg =
+    Arg.(
+      value
+      & opt float 250.
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request compute budget (wall ms); a request past it gets a \
+             typed timeout response.  Requests may override with a $(b,budget_ms) \
+             field.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Backlog bound: admission requests beyond $(docv) in one batch are shed \
+             with a retry-after hint instead of queued.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:
+            "Bounded LRU capacity for compiled path-shape kernels — the daemon's \
+             memory bound under shape churn.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Maximum request lines pulled into one processing batch.")
+  in
+  let debug_ops_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "debug-ops" ]
+          ~doc:
+            "Accept the $(b,debug-fail) op (a deliberately poisoned request that \
+             exercises worker supervision).  For tests only.")
+  in
+  let run budget queue cache batch debug_ops jobs metrics trace =
+    setup_jobs jobs;
+    setup_telemetry metrics trace;
+    (* recording entry points are load-and-branch no-ops until telemetry
+       is configured; a server's stats op must count even without
+       --metrics, so fall back to the null sink (registry only, nothing
+       streamed — the pool keeps its parallelism) *)
+    if not (Telemetry.is_enabled ()) then Telemetry.configure ();
+    Telemetry.span "cli.serve" @@ fun () ->
+    if batch < 1 then begin
+      Fmt.epr "invalid --batch %d (need >= 1)@." batch;
+      exit exit_usage
+    end;
+    let cfg =
+      {
+        Serve.Engine.default_config with
+        Serve.Engine.budget_ms = budget;
+        max_queue = queue;
+        cache_entries = cache;
+        debug_ops;
+      }
+    in
+    let engine =
+      try Serve.Engine.create cfg
+      with Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        exit exit_usage
+    in
+    (* SIGTERM/SIGINT only flip a flag; the loop notices at the next
+       select timeout (or EINTR), drains buffered requests and exits 0. *)
+    let stop = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stop := true) in
+    Sys.set_signal Sys.sigterm handler;
+    Sys.set_signal Sys.sigint handler;
+    let buf = Buffer.create 65_536 in
+    let chunk = Bytes.create 65_536 in
+    let eof = ref false in
+    (* An unbounded line would grow [buf] without limit; past twice the
+       engine's line bound the prefix is discarded and the eventual rest
+       of that line (up to its newline) is dropped on extraction. *)
+    let overlong_cap = 2 * cfg.Serve.Engine.max_line_bytes in
+    let drop_next_line = ref false in
+    let respond_lines rs =
+      List.iter
+        (fun r ->
+          output_string stdout r;
+          output_char stdout '\n')
+        rs;
+      flush stdout
+    in
+    let extract_lines () =
+      let s = Buffer.contents buf in
+      let rec go start acc =
+        match String.index_from_opt s start '\n' with
+        | Some i -> go (i + 1) (String.sub s start (i - start) :: acc)
+        | None ->
+          Buffer.clear buf;
+          Buffer.add_substring buf s start (String.length s - start);
+          List.rev acc
+      in
+      let lines = go 0 [] in
+      match lines with
+      | first :: rest when !drop_next_line ->
+        ignore first;
+        drop_next_line := false;
+        rest
+      | lines -> lines
+    in
+    let read_some ~timeout =
+      match Unix.select [ Unix.stdin ] [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ([], _, _) -> ()
+      | (_ :: _, _, _) -> (
+        match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | 0 -> eof := true
+        | n -> Buffer.add_subbytes buf chunk 0 n)
+    in
+    let rec batches = function
+      | [] -> ()
+      | lines ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | l :: rest -> take (n - 1) (l :: acc) rest
+        in
+        let (head, rest) = take batch [] lines in
+        respond_lines (Serve.Engine.handle_batch engine head);
+        batches rest
+    in
+    let guard_overlong () =
+      if Buffer.length buf > overlong_cap then begin
+        Buffer.clear buf;
+        drop_next_line := true;
+        respond_lines
+          [
+            Serve.Protocol.render_error ~kind:Serve.Protocol.Invalid_request
+              ~detail:"oversized request line discarded before parsing" ();
+          ]
+      end
+    in
+    while not (!stop || !eof) do
+      read_some ~timeout:0.2;
+      (* greedily pull everything already queued on the pipe, so backlog
+         becomes one batch and the shed policy sees real queue depth *)
+      let continue = ref true in
+      while !continue && not !eof do
+        match Unix.select [ Unix.stdin ] [] [] 0. with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> continue := false
+        | ([], _, _) -> continue := false
+        | (_ :: _, _, _) -> (
+          match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> continue := false
+          | 0 -> eof := true
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            if Buffer.length buf > overlong_cap then continue := false)
+      done;
+      guard_overlong ();
+      batches (extract_lines ())
+    done;
+    (* drain: answer every complete buffered line, plus a final partial
+       line if the writer was cut mid-request (it parses or it gets a
+       typed error — either way the client sees a response) *)
+    batches (extract_lines ());
+    if Buffer.length buf > 0 && not !drop_next_line then
+      batches [ Buffer.contents buf ];
+    respond_lines [ Serve.Engine.stats_response engine ];
+    Telemetry.flush ()
+  in
+  let term =
+    Term.(
+      const run $ budget_arg $ queue_arg $ cache_arg $ batch_arg $ debug_ops_arg
+      $ jobs_arg $ metrics_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running admission-control daemon: one JSON request per line on stdin \
+          (ops admit/check/stats/health), one JSON response per line on stdout.  \
+          Repeat path shapes hit a bounded LRU of compiled kernels; overload is \
+          shed with retry-after hints or degraded to closed-form upper bounds \
+          (responses tagged exact/approx); SIGTERM/SIGINT drain and exit 0.")
+    term
+
+(* ---------------- loadgen ---------------- *)
+
+let loadgen_cmd =
+  let requests_arg =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Number of request lines to emit.")
+  in
+  let shapes_arg =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "shapes" ] ~docv:"N"
+          ~doc:
+            "Number of distinct path shapes to draw from; smaller means a hotter \
+             kernel cache.")
+  in
+  let malformed_arg =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "malformed" ] ~docv:"FRAC"
+          ~doc:
+            "Fraction of deliberately malformed lines (truncated JSON, bad types, \
+             unknown ops, oversized payloads) mixed into the stream.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic stream seed.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt float 50.
+      & info [ "deadline" ] ~docv:"MS" ~doc:"Deadline (ms) carried by every admit request.")
+  in
+  let run n shapes malformed seed deadline sched =
+    if n < 0 || shapes < 1 || malformed < 0. || malformed > 1. || Float.is_nan malformed
+    then begin
+      Fmt.epr "invalid arguments: need requests >= 0, shapes >= 1, malformed in [0, 1]@.";
+      exit exit_usage
+    end;
+    let sched_name =
+      match sched with S_fifo -> "fifo" | S_bmux -> "bmux" | S_sp -> "sp" | S_edf -> "edf"
+    in
+    let rng = Desim.Prng.create ~seed:(Int64.of_int seed) in
+    (* A fixed pool of shapes, sampled uniformly: with N requests over K
+       shapes the expected hit rate is 1 - K/N. *)
+    let shape i =
+      let g = Desim.Prng.create ~seed:(Int64.of_int ((seed * 65_599) + i)) in
+      let h = 2 + Desim.Prng.int g ~bound:9 in
+      let u0 = 0.05 +. (0.25 *. Desim.Prng.float g) in
+      let uc = 0.05 +. (0.5 *. Desim.Prng.float g) in
+      (h, u0, uc)
+    in
+    let malformed_line k =
+      match k mod 5 with
+      | 0 -> "{\"op\":\"admit\",\"h\":5"
+      | 1 -> "{\"op\":\"nonsense\"}"
+      | 2 -> "{\"op\":\"admit\",\"h\":\"five\",\"u0\":0.1,\"uc\":0.1,\"deadline\":50}"
+      | 3 -> "{\"op\":\"admit\",\"h\":5,\"u0\":1e999,\"uc\":0.1,\"deadline\":50}"
+      | _ -> "not json at all"
+    in
+    for i = 0 to n - 1 do
+      if Desim.Prng.bernoulli rng ~p:malformed then print_endline (malformed_line i)
+      else begin
+        let (h, u0, uc) = shape (Desim.Prng.int rng ~bound:shapes) in
+        Printf.printf
+          "{\"op\":\"admit\",\"id\":\"r%d\",\"h\":%d,\"u0\":%.6f,\"uc\":%.6f,\"deadline\":%.17g,\"sched\":%S}\n"
+          i h u0 uc deadline sched_name
+      end
+    done
+  in
+  let term =
+    Term.(
+      const run $ requests_arg $ shapes_arg $ malformed_arg $ seed_arg $ deadline_arg
+      $ sched_arg)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Emit a deterministic stream of serve-protocol request lines (optionally \
+          salted with malformed input) on stdout, for piping into $(b,deltanet \
+          serve) — the CI smoke test and the bench load generator.")
+    term
+
 let () =
   let info =
     Cmd.info "deltanet" ~version:"1.0.0"
@@ -808,4 +1092,6 @@ let () =
             scaling_cmd;
             admission_cmd;
             check_cmd;
+            serve_cmd;
+            loadgen_cmd;
           ]))

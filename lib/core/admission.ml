@@ -15,6 +15,28 @@ let admissible r ~scheduler ~u_cross =
   let d = Scenario.delay_bound ~s_points:16 ~scheduler (scenario_with r ~u_cross) in
   d <= r.guarantee.deadline
 
+type decision = {
+  admitted : bool;
+  bound : float;
+  slack : float;
+  diag : Diag.t;
+}
+
+(* The single-query entry point the serving layer calls: one checked bound
+   for the request exactly as specified (no bisection), with the contract
+   checks folded in.  Only a [Converged] diagnostic may admit — an
+   [Unstable]/[Diverged]/[Non_finite] bound is not trusted as evidence. *)
+let decide ?(s_points = 16) r ~scheduler =
+  Contracts.ensure
+    (Contracts.check_guarantee ~deadline:r.guarantee.deadline
+       ~epsilon:r.guarantee.epsilon);
+  let sc = { r.base with Scenario.epsilon = r.guarantee.epsilon } in
+  Contracts.ensure (Contracts.check_scenario sc);
+  let o = Scenario.delay_bound_checked ~s_points ~scheduler sc in
+  let bound = o.Diag.value in
+  let admitted = Diag.ok o.Diag.diag && bound <= r.guarantee.deadline in
+  { admitted; bound; slack = r.guarantee.deadline -. bound; diag = o.Diag.diag }
+
 let bisect_max ~resolution ~hi fits =
   if not (fits 0.) then 0.
   else if fits hi then hi

@@ -16,6 +16,22 @@ type request = {
 val admissible : request -> scheduler:Scheduler.Classes.two_class -> u_cross:float -> bool
 (** Does the guarantee hold with this cross utilization? *)
 
+type decision = {
+  admitted : bool;
+  bound : float;  (** the computed end-to-end bound (ms) *)
+  slack : float;  (** [deadline -. bound]; negative when rejected *)
+  diag : Diag.t;  (** diagnostic of the underlying optimization *)
+}
+
+val decide : ?s_points:int -> request -> scheduler:Scheduler.Classes.two_class -> decision
+(** One admission decision for the request exactly as specified (through
+    and cross load from [base], no bisection): compute the checked bound
+    and compare it to the deadline.  Only a [Converged] bound may admit;
+    [Unstable] and friends reject with the diagnostic attached — the
+    conservative direction for an admission test.  Runs
+    {!Contracts.check_guarantee} and {!Contracts.check_scenario} first.
+    @raise Contracts.Violation when a domain contract fails. *)
+
 val max_cross_utilization :
   ?s_points:int ->
   ?resolution:float ->

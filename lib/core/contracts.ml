@@ -15,6 +15,7 @@ type finding =
   | Envelope_non_concave of { label : string; at : float }
   | Envelope_negative of { label : string; at : float }
   | Unstable of { offered : float; capacity : float }
+  | Guarantee_invalid of { what : string; value : float }
 
 let code = function
   | Delta_diag_nonzero _ -> "delta-diag-nonzero"
@@ -26,6 +27,7 @@ let code = function
   | Envelope_non_concave _ -> "envelope-non-concave"
   | Envelope_negative _ -> "envelope-negative"
   | Unstable _ -> "unstable"
+  | Guarantee_invalid _ -> "guarantee-invalid"
 
 let pp_finding ppf f =
   match f with
@@ -52,6 +54,8 @@ let pp_finding ppf f =
   | Unstable { offered; capacity } ->
     Fmt.pf ppf "%s: offered load %g >= capacity %g — no finite bound exists" (code f)
       offered capacity
+  | Guarantee_invalid { what; value } ->
+    Fmt.pf ppf "%s: guarantee %s %g is outside its valid range" (code f) what value
 
 exception Violation of finding list
 
@@ -216,6 +220,14 @@ let check_stability ~capacity ~offered =
   if Float.is_nan offered || Float.is_nan capacity || offered >= capacity then
     tally [ Unstable { offered; capacity } ]
   else tally []
+
+let check_guarantee ~deadline ~epsilon =
+  let out = ref [] in
+  if not (Float.is_finite deadline) || deadline <= 0. then
+    out := Guarantee_invalid { what = "deadline"; value = deadline } :: !out;
+  if Float.is_nan epsilon || epsilon <= 0. || epsilon >= 1. then
+    out := Guarantee_invalid { what = "epsilon"; value = epsilon } :: !out;
+  tally (List.rev !out)
 
 let check_scenario (t : Scenario.t) =
   let offered =

@@ -36,6 +36,10 @@ type finding =
   | Envelope_negative of { label : string; at : float }
   | Unstable of { offered : float; capacity : float }
       (** [Σ ρ_k >= C]: no finite bound exists. *)
+  | Guarantee_invalid of { what : string; value : float }
+      (** An admission guarantee parameter out of range: a non-positive or
+          non-finite deadline, or a violation probability outside
+          [(0, 1)]. *)
 
 val code : finding -> string
 (** Stable machine-readable identifier, e.g. ["delta-inconsistent"]. *)
@@ -69,6 +73,11 @@ val check_envelope :
     non-negativity of a Theorem-2 traffic envelope. *)
 
 val check_stability : capacity:float -> offered:float -> finding list
+
+val check_guarantee : deadline:float -> epsilon:float -> finding list
+(** Range checks on an {!Admission.guarantee}: the deadline must be finite
+    and strictly positive, the violation probability strictly inside
+    [(0, 1)]. *)
 
 val check_scenario : Scenario.t -> finding list
 (** The stability contract of the paper's scenario: aggregate mean rate of

@@ -797,3 +797,37 @@ let delay_bound_fast ?(gamma_points = 40) ~epsilon p =
         ~grid_eval:f ~golden_eval:f ~lo:(gmax *. 1e-6) ~hi:(gmax *. 0.999)
     end
   end
+
+(* The serving hot path: gamma search over a caller-retained kernel.  The
+   kernel's [set]/[delay] scratch state is mutable, so everything stays on
+   the calling domain — no [Parallel.Grid] fan-out, no [Kernel.make].
+   Soundness does not depend on finding the optimum: every probed gamma
+   yields a valid Eq.-38 bound, so a coarse grid only costs tightness. *)
+let delay_bound_cached ?(gamma_points = 12) ~kernel ~epsilon p =
+  if epsilon <= 0. || epsilon >= 1. then
+    invalid_arg "E2e.delay_bound_cached: epsilon out of range";
+  if gamma_points < 2 then invalid_arg "E2e.delay_bound_cached: gamma_points < 2";
+  let gmax = gamma_max p in
+  if gmax <= 0. then Float.infinity
+  else begin
+    let f gamma =
+      if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
+      Kernel.delay_at_gamma kernel ~gamma ~epsilon
+    in
+    let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
+    let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
+    let best = ref Float.infinity in
+    let g = ref lo in
+    let center = ref lo in
+    for _ = 0 to gamma_points - 1 do
+      let v = f !g in
+      if v < !best then begin
+        best := v;
+        center := !g
+      end;
+      g := !g *. ratio
+    done;
+    let a = Float.max lo (!center /. ratio) and b = Float.min hi (!center *. ratio) in
+    let gstar = golden_minimize f a b 20 in
+    Float.min !best (f gstar)
+  end

@@ -203,3 +203,15 @@ val delay_bound_fast : ?gamma_points:int -> epsilon:float -> path -> float
 (** {!delay_bound} evaluated through {!delay_given_fast}: on homogeneous
     paths the whole gamma search costs O(H) per point instead of O(H^3).
     Falls back to {!delay_bound} on heterogeneous paths. *)
+
+val delay_bound_cached : ?gamma_points:int -> kernel:Kernel.t -> epsilon:float -> path -> float
+(** The gamma optimization of {!delay_bound} driven entirely through a
+    caller-retained compiled kernel: no [Kernel.make], no allocation in
+    the inner loop, no domain fan-out (the kernel is mutable, so the whole
+    search runs on the calling domain).  [kernel] must have been built
+    with [Kernel.make] from this same [path].  With the default 12-point
+    grid the search costs ~32 [delay_at_gamma] evaluations — the serving
+    hot path for repeat queries against a cached shape.  Coarser than the
+    40-point {!delay_bound} grid, so the result can exceed the optimum,
+    but every probed [gamma] yields a valid Eq.-38 bound, hence the
+    returned value is always a sound (if slightly loose) upper bound. *)

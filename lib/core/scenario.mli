@@ -37,6 +37,13 @@ val utilization : t -> float
 val path_at : t -> s:float -> delta:Scheduler.Delta.t -> E2e.path
 (** The {!E2e.path} for a given effective-bandwidth parameter [s]. *)
 
+val s_stable_max : t -> float option
+(** Largest effective-bandwidth parameter [s] keeping the offered load
+    (with head room for [gamma]) below capacity, or [None] when even a
+    vanishing [s] is unstable.  Any [s] in [(0, s_stable_max)] yields a
+    valid — if not optimal — probabilistic bound, which is what lets a
+    server pin one [s] per cached path shape and still answer soundly. *)
+
 val delay_bound : ?s_points:int -> scheduler:Scheduler.Classes.two_class -> t -> float
 (** End-to-end delay bound for FIFO / BMUX / SP (fixed [∆_{0,c}]),
     minimized over [s] (log grid + refinement) and [gamma].

@@ -17,8 +17,11 @@
                      comparison is the idiom and never descends into a
                      payload
      banned-ident    Obj.magic anywhere; Random.* outside lib/desim/prng.ml;
-                     exit outside bin/; Printf.printf and the print_*
-                     family in lib/ (route output through Telemetry/Fmt)
+                     Printf.printf and the print_* family in lib/ (route
+                     output through Telemetry/Fmt)
+     raw-exit        exit outside bin/; library and bench code returns a
+                     result or raises — only the CLI, which owns the typed
+                     exit codes, may end the process
      nan-literal     bare nan / infinity / neg_infinity idents outside the
                      allowlisted modules (Delta, Curve, Diag); use the
                      qualified Float.* constants so intent is explicit
@@ -72,8 +75,12 @@ let catalogue =
        literal; use a typed comparator such as Float.compare, Int.compare or \
        String.compare, a typed equal (e.g. Delta.equal), or a pattern match" );
     ( "banned-ident",
-      "Obj.magic anywhere; Random.* outside lib/desim/prng.ml; exit outside \
-       bin/; Printf.printf / print_* in lib/ (use Telemetry or Fmt)" );
+      "Obj.magic anywhere; Random.* outside lib/desim/prng.ml; Printf.printf \
+       / print_* in lib/ (use Telemetry or Fmt)" );
+    ( "raw-exit",
+      "exit outside bin/; library and bench code must return a result or \
+       raise so callers keep control of process lifetime (the CLI owns the \
+       typed exit codes)" );
     ( "nan-literal",
       "bare nan / infinity / neg_infinity ident outside Delta, Curve and \
        Diag; use the qualified Float.* constants" );
@@ -223,7 +230,7 @@ let check_structure ctx (str : Parsetree.structure) : F.t list =
           "Random.* outside lib/desim/prng.ml; use Desim.Prng for reproducible streams"
     | Lident "exit" | Ldot (Lident "Stdlib", "exit") ->
       if not (zone_equal ctx.zone Bin) then
-        report ~loc "banned-ident"
+        report ~loc "raw-exit"
           "exit outside bin/; return a result or raise instead"
     | Lident
         (( "print_endline" | "print_string" | "print_newline" | "print_int"

@@ -50,8 +50,18 @@ let summarize ~requested ~retried ~resumed ~failures values =
 (* Line-oriented text format, one completed replication per line:
      deltanet-replicate v<N> <base_seed> <runs>
      <index> <value>
-   Appended and flushed after every completed run, so a killed sweep loses
-   at most the replication in flight.
+   The file is replaced atomically after every completed wave: the full
+   state (header + every completed replication, sorted by index) is
+   written to <path>.tmp, fsynced, and renamed over <path>.  A kill at
+   any instant therefore leaves either the previous complete checkpoint
+   or the new one — never a torn line — and loses at most the wave in
+   flight.  The rewrite is O(completed) per wave, which is noise next to
+   the replications themselves.
+
+   Because a correct writer can never produce a partial file, loading is
+   strict: a missing trailing newline or a malformed line means the file
+   was damaged (or written by something else) and is rejected instead of
+   silently dropping data points from the summary.
 
    The schema version in the header is checked explicitly: a checkpoint
    written by a build with a different format is rejected with a version
@@ -102,49 +112,79 @@ let check_checkpoint_header path header ~base_seed ~runs =
           found %S)"
          path header)
 
+let corrupt_line path ~line_no line =
+  Printf.sprintf
+    "Replicate: checkpoint %s line %d is corrupt (%S) — atomic rewrites never \
+     leave partial lines, so the file is damaged; delete it to rerun the sweep \
+     from scratch"
+    path line_no line
+
 let load_checkpoint path ~base_seed ~runs =
   let tbl = Hashtbl.create 16 in
   if Sys.file_exists path then begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        (match input_line ic with
-        | header -> check_checkpoint_header path header ~base_seed ~runs
-        | exception End_of_file -> ());
-        let rec loop () =
-          match input_line ic with
-          | line ->
-            (match String.split_on_char ' ' (String.trim line) with
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let len = String.length contents in
+    (* an existing-but-empty file (e.g. one pre-created by mktemp) counts
+       as a fresh sweep *)
+    if len > 0 then begin
+      if contents.[len - 1] <> '\n' then
+        invalid_arg
+          (Printf.sprintf
+             "Replicate: checkpoint %s is truncated (no trailing newline); \
+              delete it to rerun the sweep from scratch"
+             path);
+      match String.split_on_char '\n' (String.sub contents 0 (len - 1)) with
+      | [] -> ()
+      | header :: lines ->
+        check_checkpoint_header path header ~base_seed ~runs;
+        List.iteri
+          (fun k line ->
+            match String.split_on_char ' ' line with
             | [ idx; value ] -> (
               match (int_of_string_opt idx, float_of_string_opt value) with
               | (Some i, Some v) when i >= 0 && i < runs -> Hashtbl.replace tbl i v
-              | _ -> ())  (* a torn final line from a killed run is skipped *)
-            | _ -> ());
-            loop ()
-          | exception End_of_file -> ()
-        in
-        loop ())
+              | _ -> invalid_arg (corrupt_line path ~line_no:(k + 2) line))
+            | _ -> invalid_arg (corrupt_line path ~line_no:(k + 2) line))
+          lines
+    end
   end;
   tbl
 
-let open_checkpoint path ~base_seed ~runs =
-  (* an existing-but-empty file (e.g. one pre-created by mktemp) still
-     needs the schema header *)
-  let fresh =
-    (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0
-  in
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  if fresh then begin
-    output_string oc (checkpoint_header ~base_seed ~runs);
-    output_char oc '\n';
-    flush oc
-  end;
-  oc
-
-let record_checkpoint oc index value =
-  Printf.fprintf oc "%d %.17g\n" index value;
-  flush oc
+(* Write-to-temp, fsync, rename: the checkpoint visible at [path] is
+   always complete.  The temp file lives in the same directory so the
+   rename stays within one filesystem (rename across devices is a copy,
+   not atomic).  The directory fsync making the rename itself durable is
+   best-effort: some filesystems refuse fsync on a directory fd, and the
+   worst case without it is resuming one wave earlier. *)
+let write_checkpoint path ~base_seed ~runs (results : float option array) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (checkpoint_header ~base_seed ~runs);
+     output_char oc '\n';
+     Array.iteri
+       (fun index -> function
+         | Some v -> Printf.fprintf oc "%d %.17g\n" index v
+         | None -> ())
+       results;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Unix.rename tmp path;
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | dir ->
+    (try Unix.fsync dir with Unix.Unix_error _ -> ());
+    (try Unix.close dir with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
 
 (* ---------------- the resilient driver ---------------- *)
 
@@ -192,15 +232,17 @@ let statistic_ci ?jobs ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed
     Telemetry.Counter.add c_resumed resumed;
     Telemetry.event "replicate.resume" ~attrs:[ ("replications", Telemetry.Int resumed) ]
   end;
-  let oc = Option.map (fun path -> open_checkpoint path ~base_seed ~runs) checkpoint in
-  (* Single-writer checkpointing: the checkpoint channel is owned by the
-     domain that opened it (the driving domain).  Workers compute
-     replications; only the owner appends, in index order, so the file is
-     byte-identical to what a sequential run writes. *)
+  (* Single-writer checkpointing: workers compute replications; only the
+     driving domain rewrites the checkpoint, once per wave, from the full
+     results array.  The file content is a pure function of the completed
+     set, so it is byte-identical for every jobs setting. *)
   let writer : int = (Domain.self () :> int) in
-  Fun.protect
-    ~finally:(fun () -> Option.iter close_out_noerr oc)
-    (fun () ->
+  let save_checkpoint results =
+    Option.iter
+      (fun path -> write_checkpoint path ~base_seed ~runs results)
+      checkpoint
+  in
+  (fun () ->
       let attempt_once ~seed =
         let t0 = Unix.gettimeofday () in
         match f ~seed with
@@ -296,12 +338,16 @@ let statistic_ci ?jobs ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed
               match o.o_value with
               | Some v ->
                 Telemetry.Counter.incr c_completed;
-                results.(index) <- Some v;
-                Option.iter (fun oc -> record_checkpoint oc index v) oc
+                results.(index) <- Some v
               | None -> ())
             wave;
+          save_checkpoint results;
           waves rest
       in
+      (* establish the header (and absorb a pre-created empty file) before
+         any work, so even a sweep killed in its first wave leaves a
+         well-formed checkpoint *)
+      save_checkpoint results;
       waves missing;
       let values = ref [] in
       for index = runs - 1 downto 0 do
@@ -320,6 +366,7 @@ let statistic_ci ?jobs ?(max_retries = 0) ?max_wall ?checkpoint ~runs ~base_seed
              | [] -> "no failures recorded"
              | { reason; _ } :: _ -> "first failure: " ^ reason))
       else summarize ~requested:runs ~retried:!retried ~resumed ~failures values)
+    ()
 
 let quantile_ci ?jobs ?max_retries ?max_wall ?checkpoint ~runs ~base_seed ~q f =
   statistic_ci ?jobs ?max_retries ?max_wall ?checkpoint ~runs ~base_seed (fun ~seed ->

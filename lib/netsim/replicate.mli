@@ -43,10 +43,12 @@ val statistic_ci :
     and the summary (mean, half width, [values] order, failures,
     retries) is bit-for-bit identical for every [jobs].  Checkpointing
     stays single-writer: workers only compute; the driving domain alone
-    appends completed replications, in index order, wave by wave — so
-    the checkpoint file is byte-identical to a sequential run's, and a
-    kill loses at most the wave in flight (one replication when
-    sequential).  @raise Invalid_argument on [jobs < 1].
+    rewrites the checkpoint atomically (write temp, fsync, rename) after
+    every wave, sorted by index — so the checkpoint file is
+    byte-identical to a sequential run's, a kill at any instant leaves a
+    complete previous state (never a torn line), and at most the wave in
+    flight is lost (one replication when sequential).
+    @raise Invalid_argument on [jobs < 1].
 
     [max_retries] (default [0]): a replication whose statistic is
     non-finite or that raises is rerun under a fresh seed derived from its
@@ -65,7 +67,10 @@ val statistic_ci :
     kill completes only the missing runs.
 
     @raise Invalid_argument on [runs < 2], a negative [max_retries], a
-    non-positive [max_wall], or a checkpoint from a different sweep.
+    non-positive [max_wall], a checkpoint from a different sweep, or a
+    damaged checkpoint (truncated or malformed lines — the atomic writer
+    never produces either, so they are rejected rather than silently
+    dropping data points).
     @raise Failure when fewer than two replications complete. *)
 
 val quantile_ci :

@@ -1,0 +1,82 @@
+(* LRU: hash table for lookup, intrusive doubly linked list for recency.
+   [head] is most recently used, [tail] least.  All mutation is O(1). *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards head / more recent *)
+  mutable next : 'a node option;  (* towards tail / less recent *)
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable size : int;
+}
+
+let c_hits = Telemetry.Counter.make "serve.cache.hits"
+let c_misses = Telemetry.Counter.make "serve.cache.misses"
+let c_evictions = Telemetry.Counter.make "serve.cache.evictions"
+let g_size = Telemetry.Gauge.make "serve.cache.size"
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Serve.Cache.create: non-positive capacity";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    size = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+    Telemetry.Counter.incr c_misses;
+    None
+  | Some n ->
+    Telemetry.Counter.incr c_hits;
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.key;
+    t.size <- t.size - 1;
+    Telemetry.Counter.incr c_evictions
+
+let put t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    n.value <- value;
+    unlink t n;
+    push_front t n
+  | None ->
+    if t.size >= t.cap then evict_lru t;
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n;
+    t.size <- t.size + 1);
+  if !Telemetry.on then Telemetry.Gauge.set g_size (float_of_int t.size)
+
+let length t = t.size
+let capacity t = t.cap
+let mem t key = Hashtbl.mem t.tbl key

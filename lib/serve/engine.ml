@@ -1,0 +1,438 @@
+(* The serving pipeline.  One batch goes through three phases:
+
+   1. plan (driver, sequential): parse + validate every line, answer the
+      free ones (errors, stats/health, memoized cache hits), shed what the
+      backlog policy refuses, pick exact/approx for the rest and build
+      missing cache entries;
+   2. compute: exact jobs (pure — full Scenario optimization, no shared
+      kernel) fan out on the default Parallel pool; approx jobs run on the
+      driver because they mutate the cached kernels' scratch state;
+   3. render (driver, sequential): fold results back in request order,
+      memoize bounds, enforce per-request budgets, update the EWMA
+      service-time estimators.
+
+   Soundness of the degradation ladder: the approx bound evaluates Eq. 38
+   at one pinned (s, gamma-grid) — every feasible probe is a valid upper
+   bound, so a degraded answer can refuse an admissible flow but never
+   admit an inadmissible one.  Exact bounds are memoized only when the
+   diagnostic converged; a Diverged iterate is never trusted on a later
+   cache hit. *)
+
+module Classes = Scheduler.Classes
+module E2e = Deltanet.E2e
+module Scenario = Deltanet.Scenario
+module Contracts = Deltanet.Contracts
+module Admission = Deltanet.Admission
+module Diag = Deltanet.Diag
+module P = Protocol
+
+type config = {
+  budget_ms : float;
+  max_queue : int;
+  cache_entries : int;
+  degrade_ratio : float;
+  s_points : int;
+  gamma_points : int;
+  max_line_bytes : int;
+  debug_ops : bool;
+}
+
+let default_config =
+  {
+    budget_ms = 250.;
+    max_queue = 512;
+    cache_entries = 4096;
+    degrade_ratio = 0.5;
+    s_points = 16;
+    gamma_points = 12;
+    max_line_bytes = 65_536;
+    debug_ops = false;
+  }
+
+type entry = {
+  e_path : E2e.path;
+  e_kernel : E2e.Kernel.t;
+  mutable e_exact : float option;
+  mutable e_approx : float option;
+}
+
+type t = {
+  cfg : config;
+  now : unit -> float;
+  cache : entry Cache.t;
+  started : float;
+  mutable served_n : int;
+  mutable ewma_exact_ms : float;
+  mutable ewma_approx_ms : float;
+}
+
+let c_requests = Telemetry.Counter.make "serve.requests"
+let c_accepted = Telemetry.Counter.make "serve.admit.accepted"
+let c_rejected = Telemetry.Counter.make "serve.admit.rejected"
+let c_shed = Telemetry.Counter.make "serve.shed"
+let c_degraded = Telemetry.Counter.make "serve.degraded"
+let c_timeouts = Telemetry.Counter.make "serve.timeout"
+let c_errors = Telemetry.Counter.make "serve.errors"
+let c_faults = Telemetry.Counter.make "serve.faults"
+let h_latency = Telemetry.Histogram.make "serve.latency_ms"
+
+let create ?now:(clock = Unix.gettimeofday) cfg =
+  if not (Float.is_finite cfg.budget_ms) || cfg.budget_ms <= 0. then
+    invalid_arg "Serve.Engine.create: budget_ms must be finite and > 0";
+  if cfg.max_queue < 1 then invalid_arg "Serve.Engine.create: max_queue < 1";
+  if cfg.degrade_ratio <= 0. || cfg.degrade_ratio > 1. then
+    invalid_arg "Serve.Engine.create: degrade_ratio outside (0, 1]";
+  if cfg.s_points < 2 || cfg.gamma_points < 2 then
+    invalid_arg "Serve.Engine.create: grids need at least 2 points";
+  {
+    cfg;
+    now = clock;
+    cache = Cache.create ~capacity:cfg.cache_entries;
+    started = clock ();
+    served_n = 0;
+    (* seeds, not promises: the estimators converge onto the measured
+       service times within a handful of requests *)
+    ewma_exact_ms = 50.;
+    ewma_approx_ms = 0.5;
+  }
+
+let ewma old sample = (0.8 *. old) +. (0.2 *. sample)
+
+(* ---------------- shape keys and model construction ---------------- *)
+
+let two_class_of (p : P.admit_params) =
+  match p.scheduler with
+  | P.Fifo -> Classes.Fifo
+  | P.Bmux -> Classes.Bmux
+  | P.Sp -> Classes.Sp_through_high
+  | P.Edf { cross_over_through } ->
+    (* serve-mode EDF anchors the per-node deadline to the request's own
+       end-to-end budget (d*_0 = deadline / H) instead of re-solving the
+       paper's fixed point per query: the gap is then a fixed, feasible
+       ∆_{0,c} and the resulting bound is sound for that deadline
+       vector.  The fixed-point variant stays available offline via
+       `deltanet admission`. *)
+    let d0 = p.deadline /. float_of_int p.h in
+    Classes.Edf_gap (d0 *. (1. -. cross_over_through))
+
+let key_of (p : P.admit_params) two_class =
+  let tag =
+    match two_class with
+    | Classes.Fifo -> "f"
+    | Classes.Bmux -> "b"
+    | Classes.Sp_through_high -> "s"
+    | Classes.Edf_gap g -> Printf.sprintf "e%h" g
+  in
+  Printf.sprintf "%d|%s|%h|%h|%h" p.P.h tag p.P.u_through p.P.u_cross p.P.epsilon
+
+let scenario_of (p : P.admit_params) =
+  let sc = Scenario.of_utilization ~h:p.P.h ~u_through:p.P.u_through ~u_cross:p.P.u_cross in
+  { sc with Scenario.epsilon = p.P.epsilon }
+
+(* Pin one effective-bandwidth parameter per shape: a coarse log scan of
+   the cheap closed-form bound picks the s the cached kernel will serve
+   at.  Any stable s is sound; the scan only buys tightness. *)
+let make_entry (p : P.admit_params) two_class =
+  let sc = scenario_of p in
+  let delta = Classes.delta_through_cross two_class in
+  match Scenario.s_stable_max sc with
+  | None -> None
+  | Some s_max ->
+    let points = 8 in
+    let lo = s_max *. 1e-4 and hi = s_max *. 0.999 in
+    let ratio = (hi /. lo) ** (1. /. float_of_int (points - 1)) in
+    let best = ref Float.infinity and s_best = ref lo in
+    let s = ref lo in
+    for _ = 0 to points - 1 do
+      let d =
+        E2e.delay_bound_fast ~gamma_points:8 ~epsilon:p.P.epsilon
+          (Scenario.path_at sc ~s:!s ~delta)
+      in
+      if d < !best then begin
+        best := d;
+        s_best := !s
+      end;
+      s := !s *. ratio
+    done;
+    let path = Scenario.path_at sc ~s:!s_best ~delta in
+    Some { e_path = path; e_kernel = E2e.Kernel.make path; e_exact = None; e_approx = None }
+
+(* ---------------- supervised per-request work ---------------- *)
+
+type jres =
+  | R_bound of { bound : float; ok : bool }
+  | R_check of string list
+  | R_error of { kind : P.error_kind; detail : string }
+
+(* Isolate a poisoned request: anything non-fatal becomes a typed
+   [internal] response and the engine (and pool) keep serving.  Memory
+   exhaustion and user interrupts stay fatal on purpose. *)
+let supervise f =
+  try f () with
+  | (Out_of_memory | Sys.Break) as e -> raise e
+  | Contracts.Violation fs ->
+    R_error
+      {
+        kind = P.Contract_violation;
+        detail = String.concat "; " (List.map Contracts.code fs);
+      }
+  | e ->
+    Telemetry.Counter.incr c_faults;
+    R_error { kind = P.Internal; detail = Printexc.to_string e }
+
+let run_exact cfg (p : P.admit_params) two_class =
+  supervise (fun () ->
+      let r =
+        {
+          Admission.base = scenario_of p;
+          guarantee = { Admission.deadline = p.P.deadline; epsilon = p.P.epsilon };
+        }
+      in
+      let d = Admission.decide ~s_points:cfg.s_points r ~scheduler:two_class in
+      R_bound { bound = d.Admission.bound; ok = Diag.ok d.Admission.diag })
+
+let run_approx cfg entry (p : P.admit_params) =
+  supervise (fun () ->
+      let b =
+        E2e.delay_bound_cached ~gamma_points:cfg.gamma_points ~kernel:entry.e_kernel
+          ~epsilon:p.P.epsilon entry.e_path
+      in
+      entry.e_approx <- Some b;
+      R_bound { bound = b; ok = Float.is_finite b })
+
+let run_check (p : P.admit_params) =
+  supervise (fun () ->
+      let fs =
+        Contracts.check_guarantee ~deadline:p.P.deadline ~epsilon:p.P.epsilon
+        @ Contracts.check_scenario (scenario_of p)
+      in
+      R_check (List.map Contracts.code fs))
+
+let run_poison () =
+  supervise (fun () -> failwith "debug-fail: deliberately poisoned request")
+
+(* ---------------- the batch pipeline ---------------- *)
+
+type job = {
+  j_id : string option;
+  j_params : P.admit_params;
+  j_two_class : Classes.two_class;
+  j_entry : entry option;  (* None: the shape failed to build an entry *)
+  j_mode : P.mode;
+  j_hit : bool;
+  j_budget : float;
+}
+
+type plan =
+  | Done of string
+  | Exact of job
+  | Approx of job
+  | Poison of string option
+
+let serve_counters () =
+  let snap = Telemetry.snapshot () in
+  List.filter
+    (fun (name, _) ->
+      String.length name >= 6 && String.equal (String.sub name 0 6) "serve.")
+    snap.Telemetry.counters
+
+let stats_response t =
+  P.render_stats ~uptime_s:(t.now () -. t.started) ~served:t.served_n
+    ~cache_len:(Cache.length t.cache) ~cache_capacity:(Cache.capacity t.cache)
+    ~counters:(serve_counters ()) ()
+
+let cache_length t = Cache.length t.cache
+let served t = t.served_n
+
+let finish_bound t ~batch_start ~(job : job) res =
+  let p = job.j_params in
+  let elapsed_ms = (t.now () -. batch_start) *. 1000. in
+  (match job.j_mode with
+  | P.Exact -> t.ewma_exact_ms <- ewma t.ewma_exact_ms elapsed_ms
+  | P.Approx -> t.ewma_approx_ms <- ewma t.ewma_approx_ms elapsed_ms);
+  match res with
+  | R_error { kind; detail } ->
+    Telemetry.Counter.incr c_errors;
+    P.render_error ?id:job.j_id ~kind ~detail ()
+  | R_check _ ->
+    Telemetry.Counter.incr c_errors;
+    P.render_error ?id:job.j_id ~kind:P.Internal ~detail:"unexpected check result" ()
+  | R_bound { bound; ok } ->
+    (* memoize before the budget check: a timed-out computation still
+       warms the cache, so the client's retry is a hit *)
+    (match job.j_entry with
+    | Some e when ok ->
+      (match job.j_mode with
+      | P.Exact -> e.e_exact <- Some bound
+      | P.Approx -> e.e_approx <- Some bound)
+    | _ -> ());
+    if elapsed_ms > job.j_budget then begin
+      Telemetry.Counter.incr c_timeouts;
+      P.render_timeout ?id:job.j_id ~elapsed_ms ~budget_ms:job.j_budget ()
+    end
+    else begin
+      let admitted = ok && bound <= p.P.deadline in
+      Telemetry.Counter.incr (if admitted then c_accepted else c_rejected);
+      Telemetry.Histogram.observe h_latency elapsed_ms;
+      P.render_admit ?id:job.j_id ~admitted ~bound_ms:bound ~deadline_ms:p.P.deadline
+        ~mode:job.j_mode ~cache_hit:job.j_hit ~elapsed_ms ()
+    end
+
+let handle_batch t lines =
+  let n = List.length lines in
+  Telemetry.span "serve.batch" ~attrs:[ ("n", Telemetry.Int n) ] @@ fun () ->
+  let batch_start = t.now () in
+  let compute_pending = ref 0 in
+  let exact_assigned = ref 0 in
+  let plan_admit id (p : P.admit_params) =
+    let budget = match p.P.budget_ms with Some b -> b | None -> t.cfg.budget_ms in
+    let remaining = budget -. ((t.now () -. batch_start) *. 1000.) in
+    let predicted_wait = float_of_int !compute_pending *. t.ewma_approx_ms in
+    if !compute_pending >= t.cfg.max_queue || predicted_wait > remaining then begin
+      (* refuse before spending: the hint is the time the current backlog
+         needs to clear at the degraded service rate *)
+      Telemetry.Counter.incr c_shed;
+      Done (P.render_shed ?id ~retry_after_ms:(Float.max predicted_wait t.ewma_approx_ms) ())
+    end
+    else begin
+      let two_class = two_class_of p in
+      let key = key_of p two_class in
+      let found = Cache.find t.cache key in
+      let entry =
+        match found with
+        | Some _ -> found
+        | None ->
+          let e = make_entry p two_class in
+          (match e with Some e -> Cache.put t.cache key e | None -> ());
+          e
+      in
+      let hit = match found with Some _ -> true | None -> false in
+      match entry with
+      | None ->
+        (* no stable s: treat like the parse-level stability rejection *)
+        Telemetry.Counter.incr c_errors;
+        Done
+          (P.render_error ?id ~kind:P.Unstable
+             ~detail:"no stable effective-bandwidth parameter exists" ())
+      | Some e ->
+        let finish_memo mode bound =
+          let elapsed_ms = (t.now () -. batch_start) *. 1000. in
+          let admitted = bound <= p.P.deadline in
+          Telemetry.Counter.incr (if admitted then c_accepted else c_rejected);
+          Telemetry.Histogram.observe h_latency elapsed_ms;
+          Done
+            (P.render_admit ?id ~admitted ~bound_ms:bound ~deadline_ms:p.P.deadline
+               ~mode ~cache_hit:hit ~elapsed_ms ())
+        in
+        (match e.e_exact with
+        | Some bound -> finish_memo P.Exact bound
+        | None ->
+          let exact_fits =
+            float_of_int (!exact_assigned + 1) *. t.ewma_exact_ms
+            <= remaining *. t.cfg.degrade_ratio
+          in
+          if exact_fits then begin
+            incr exact_assigned;
+            incr compute_pending;
+            Exact
+              {
+                j_id = id;
+                j_params = p;
+                j_two_class = two_class;
+                j_entry = Some e;
+                j_mode = P.Exact;
+                j_hit = hit;
+                j_budget = budget;
+              }
+          end
+          else begin
+            Telemetry.Counter.incr c_degraded;
+            match e.e_approx with
+            | Some bound -> finish_memo P.Approx bound
+            | None ->
+              incr compute_pending;
+              Approx
+                {
+                  j_id = id;
+                  j_params = p;
+                  j_two_class = two_class;
+                  j_entry = Some e;
+                  j_mode = P.Approx;
+                  j_hit = hit;
+                  j_budget = budget;
+                }
+          end)
+    end
+  in
+  let plans =
+    List.map
+      (fun line ->
+        Telemetry.Counter.incr c_requests;
+        t.served_n <- t.served_n + 1;
+        let id, parsed =
+          P.parse ~max_bytes:t.cfg.max_line_bytes ~debug_ops:t.cfg.debug_ops line
+        in
+        match parsed with
+        | Error { P.kind; detail } ->
+          Telemetry.Counter.incr c_errors;
+          Done (P.render_error ?id ~kind ~detail ())
+        | Ok P.Stats -> Done (stats_response t)
+        | Ok P.Health -> Done (P.render_health ?id ~uptime_s:(t.now () -. t.started) ())
+        | Ok P.Debug_fail -> Poison id
+        | Ok (P.Check p) ->
+          (match run_check p with
+          | R_check findings -> Done (P.render_check ?id ~findings ())
+          | R_error { kind; detail } ->
+            Telemetry.Counter.incr c_errors;
+            Done (P.render_error ?id ~kind ~detail ())
+          | R_bound _ ->
+            Telemetry.Counter.incr c_errors;
+            Done (P.render_error ?id ~kind:P.Internal ~detail:"unexpected bound result" ()))
+        | Ok (P.Admit p) -> plan_admit id p)
+      lines
+  in
+  (* exact jobs fan out on the default pool; each is pure (no cached
+     kernel) and individually supervised, so a poisoned request comes
+     back as a value and the pool survives.  The large work hint reflects
+     the true cost: a full s-grid optimization per job. *)
+  let exact_jobs =
+    List.filter_map (function Exact j -> Some j | _ -> None) plans |> Array.of_list
+  in
+  let exact_results =
+    Parallel.Default.map ~work:1_000_000
+      (fun j -> run_exact t.cfg j.j_params j.j_two_class)
+      exact_jobs
+  in
+  let exact_i = ref 0 in
+  let responses =
+    List.map
+      (fun plan ->
+        match plan with
+        | Done s -> s
+        | Poison id ->
+          (match run_poison () with
+          | R_error { kind; detail } ->
+            Telemetry.Counter.incr c_errors;
+            P.render_error ?id ~kind ~detail ()
+          | R_bound _ | R_check _ ->
+            Telemetry.Counter.incr c_errors;
+            P.render_error ?id ~kind:P.Internal ~detail:"poison returned a value" ())
+        | Exact j ->
+          let res = exact_results.(!exact_i) in
+          incr exact_i;
+          finish_bound t ~batch_start ~job:j res
+        | Approx j ->
+          let res =
+            match j.j_entry with
+            | Some e -> run_approx t.cfg e j.j_params
+            | None -> R_error { kind = P.Internal; detail = "missing cache entry" }
+          in
+          finish_bound t ~batch_start ~job:j res)
+      plans
+  in
+  responses
+
+let handle_line t line =
+  match handle_batch t [ line ] with
+  | [ r ] -> r
+  | _ -> P.render_error ~kind:P.Internal ~detail:"batch arity mismatch" ()

@@ -1,0 +1,75 @@
+(** The admission-control serving engine: parse → police → compute →
+    render, with every robustness behaviour the daemon advertises.
+
+    One engine owns one {!Cache} of compiled solver state keyed by path
+    shape (hops, utilizations, epsilon, scheduler — and, for EDF, the
+    deadline-anchored gap).  A cache entry pins one effective-bandwidth
+    parameter [s] (chosen once by a coarse scan when the shape is first
+    seen) and keeps the compiled {!E2e.Kernel} plus memoized bounds, so a
+    repeat query is a hash lookup and a float compare — the 10⁵+/s hot
+    path.
+
+    {b Degradation ladder} (per request, chosen from the remaining
+    compute budget and EWMA service-time estimates):
+
+    + memoized bound — free;
+    + [exact]: the full s+gamma optimization
+      ({!Admission.decide} / {!Scenario.delay_bound_checked});
+    + [approx]: {!E2e.delay_bound_cached} on the cached kernel at the
+      pinned [s] — a sound but looser upper bound, so degraded answers
+      may refuse an admissible flow but never wrongly admit;
+    + [timeout]: a typed response when even the degraded path missed the
+      request's budget (the computed bound is still memoized for the
+      retry);
+    + [shed]: an [overloaded] reply with a [retry_after_ms] hint when the
+      batch backlog exceeds [max_queue] or the predicted queueing delay
+      already exceeds the budget — emitted {e before} any work is spent.
+
+    {b Supervision}: each request's compute runs under a catch-all; a
+    poisoned request (malformed model, [Guard.Tripped], a deliberate
+    [debug-fail]) becomes an [internal] error response and the engine —
+    and the shared {!Parallel.Pool} — keep serving the rest of the batch.
+
+    The engine is single-writer: one driver domain calls
+    {!handle_line}/{!handle_batch}; only pure per-request work is fanned
+    out. *)
+
+type config = {
+  budget_ms : float;  (** default per-request compute budget (wall ms) *)
+  max_queue : int;  (** admit/check backlog bound before shedding *)
+  cache_entries : int;  (** LRU capacity — the daemon's memory bound *)
+  degrade_ratio : float;
+      (** fraction of the remaining budget the predicted exact cost may
+          use before the request degrades to [approx] *)
+  s_points : int;  (** s-grid resolution of the exact path *)
+  gamma_points : int;  (** gamma-grid resolution of the approx path *)
+  max_line_bytes : int;  (** request size bound *)
+  debug_ops : bool;  (** accept [debug-fail] (tests only) *)
+}
+
+val default_config : config
+(** [budget_ms = 250.], [max_queue = 512], [cache_entries = 4096],
+    [degrade_ratio = 0.5], [s_points = 16], [gamma_points = 12],
+    [max_line_bytes = 65536], [debug_ops = false]. *)
+
+type t
+
+val create : ?now:(unit -> float) -> config -> t
+(** [?now] injects the clock (seconds; default [Unix.gettimeofday]) so
+    deadline and shedding behaviour is deterministic under test. *)
+
+val handle_line : t -> string -> string
+(** One request line to one response line (no trailing newline).  Total:
+    any byte string gets a structured response. *)
+
+val handle_batch : t -> string list -> string list
+(** Process a backlog of lines read in one gulp; responses come back in
+    request order.  Shedding policy runs over the whole batch before any
+    compute starts, so overload is refused early instead of after the
+    queue has already burned the budget. *)
+
+val stats_response : t -> string
+(** The [stats] response line (also emitted on drain). *)
+
+val cache_length : t -> int
+val served : t -> int

@@ -1,0 +1,121 @@
+(** The `deltanet serve` wire protocol: one JSON object per line in, one
+    JSON object per line out.
+
+    Requests ([op] selects the variant):
+
+    - [admit] — one admission decision.  Fields: [h] (hops, integer),
+      [u0]/[uc] (through/cross utilization in [\[0, 1)]), [deadline]
+      (end-to-end budget, ms, > 0); optional [eps] (violation
+      probability, default 1e-9), [sched] (["fifo"|"bmux"|"sp"|"edf"],
+      default fifo), [edf_ratio] (cross-over-through deadline ratio for
+      EDF, default 10), [id] (echoed back for correlation).
+    - [check] — contract findings for a shape, no bound computed.
+    - [stats] — counter/cache snapshot.  [health] — liveness probe.
+    - [debug-fail] — deliberately raises inside the worker; only parsed
+      when the engine enables debug ops (the supervision tests' poisoned
+      request).
+
+    Responses are tagged by ["status"]: ["ok"], ["error"] (with a stable
+    machine-readable ["code"] from the {!error_kind} taxonomy and an
+    ["exit_hint"] mirroring the CLI exit codes), ["shed"] (overload,
+    carries ["retry_after_ms"]) and ["timeout"] (per-request deadline
+    missed).  Admission responses are tagged ["mode"]: ["exact"] for the
+    full s+gamma optimization, ["approx"] for the degraded cached-kernel
+    bound — both are sound upper bounds, approx is merely looser (it can
+    refuse an admissible flow, never the reverse).
+
+    Parsing is total: every byte string maps to a request or to a typed
+    error, never an exception. *)
+
+type scheduler_kind =
+  | Fifo
+  | Bmux
+  | Sp
+  | Edf of { cross_over_through : float }
+
+type admit_params = {
+  h : int;
+  u_through : float;
+  u_cross : float;
+  epsilon : float;
+  deadline : float;  (** end-to-end QoS budget, ms *)
+  scheduler : scheduler_kind;
+  budget_ms : float option;
+      (** per-request compute budget override (wall ms); the engine's
+          configured budget when absent *)
+}
+
+type request =
+  | Admit of admit_params
+  | Check of admit_params
+  | Stats
+  | Health
+  | Debug_fail
+
+type error_kind =
+  | Parse_error  (** the line is not valid JSON *)
+  | Invalid_request  (** valid JSON, invalid protocol: bad op, missing or
+                         out-of-range field, oversized line *)
+  | Unstable  (** total utilization >= 1: no finite bound exists *)
+  | Contract_violation  (** a {!Contracts} domain check failed *)
+  | Overloaded  (** shed: the server refused to queue the request *)
+  | Deadline_exceeded  (** the per-request compute budget ran out *)
+  | Internal  (** a supervised worker fault; the request was isolated *)
+
+val error_code : error_kind -> string
+(** Stable kebab-case identifier, e.g. ["invalid-request"]. *)
+
+val exit_hint : error_kind -> int
+(** The CLI exit code a batch front end would use for this failure:
+    2 (usage) for parse/invalid, 3 for unstable, 1 for the rest. *)
+
+type error = { kind : error_kind; detail : string }
+
+val parse :
+  ?max_bytes:int -> debug_ops:bool -> string -> string option * (request, error) result
+(** Parse and validate one request line (default [max_bytes] 65536).
+    The first component is the request [id] when one could be extracted —
+    available even for most invalid requests, so error responses stay
+    correlatable.  Total: never raises. *)
+
+val scheduler_of_string : ratio:float -> string -> scheduler_kind option
+(** ["fifo"], ["bmux"], ["sp"], ["edf"] (with the given deadline ratio). *)
+
+val scheduler_label : scheduler_kind -> string
+
+(** {1 Response rendering} — one line of JSON, no trailing newline. *)
+
+type mode = Exact | Approx
+
+val mode_label : mode -> string
+
+val render_admit :
+  ?id:string ->
+  admitted:bool ->
+  bound_ms:float ->
+  deadline_ms:float ->
+  mode:mode ->
+  cache_hit:bool ->
+  elapsed_ms:float ->
+  unit ->
+  string
+
+val render_check : ?id:string -> findings:string list -> unit -> string
+(** [findings] are {!Contracts.code} strings; empty means the shape passes
+    every contract. *)
+
+val render_error : ?id:string -> kind:error_kind -> detail:string -> unit -> string
+val render_shed : ?id:string -> retry_after_ms:float -> unit -> string
+val render_timeout : ?id:string -> elapsed_ms:float -> budget_ms:float -> unit -> string
+
+val render_stats :
+  ?id:string ->
+  uptime_s:float ->
+  served:int ->
+  cache_len:int ->
+  cache_capacity:int ->
+  counters:(string * int) list ->
+  unit ->
+  string
+
+val render_health : ?id:string -> uptime_s:float -> unit -> string

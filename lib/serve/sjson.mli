@@ -1,0 +1,44 @@
+(** A minimal, total JSON parser for the serve request protocol.
+
+    The repository deliberately has no external JSON dependency —
+    {!Telemetry.Json} covers emission — so the daemon's input side gets
+    this small recursive-descent reader.  Design constraints, in order:
+
+    - {b Total.}  [parse] never raises and never loops: every byte string
+      yields [Ok] or [Error], including truncated input, deep nesting
+      (bounded by [max_depth]), broken escapes and trailing garbage.
+      This is the surface the fuzz suite hammers.
+    - {b Honest numbers.}  Numbers follow the JSON grammar and are read
+      with [float_of_string]; an overflowing literal like [1e999] becomes
+      [infinity] and is {e kept}, because rejecting it here would mask the
+      protocol-level validation that turns non-finite fields into typed
+      [invalid-request] errors.  The textual forms [NaN]/[Infinity] are
+      not JSON and fail the parse.
+    - {b No surprises on lookup.}  Accessors are option-returning;
+      duplicate object keys resolve to the first occurrence. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : ?max_depth:int -> string -> (t, string) result
+(** Parse one complete JSON value (default [max_depth] 64 levels of
+    array/object nesting).  The whole input must be consumed apart from
+    whitespace; anything left over is an error. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)
+
+val to_float : t -> float option
+(** [Num] payload; [None] for every other constructor (no coercions). *)
+
+val to_string : t -> string option
+val to_bool : t -> bool option
+
+val type_name : t -> string
+(** ["null"], ["bool"], ["number"], ["string"], ["array"] or ["object"] —
+    for error messages. *)

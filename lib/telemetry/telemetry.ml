@@ -176,6 +176,7 @@ end
 
 let sink = ref Sink.null
 let emit e = !sink.Sink.emit e
+let flush () = if !enabled then !sink.Sink.flush ()
 let streaming () = !enabled && not !sink.Sink.quiet
 
 (* ---------------- metric registry ---------------- *)
@@ -450,10 +451,21 @@ let reset () =
 
 (* ---------------- lifecycle ---------------- *)
 
+let at_exit_registered = ref false
+
 let configure ?sink:(s = Sink.null) () =
   sink := s;
   stack () := [];
-  enabled := true
+  enabled := true;
+  (* A long-running process that dies between explicit shutdowns must not
+     lose buffered JSONL rows to the channel buffer; one process-wide
+     at_exit hook (registered on first configure only, so repeated
+     configure/shutdown cycles in tests don't pile up handlers) drains
+     whatever sink is live at exit time. *)
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit flush
+  end
 
 let shutdown () =
   if !enabled then begin

@@ -94,6 +94,13 @@ val shutdown : unit -> unit
 (** Emit every registry row as a {!Sink.Metric} event, flush the sink and
     disable telemetry.  Idempotent; a no-op when disabled. *)
 
+val flush : unit -> unit
+(** Flush the live sink without disabling telemetry.  A no-op when
+    disabled.  {!configure} registers this once with [Stdlib.at_exit], so
+    buffered JSONL rows survive a process that exits without calling
+    {!shutdown}; long-running servers also call it from their signal-drain
+    path so metrics are on disk before the process stops. *)
+
 (** {1 Metrics} *)
 
 module Counter : sig

@@ -133,12 +133,6 @@ let test_banned_random_in_prng_ok =
   silent "banned-ident" ~file:"lib/desim/prng.ml" "let x () = Random.float 1."
     "banned-ident"
 
-let test_banned_exit_in_lib =
-  fires "banned-ident" ~file:"lib/foo/a.ml" "let f () = exit 1" "banned-ident"
-
-let test_banned_exit_in_bin_ok =
-  silent "banned-ident" ~file:"bin/a.ml" "let f () = exit 1" "banned-ident"
-
 let test_banned_print_in_lib =
   fires "banned-ident" ~file:"lib/foo/a.ml" "let f () = print_endline \"x\""
     "banned-ident"
@@ -153,6 +147,34 @@ let test_banned_print_in_bin_ok =
 let test_banned_suppressed =
   silent "banned-ident" ~file:"lib/foo/a.ml"
     "let f x = (Obj.magic x) [@lint.allow \"banned-ident\"]" "banned-ident"
+
+(* ---------------- raw-exit ---------------- *)
+
+let test_raw_exit_in_lib =
+  fires "raw-exit" ~file:"lib/foo/a.ml" "let f () = exit 1" "raw-exit"
+
+let test_raw_exit_in_bench =
+  fires "raw-exit" ~file:"bench/a.ml" "let f () = Stdlib.exit 1" "raw-exit"
+
+let test_raw_exit_in_bin_ok =
+  silent "raw-exit" ~file:"bin/a.ml" "let f () = exit 1" "raw-exit"
+
+let test_raw_exit_suppressed =
+  silent "raw-exit" ~file:"bench/a.ml"
+    "let f () = (exit [@lint.allow \"raw-exit\"]) 1" "raw-exit"
+
+let test_raw_exit_not_banned_ident () =
+  (* the rule moved out of banned-ident: suppressing banned-ident alone
+     must no longer silence an exit, and an exit must not fire banned-ident *)
+  let rs = rules ~file:"lib/foo/a.ml" "let f () = exit 1" in
+  Alcotest.(check bool) "fires raw-exit" true (List.mem "raw-exit" rs);
+  Alcotest.(check bool) "not banned-ident" false (List.mem "banned-ident" rs);
+  let rs' =
+    rules ~file:"lib/foo/a.ml"
+      "let f () = (exit [@lint.allow \"banned-ident\"]) 1"
+  in
+  Alcotest.(check bool) "banned-ident allow does not cover exit" true
+    (List.mem "raw-exit" rs')
 
 (* ---------------- nan-literal ---------------- *)
 
@@ -269,8 +291,8 @@ let test_catalogue_covers_rules () =
   List.iter
     (fun r -> check bool (r ^ " is catalogued") true (List.mem r ids))
     [
-      "float-equal"; "poly-compare"; "banned-ident"; "nan-literal"; "unsafe-partial";
-      "domain-spawn"; "parse-error";
+      "float-equal"; "poly-compare"; "banned-ident"; "raw-exit"; "nan-literal";
+      "unsafe-partial"; "domain-spawn"; "parse-error";
     ]
 
 let suite =
@@ -294,12 +316,16 @@ let suite =
     test_case "banned: Obj.magic" `Quick test_banned_obj_magic;
     test_case "banned: Random outside prng" `Quick test_banned_random_outside_prng;
     test_case "banned: Random inside prng ok" `Quick test_banned_random_in_prng_ok;
-    test_case "banned: exit in lib" `Quick test_banned_exit_in_lib;
-    test_case "banned: exit in bin ok" `Quick test_banned_exit_in_bin_ok;
     test_case "banned: print_endline in lib" `Quick test_banned_print_in_lib;
     test_case "banned: Printf.printf in lib" `Quick test_banned_printf_in_lib;
     test_case "banned: print in bin ok" `Quick test_banned_print_in_bin_ok;
     test_case "banned: suppressed" `Quick test_banned_suppressed;
+    test_case "raw-exit: exit in lib" `Quick test_raw_exit_in_lib;
+    test_case "raw-exit: Stdlib.exit in bench" `Quick test_raw_exit_in_bench;
+    test_case "raw-exit: exit in bin ok" `Quick test_raw_exit_in_bin_ok;
+    test_case "raw-exit: suppressed" `Quick test_raw_exit_suppressed;
+    test_case "raw-exit: distinct from banned-ident" `Quick
+      test_raw_exit_not_banned_ident;
     test_case "nan-literal fires" `Quick test_nan_literal_fires;
     test_case "nan-literal neg_infinity" `Quick test_nan_literal_infinity;
     test_case "nan-literal allowlisted module" `Quick test_nan_literal_allowlisted;

@@ -29,4 +29,5 @@ let () =
       ("lint", Test_lint.suite);
       ("deltanet.contracts", Test_contracts.suite);
       ("parallel", Test_parallel.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -375,6 +375,28 @@ let test_checkpoint_mismatch () =
           Replicate.statistic_ci ~checkpoint:path ~runs:3 ~base_seed:6L
             (fun ~seed:_ -> 1.)))
 
+let test_checkpoint_truncated () =
+  (* the atomic writer never leaves a torn file, so loading rejects one
+     loudly instead of silently dropping replications from the summary *)
+  with_temp_checkpoint (fun path ->
+      let f ~seed = Int64.to_float (Int64.abs (Int64.rem seed 13L)) in
+      let _ = Replicate.statistic_ci ~checkpoint:path ~runs:4 ~base_seed:3L f in
+      let whole = In_channel.with_open_bin path In_channel.input_all in
+      Alcotest.(check bool) "checkpoint ends in newline" true
+        (String.length whole > 0 && whole.[String.length whole - 1] = '\n');
+      (* chop mid-line: kills the trailing newline *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub whole 0 (String.length whole - 3)));
+      check_invalid "truncated checkpoint rejected" (fun () ->
+          Replicate.statistic_ci ~checkpoint:path ~runs:4 ~base_seed:3L f);
+      (* a malformed interior line (newline intact) is corruption too *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc whole;
+          Out_channel.output_string oc "2 not-a-number\n");
+      check_invalid "corrupt checkpoint line rejected" (fun () ->
+          Replicate.statistic_ci ~checkpoint:path ~runs:4 ~base_seed:3L f))
+
 let test_replicate_quantile_over_tandem () =
   (* smoke: the full CLI path — replicated fault-injected tandem runs *)
   let f ~seed =
@@ -418,6 +440,7 @@ let suite =
     Alcotest.test_case "replicate wall deadline" `Quick test_replicate_wall_deadline;
     Alcotest.test_case "checkpoint resume after kill" `Quick test_checkpoint_resume;
     Alcotest.test_case "checkpoint sweep mismatch" `Quick test_checkpoint_mismatch;
+    Alcotest.test_case "checkpoint truncation rejected" `Quick test_checkpoint_truncated;
     Alcotest.test_case "replicated fault-injected tandem" `Slow
       test_replicate_quantile_over_tandem;
   ]

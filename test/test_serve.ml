@@ -1,0 +1,572 @@
+(* Tests for lib/serve: the total JSON reader, the wire protocol, the
+   bounded LRU, the engine's degradation ladder (deadlines, shedding,
+   approx fallback, supervision) under an injected clock, and a live
+   daemon round trip through the CLI.  The fuzz section hammers the
+   protocol surface: any byte string must come back as a structured
+   response, never an exception or a hang. *)
+
+module Sjson = Serve.Sjson
+module P = Serve.Protocol
+module Cache = Serve.Cache
+module Engine = Serve.Engine
+
+let check = Alcotest.check
+
+let raises_invalid name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+let parse_resp line =
+  match Sjson.parse line with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "response is not JSON (%s): %s" m line
+
+let str_field j k =
+  match Sjson.member k j with
+  | Some (Sjson.Str s) -> s
+  | _ -> Alcotest.failf "missing string field %S" k
+
+let num_field j k =
+  match Sjson.member k j with
+  | Some (Sjson.Num v) -> v
+  | _ -> Alcotest.failf "missing number field %S" k
+
+(* deterministic clocks for the engine tests *)
+let const_clock v () = v
+
+let queue_clock vs =
+  let q = ref vs in
+  fun () ->
+    match !q with
+    | [] -> 0.
+    | [ x ] -> x
+    | x :: tl ->
+      q := tl;
+      x
+
+(* ---------------- Sjson ---------------- *)
+
+let sjson_ok s =
+  match Sjson.parse s with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "Sjson rejected %S: %s" s m
+
+let test_sjson_values () =
+  (match sjson_ok "null" with Sjson.Null -> () | _ -> Alcotest.fail "null");
+  (match sjson_ok " true " with
+  | Sjson.Bool true -> ()
+  | _ -> Alcotest.fail "true");
+  (match sjson_ok "-12.5e2" with
+  | Sjson.Num v -> check (Alcotest.float 1e-9) "-12.5e2" (-1250.) v
+  | _ -> Alcotest.fail "number");
+  (match sjson_ok "[1, 2, [3]]" with
+  | Sjson.Arr [ Sjson.Num _; Sjson.Num _; Sjson.Arr [ Sjson.Num _ ] ] -> ()
+  | _ -> Alcotest.fail "array");
+  (match sjson_ok "{\"a\": {\"b\": false}}" with
+  | Sjson.Obj [ ("a", Sjson.Obj [ ("b", Sjson.Bool false) ]) ] -> ()
+  | _ -> Alcotest.fail "object");
+  (* overflowing literals are kept as infinity: the protocol layer, not
+     the reader, owns the finiteness policy *)
+  (match sjson_ok "1e999" with
+  | Sjson.Num v -> check Alcotest.bool "1e999 -> inf" true (v = Float.infinity)
+  | _ -> Alcotest.fail "1e999")
+
+let test_sjson_strings () =
+  (match sjson_ok "\"a\\u0041\\n\\\\\"" with
+  | Sjson.Str s -> check Alcotest.string "escapes" "aA\n\\" s
+  | _ -> Alcotest.fail "escapes");
+  (* surrogate pair: U+1F600 encodes to four UTF-8 bytes *)
+  (match sjson_ok "\"\\ud83d\\ude00\"" with
+  | Sjson.Str s -> check Alcotest.int "surrogate pair utf8 length" 4 (String.length s)
+  | _ -> Alcotest.fail "surrogate")
+
+let test_sjson_member () =
+  let j = sjson_ok "{\"k\": 1, \"k\": 2}" in
+  match Sjson.member "k" j with
+  | Some (Sjson.Num v) -> check (Alcotest.float 0.) "first binding wins" 1. v
+  | _ -> Alcotest.fail "member"
+
+let test_sjson_rejects () =
+  List.iter
+    (fun s ->
+      match Sjson.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "Sjson accepted %S" s)
+    [
+      "";
+      "{";
+      "[1,";
+      "01";
+      "1.";
+      "-";
+      "+1";
+      "0x1";
+      "nan";
+      "NaN";
+      "Infinity";
+      "tru";
+      "\"ab";
+      "\"\\q\"";
+      "{\"a\":1,}";
+      "[1 2]";
+      "1 2";
+      "{}x";
+      String.make 80 '[' ^ String.make 80 ']' (* past max_depth *);
+    ]
+
+(* ---------------- protocol ---------------- *)
+
+let admit_line = "{\"op\":\"admit\",\"id\":\"q\",\"h\":4,\"u0\":0.2,\"uc\":0.1,\"deadline\":25}"
+
+let test_protocol_admit_defaults () =
+  let id, r = P.parse ~debug_ops:false admit_line in
+  check Alcotest.(option string) "id" (Some "q") id;
+  match r with
+  | Ok (P.Admit p) ->
+    check Alcotest.int "h" 4 p.P.h;
+    check (Alcotest.float 1e-15) "eps default" 1e-9 p.P.epsilon;
+    check (Alcotest.float 0.) "deadline" 25. p.P.deadline;
+    (match p.P.scheduler with P.Fifo -> () | _ -> Alcotest.fail "fifo default");
+    check Alcotest.bool "no budget" true (p.P.budget_ms = None)
+  | _ -> Alcotest.fail "expected admit"
+
+let test_protocol_numeric_id () =
+  let id, _ = P.parse ~debug_ops:false "{\"op\":\"health\",\"id\":7}" in
+  check Alcotest.(option string) "integral id" (Some "7") id
+
+let test_protocol_edf () =
+  match P.parse ~debug_ops:false
+          "{\"op\":\"admit\",\"h\":2,\"u0\":0.1,\"uc\":0.1,\"deadline\":9,\"sched\":\"edf\",\"edf_ratio\":4}"
+  with
+  | _, Ok (P.Admit { P.scheduler = P.Edf { cross_over_through }; _ }) ->
+    check (Alcotest.float 0.) "edf ratio" 4. cross_over_through
+  | _ -> Alcotest.fail "expected EDF admit"
+
+let expect_error ?(debug_ops = false) name kind line =
+  match P.parse ~debug_ops line with
+  | _, Error e ->
+    check Alcotest.string name (P.error_code kind) (P.error_code e.P.kind)
+  | _, Ok _ -> Alcotest.failf "%s: %S was accepted" name line
+
+let test_protocol_validation () =
+  expect_error "not json" P.Parse_error "][";
+  expect_error "missing op" P.Invalid_request "{}";
+  expect_error "non-object" P.Invalid_request "null";
+  expect_error "unknown op" P.Invalid_request "{\"op\":\"frob\"}";
+  expect_error "op not a string" P.Invalid_request "{\"op\":3}";
+  expect_error "missing h" P.Invalid_request "{\"op\":\"admit\",\"u0\":0.1,\"uc\":0.1,\"deadline\":5}";
+  expect_error "fractional h" P.Invalid_request
+    "{\"op\":\"admit\",\"h\":2.5,\"u0\":0.1,\"uc\":0.1,\"deadline\":5}";
+  expect_error "h out of range" P.Invalid_request
+    "{\"op\":\"admit\",\"h\":0,\"u0\":0.1,\"uc\":0.1,\"deadline\":5}";
+  expect_error "u0 out of range" P.Invalid_request
+    "{\"op\":\"admit\",\"h\":2,\"u0\":1.5,\"uc\":0.1,\"deadline\":5}";
+  expect_error "u0 overflows to inf" P.Invalid_request
+    "{\"op\":\"admit\",\"h\":2,\"u0\":1e999,\"uc\":0.1,\"deadline\":5}";
+  expect_error "missing deadline" P.Invalid_request
+    "{\"op\":\"admit\",\"h\":2,\"u0\":0.1,\"uc\":0.1}";
+  expect_error "bad eps" P.Invalid_request
+    "{\"op\":\"admit\",\"h\":2,\"u0\":0.1,\"uc\":0.1,\"deadline\":5,\"eps\":2}";
+  expect_error "bad scheduler" P.Invalid_request
+    "{\"op\":\"admit\",\"h\":2,\"u0\":0.1,\"uc\":0.1,\"deadline\":5,\"sched\":\"wfq\"}";
+  expect_error "bad budget" P.Invalid_request
+    "{\"op\":\"admit\",\"h\":2,\"u0\":0.1,\"uc\":0.1,\"deadline\":5,\"budget_ms\":0}";
+  expect_error "unstable load" P.Unstable
+    "{\"op\":\"admit\",\"h\":2,\"u0\":0.6,\"uc\":0.5,\"deadline\":5}";
+  expect_error "debug op gated off" P.Invalid_request "{\"op\":\"debug-fail\"}";
+  (* check works without a deadline — it validates shape, not admission *)
+  (match P.parse ~debug_ops:false "{\"op\":\"check\",\"h\":2,\"u0\":0.1,\"uc\":0.1}" with
+  | _, Ok (P.Check _) -> ()
+  | _ -> Alcotest.fail "check without deadline");
+  match P.parse ~debug_ops:false ~max_bytes:64 (String.make 65 'a') with
+  | _, Error { P.kind = P.Invalid_request; _ } -> ()
+  | _ -> Alcotest.fail "oversized line"
+
+let test_protocol_exit_hints () =
+  List.iter
+    (fun (kind, hint) -> check Alcotest.int (P.error_code kind) hint (P.exit_hint kind))
+    [
+      (P.Parse_error, 2);
+      (P.Invalid_request, 2);
+      (P.Unstable, 3);
+      (P.Contract_violation, 1);
+      (P.Overloaded, 1);
+      (P.Deadline_exceeded, 1);
+      (P.Internal, 1);
+    ]
+
+let test_protocol_render_round_trip () =
+  (* every renderer's output must be readable by the protocol's own
+     parser — the daemon's output is somebody else's input *)
+  let r1 =
+    P.render_admit ~id:"a" ~admitted:true ~bound_ms:3.5 ~deadline_ms:10. ~mode:P.Exact
+      ~cache_hit:false ~elapsed_ms:0.2 ()
+  in
+  let j1 = parse_resp r1 in
+  check Alcotest.string "status" "ok" (str_field j1 "status");
+  check Alcotest.string "mode" "exact" (str_field j1 "mode");
+  check (Alcotest.float 1e-9) "bound" 3.5 (num_field j1 "bound_ms");
+  let j2 = parse_resp (P.render_error ~id:"e\"scape" ~kind:P.Parse_error ~detail:"bad \"quote\"" ()) in
+  check Alcotest.string "escaped id" "e\"scape" (str_field j2 "id");
+  check Alcotest.string "code" "parse-error" (str_field j2 "code");
+  check (Alcotest.float 0.) "hint" 2. (num_field j2 "exit_hint");
+  let j3 = parse_resp (P.render_shed ~retry_after_ms:7.5 ()) in
+  check Alcotest.string "shed status" "shed" (str_field j3 "status");
+  check (Alcotest.float 0.) "retry hint" 7.5 (num_field j3 "retry_after_ms");
+  let j4 = parse_resp (P.render_timeout ~elapsed_ms:12. ~budget_ms:10. ()) in
+  check Alcotest.string "timeout status" "timeout" (str_field j4 "status");
+  let j5 =
+    parse_resp
+      (P.render_stats ~uptime_s:1. ~served:3 ~cache_len:2 ~cache_capacity:8
+         ~counters:[ ("serve.requests", 3) ] ())
+  in
+  check (Alcotest.float 0.) "served" 3. (num_field j5 "served");
+  match Sjson.member "counters" j5 with
+  | Some (Sjson.Obj [ ("serve.requests", Sjson.Num 3.) ]) -> ()
+  | _ -> Alcotest.fail "stats counters object"
+
+(* ---------------- cache ---------------- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 in
+  Cache.put c "a" 1;
+  Cache.put c "b" 2;
+  (* touching a makes b the LRU, so inserting c evicts b *)
+  check Alcotest.(option int) "hit a" (Some 1) (Cache.find c "a");
+  Cache.put c "c" 3;
+  check Alcotest.int "bounded" 2 (Cache.length c);
+  check Alcotest.(option int) "a survives" (Some 1) (Cache.find c "a");
+  check Alcotest.(option int) "b evicted" None (Cache.find c "b");
+  (* overwrite refreshes without growing *)
+  Cache.put c "a" 10;
+  check Alcotest.int "overwrite keeps length" 2 (Cache.length c);
+  check Alcotest.(option int) "overwritten" (Some 10) (Cache.find c "a")
+
+let test_cache_mem_no_refresh () =
+  let c = Cache.create ~capacity:2 in
+  Cache.put c "a" 1;
+  Cache.put c "b" 2;
+  check Alcotest.bool "mem a" true (Cache.mem c "a");
+  (* mem did not refresh a, so a is still the LRU and gets evicted *)
+  Cache.put c "c" 3;
+  check Alcotest.bool "a evicted" false (Cache.mem c "a");
+  check Alcotest.bool "b kept" true (Cache.mem c "b")
+
+let test_cache_validation () =
+  raises_invalid "capacity 0" (fun () -> Cache.create ~capacity:0)
+
+let test_cache_soak () =
+  (* the daemon's memory bound at unit level: 10^4 distinct keys through a
+     small cache never grow it past capacity *)
+  let c = Cache.create ~capacity:64 in
+  for i = 0 to 9_999 do
+    let key = Printf.sprintf "shape-%d" i in
+    (match Cache.find c key with Some _ -> () | None -> Cache.put c key i);
+    if Cache.length c > 64 then Alcotest.failf "cache grew past capacity at %d" i
+  done;
+  check Alcotest.int "cache pinned at capacity" 64 (Cache.length c)
+
+(* ---------------- engine ---------------- *)
+
+let mk_engine ?(cfg = Engine.default_config) ?(clock = const_clock 0.) () =
+  Engine.create ~now:clock cfg
+
+let admit_req ?(extra = "") ~id ~u0 () =
+  Printf.sprintf "{\"op\":\"admit\",\"id\":%S,\"h\":3,\"u0\":%.4f,\"uc\":0.2,\"deadline\":500%s}"
+    id u0 extra
+
+let test_engine_validation () =
+  raises_invalid "budget" (fun () ->
+      mk_engine ~cfg:{ Engine.default_config with Engine.budget_ms = 0. } ());
+  raises_invalid "queue" (fun () ->
+      mk_engine ~cfg:{ Engine.default_config with Engine.max_queue = 0 } ());
+  raises_invalid "degrade ratio" (fun () ->
+      mk_engine ~cfg:{ Engine.default_config with Engine.degrade_ratio = 1.5 } ());
+  raises_invalid "grids" (fun () ->
+      mk_engine ~cfg:{ Engine.default_config with Engine.gamma_points = 1 } ())
+
+let test_engine_admit_and_cache () =
+  let e = mk_engine () in
+  let j1 = parse_resp (Engine.handle_line e (admit_req ~id:"r1" ~u0:0.3 ())) in
+  check Alcotest.string "status" "ok" (str_field j1 "status");
+  check Alcotest.string "mode" "exact" (str_field j1 "mode");
+  check Alcotest.string "first is a miss" "miss" (str_field j1 "cache");
+  check Alcotest.string "id echo" "r1" (str_field j1 "id");
+  let j2 = parse_resp (Engine.handle_line e (admit_req ~id:"r2" ~u0:0.3 ())) in
+  check Alcotest.string "repeat is a hit" "hit" (str_field j2 "cache");
+  check Alcotest.string "hit stays exact" "exact" (str_field j2 "mode");
+  check (Alcotest.float 1e-9) "memoized bound is identical"
+    (num_field j1 "bound_ms") (num_field j2 "bound_ms");
+  check Alcotest.int "one shape cached" 1 (Engine.cache_length e);
+  check Alcotest.int "served" 2 (Engine.served e)
+
+let test_engine_degrade_and_soundness () =
+  let e = mk_engine () in
+  (* a 1 ms budget cannot fit the predicted exact cost: the request
+     degrades to the cached-kernel approx bound *)
+  let ja =
+    parse_resp (Engine.handle_line e (admit_req ~id:"a" ~u0:0.31 ~extra:",\"budget_ms\":1" ()))
+  in
+  check Alcotest.string "degraded mode" "approx" (str_field ja "mode");
+  let b_approx = num_field ja "bound_ms" in
+  (* same shape with the full budget: exact optimization *)
+  let je = parse_resp (Engine.handle_line e (admit_req ~id:"b" ~u0:0.31 ())) in
+  check Alcotest.string "exact mode" "exact" (str_field je "mode");
+  let b_exact = num_field je "bound_ms" in
+  check Alcotest.bool "both finite" true
+    (Float.is_finite b_approx && Float.is_finite b_exact && b_exact > 0.);
+  (* soundness of the ladder: the degraded answer is never tighter *)
+  check Alcotest.bool
+    (Printf.sprintf "approx (%g) >= exact (%g)" b_approx b_exact)
+    true
+    (b_approx >= b_exact *. 0.999)
+
+let test_engine_shed () =
+  let cfg = { Engine.default_config with Engine.max_queue = 1 } in
+  let e = mk_engine ~cfg () in
+  match
+    Engine.handle_batch e
+      [ admit_req ~id:"one" ~u0:0.30 (); admit_req ~id:"two" ~u0:0.35 () ]
+  with
+  | [ r1; r2 ] ->
+    check Alcotest.string "first served" "ok" (str_field (parse_resp r1) "status");
+    let j2 = parse_resp r2 in
+    check Alcotest.string "second shed" "shed" (str_field j2 "status");
+    check Alcotest.string "shed id" "two" (str_field j2 "id");
+    check Alcotest.bool "retry hint positive" true (num_field j2 "retry_after_ms" > 0.)
+  | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs)
+
+let test_engine_timeout_warms_cache () =
+  (* clock script: create, batch start, plan, then 1 s elapsed at render
+     time — the exact compute blows its 250 ms budget *)
+  let e = mk_engine ~clock:(queue_clock [ 0.; 0.; 0.; 1. ]) () in
+  let j1 = parse_resp (Engine.handle_line e (admit_req ~id:"t1" ~u0:0.3 ())) in
+  check Alcotest.string "timeout status" "timeout" (str_field j1 "status");
+  check Alcotest.string "timeout code" "deadline-exceeded" (str_field j1 "code");
+  check (Alcotest.float 1e-6) "elapsed" 1000. (num_field j1 "elapsed_ms");
+  (* the timed-out bound was still memoized: the retry is a free hit *)
+  let j2 = parse_resp (Engine.handle_line e (admit_req ~id:"t2" ~u0:0.3 ())) in
+  check Alcotest.string "retry ok" "ok" (str_field j2 "status");
+  check Alcotest.string "retry is a hit" "hit" (str_field j2 "cache")
+
+let test_engine_supervision () =
+  let cfg = { Engine.default_config with Engine.debug_ops = true } in
+  let e = mk_engine ~cfg () in
+  match
+    Engine.handle_batch e
+      [ "{\"op\":\"debug-fail\",\"id\":\"poison\"}"; admit_req ~id:"ok" ~u0:0.3 () ]
+  with
+  | [ r1; r2 ] ->
+    let j1 = parse_resp r1 in
+    check Alcotest.string "poison isolated" "error" (str_field j1 "status");
+    check Alcotest.string "internal code" "internal" (str_field j1 "code");
+    check Alcotest.string "poison id" "poison" (str_field j1 "id");
+    let j2 = parse_resp r2 in
+    check Alcotest.string "neighbour survives" "ok" (str_field j2 "status");
+    (* the engine keeps serving after the fault *)
+    check Alcotest.string "engine alive" "ok"
+      (str_field (parse_resp (Engine.handle_line e (admit_req ~id:"after" ~u0:0.3 ()))) "status")
+  | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs)
+
+let test_engine_batch_order () =
+  let e = mk_engine () in
+  let lines =
+    [
+      "{\"op\":\"health\",\"id\":1}";
+      "{\"op\":\"stats\",\"id\":\"s\"}";
+      "{\"op\":\"admit\",\"id\":\"bad\",\"h\":0,\"u0\":0.1,\"uc\":0.1,\"deadline\":5}";
+      "{\"op\":\"admit\",\"id\":\"hot\",\"h\":5,\"u0\":0.6,\"uc\":0.5,\"deadline\":5}";
+      admit_req ~id:"fine" ~u0:0.2 ();
+    ]
+  in
+  let rs = Engine.handle_batch e lines in
+  check Alcotest.int "arity" (List.length lines) (List.length rs);
+  let js = List.map parse_resp rs in
+  (* responses come back in request order with ids intact — the stats
+     response is the one op that does not echo an id *)
+  List.iter
+    (fun (i, id) -> check Alcotest.string ("id at " ^ string_of_int i) id (str_field (List.nth js i) "id"))
+    [ (0, "1"); (2, "bad"); (3, "hot"); (4, "fine") ];
+  check Alcotest.string "stats in place" "stats" (str_field (List.nth js 1) "op");
+  let j3 = List.nth js 2 in
+  check Alcotest.string "invalid typed" "invalid-request" (str_field j3 "code");
+  let j4 = parse_resp (List.nth rs 3) in
+  check Alcotest.string "unstable typed" "unstable" (str_field j4 "code");
+  check (Alcotest.float 0.) "unstable exit hint" 3. (num_field j4 "exit_hint")
+
+let test_engine_soak () =
+  (* 10^4 distinct shapes through a 32-entry cache on the degraded path:
+     memory stays bounded and every response is structured *)
+  let cfg = { Engine.default_config with Engine.cache_entries = 32 } in
+  let e = mk_engine ~cfg () in
+  let last = ref "" in
+  for i = 0 to 9_999 do
+    let u0 = 0.05 +. (0.85 *. float_of_int i /. 10_000.) in
+    let line =
+      Printf.sprintf
+        "{\"op\":\"admit\",\"h\":2,\"u0\":%.6f,\"uc\":0.05,\"deadline\":100,\"budget_ms\":1}" u0
+    in
+    last := Engine.handle_line e line;
+    if Engine.cache_length e > 32 then Alcotest.failf "cache grew past capacity at %d" i
+  done;
+  check Alcotest.int "cache bounded over soak" 32 (Engine.cache_length e);
+  check Alcotest.int "all served" 10_000 (Engine.served e);
+  let j = parse_resp !last in
+  check Alcotest.string "soak tail ok" "ok" (str_field j "status");
+  check Alcotest.string "soak runs degraded" "approx" (str_field j "mode")
+
+(* ---------------- fuzz ---------------- *)
+
+let valid_base = "{\"op\":\"admit\",\"id\":\"x\",\"h\":3,\"u0\":0.30,\"uc\":0.20,\"deadline\":50}"
+
+let gen_fuzz_line =
+  QCheck.Gen.(
+    oneof
+      [
+        (* arbitrary printable bytes *)
+        string_size ~gen:(map Char.chr (int_range 32 126)) (int_bound 200);
+        (* json-ish soup: braces, digits, quotes, escapes *)
+        (let alphabet = "{}[]\",:0123456789eE+-.truefalsenul\\ " in
+         map
+           (fun cs -> String.concat "" (List.map (String.make 1) cs))
+           (list_size (int_bound 120)
+              (map (String.get alphabet) (int_bound (String.length alphabet - 1)))));
+        (* single-byte mutations of a valid request *)
+        map2
+          (fun pos c ->
+            let b = Bytes.of_string valid_base in
+            Bytes.set b (pos mod Bytes.length b) c;
+            Bytes.to_string b)
+          (int_bound 10_000)
+          (map Char.chr (int_range 32 126));
+        (* truncations of a valid request *)
+        map (fun n -> String.sub valid_base 0 (n mod String.length valid_base)) (int_bound 10_000);
+      ])
+
+let arb_fuzz = QCheck.make ~print:String.escaped gen_fuzz_line
+
+let prop_protocol_total =
+  QCheck.Test.make ~name:"protocol parse is total and typed" ~count:500 arb_fuzz
+    (fun line ->
+      match P.parse ~debug_ops:false line with
+      | _, Ok _ -> true
+      | _, Error { P.kind; _ } -> List.mem (P.exit_hint kind) [ 1; 2; 3 ])
+
+let prop_sjson_total =
+  QCheck.Test.make ~name:"sjson parse is total" ~count:500 arb_fuzz (fun line ->
+      match Sjson.parse line with Ok _ | Error _ -> true)
+
+let fuzz_engine = lazy (mk_engine ())
+
+let prop_engine_structured =
+  QCheck.Test.make ~name:"engine answers any line with structured JSON" ~count:150
+    arb_fuzz (fun line ->
+      let e = Lazy.force fuzz_engine in
+      match Sjson.parse (Engine.handle_line e line) with
+      | Error _ -> false
+      | Ok j -> (
+        match Sjson.member "status" j with
+        | Some (Sjson.Str s) -> List.mem s [ "ok"; "error"; "shed"; "timeout" ]
+        | _ -> false))
+
+let test_engine_nasty_corpus () =
+  let e = mk_engine () in
+  let expect code line =
+    let j = parse_resp (Engine.handle_line e line) in
+    check Alcotest.string (Printf.sprintf "%S -> %s" (String.sub line 0 (min 40 (String.length line))) code)
+      code (str_field j "code")
+  in
+  expect "parse-error" "";
+  expect "parse-error" "{";
+  expect "parse-error" "{\"op\":\"admit\",\"h\":5";
+  expect "parse-error" "not json at all";
+  expect "parse-error" "{\"op\":\"admit\",\"h\":NaN}";
+  expect "parse-error" (String.make 100 '[');
+  expect "invalid-request" "null";
+  expect "invalid-request" "42";
+  expect "invalid-request" "{\"op\":\"admit\",\"h\":5,\"u0\":1e999,\"uc\":0.1,\"deadline\":10}";
+  expect "invalid-request" "{\"op\":\"admit\",\"h\":5,\"u0\":-0.1,\"uc\":0.1,\"deadline\":10}";
+  expect "invalid-request" "{\"op\":\"admit\",\"h\":5,\"u0\":0.1,\"uc\":0.1}";
+  expect "invalid-request" "{\"op\":\"debug-fail\"}";
+  expect "invalid-request" (String.make 70_000 'a');
+  expect "unstable" "{\"op\":\"admit\",\"h\":5,\"u0\":0.6,\"uc\":0.5,\"deadline\":10}"
+
+(* ---------------- daemon round trip ---------------- *)
+
+let read_all ic =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let test_daemon_round_trip () =
+  (* the test binary runs in _build/default/test; the CLI is a declared
+     dep one directory over *)
+  let cli = Filename.concat Filename.parent_dir_name "bin/deltanet_cli.exe" in
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else begin
+    let cmd = Printf.sprintf "%s serve 2>/dev/null" (Filename.quote cli) in
+    let ic, oc = Unix.open_process cmd in
+    let send l =
+      output_string oc l;
+      output_char oc '\n'
+    in
+    send "{\"op\":\"health\",\"id\":\"h1\"}";
+    send "{\"op\":\"admit\",\"id\":\"a1\",\"h\":3,\"u0\":0.3,\"uc\":0.2,\"deadline\":500}";
+    send "{\"op\":\"admit\",\"id\":\"a2\",\"h\":3,\"u0\":0.3,\"uc\":0.2,\"deadline\":500}";
+    send "this is not json";
+    send "{\"op\":\"check\",\"id\":\"c1\",\"h\":3,\"u0\":0.3,\"uc\":0.2}";
+    close_out oc;
+    let lines = read_all ic in
+    let status = Unix.close_process (ic, oc) in
+    check Alcotest.int "daemon exits 0"
+      0
+      (match status with Unix.WEXITED n -> n | _ -> -1);
+    (* five responses in request order, then the drain stats line *)
+    check Alcotest.int "responses + drain stats" 6 (List.length lines);
+    let js = List.map parse_resp lines in
+    let nth = List.nth js in
+    check Alcotest.string "health" "ok" (str_field (nth 0) "status");
+    check Alcotest.string "health id" "h1" (str_field (nth 0) "id");
+    check Alcotest.string "admit a1" "admit" (str_field (nth 1) "op");
+    check Alcotest.string "a2 correlated" "a2" (str_field (nth 2) "id");
+    check Alcotest.string "a2 is a cache hit" "hit" (str_field (nth 2) "cache");
+    check Alcotest.string "garbage typed" "parse-error" (str_field (nth 3) "code");
+    check Alcotest.string "check answered" "check" (str_field (nth 4) "op");
+    check Alcotest.string "drain stats" "stats" (str_field (nth 5) "op");
+    check Alcotest.bool "stats counted the burst" true (num_field (nth 5) "served" >= 5.)
+  end
+
+let suite =
+  [
+    Alcotest.test_case "sjson values" `Quick test_sjson_values;
+    Alcotest.test_case "sjson strings" `Quick test_sjson_strings;
+    Alcotest.test_case "sjson duplicate keys" `Quick test_sjson_member;
+    Alcotest.test_case "sjson rejects" `Quick test_sjson_rejects;
+    Alcotest.test_case "protocol admit defaults" `Quick test_protocol_admit_defaults;
+    Alcotest.test_case "protocol numeric id" `Quick test_protocol_numeric_id;
+    Alcotest.test_case "protocol edf" `Quick test_protocol_edf;
+    Alcotest.test_case "protocol validation" `Quick test_protocol_validation;
+    Alcotest.test_case "protocol exit hints" `Quick test_protocol_exit_hints;
+    Alcotest.test_case "protocol render round trip" `Quick test_protocol_render_round_trip;
+    Alcotest.test_case "cache LRU semantics" `Quick test_cache_lru;
+    Alcotest.test_case "cache mem is pure" `Quick test_cache_mem_no_refresh;
+    Alcotest.test_case "cache validation" `Quick test_cache_validation;
+    Alcotest.test_case "cache bounded soak" `Quick test_cache_soak;
+    Alcotest.test_case "engine config validation" `Quick test_engine_validation;
+    Alcotest.test_case "engine admit + cache hit" `Quick test_engine_admit_and_cache;
+    Alcotest.test_case "engine degrade soundness" `Quick test_engine_degrade_and_soundness;
+    Alcotest.test_case "engine sheds past the queue bound" `Quick test_engine_shed;
+    Alcotest.test_case "engine timeout warms the cache" `Quick test_engine_timeout_warms_cache;
+    Alcotest.test_case "engine survives a poisoned request" `Quick test_engine_supervision;
+    Alcotest.test_case "engine batch order + correlation" `Quick test_engine_batch_order;
+    Alcotest.test_case "engine bounded soak (10k shapes)" `Slow test_engine_soak;
+    QCheck_alcotest.to_alcotest prop_sjson_total;
+    QCheck_alcotest.to_alcotest prop_protocol_total;
+    QCheck_alcotest.to_alcotest prop_engine_structured;
+    Alcotest.test_case "engine nasty corpus" `Quick test_engine_nasty_corpus;
+    Alcotest.test_case "daemon round trip" `Quick test_daemon_round_trip;
+  ]
