@@ -881,9 +881,13 @@ let serve_cmd =
     let buf = Buffer.create 65_536 in
     let chunk = Bytes.create 65_536 in
     let eof = ref false in
-    (* An unbounded line would grow [buf] without limit; past twice the
-       engine's line bound the prefix is discarded and the eventual rest
-       of that line (up to its newline) is dropped on extraction. *)
+    (* An unbounded line would grow [buf] without limit; once the trailing
+       partial line passes twice the engine's line bound its prefix is
+       discarded and the eventual rest of that line (up to its newline) is
+       dropped on extraction.  Complete lines are never touched by the
+       cap — they are extracted and answered first, and an oversized
+       *complete* line is rejected per-line by the protocol's own
+       max_bytes check. *)
     let overlong_cap = 2 * cfg.Serve.Engine.max_line_bytes in
     let drop_next_line = ref false in
     let respond_lines rs =
@@ -934,15 +938,22 @@ let serve_cmd =
         respond_lines (Serve.Engine.handle_batch engine head);
         batches rest
     in
+    (* Called after [extract_lines], so the buffer holds only the trailing
+       partial (newline-less) line.  A line long enough to trip the cap
+       may span many reads; the first trip answers it with one typed
+       error, later trips keep discarding silently until its newline
+       arrives — one line in, one response out. *)
     let guard_overlong () =
       if Buffer.length buf > overlong_cap then begin
         Buffer.clear buf;
-        drop_next_line := true;
-        respond_lines
-          [
-            Serve.Protocol.render_error ~kind:Serve.Protocol.Invalid_request
-              ~detail:"oversized request line discarded before parsing" ();
-          ]
+        if not !drop_next_line then begin
+          drop_next_line := true;
+          respond_lines
+            [
+              Serve.Protocol.render_error ~kind:Serve.Protocol.Invalid_request
+                ~detail:"oversized request line discarded before parsing" ();
+            ]
+        end
       end
     in
     while not (!stop || !eof) do
@@ -962,8 +973,8 @@ let serve_cmd =
             Buffer.add_subbytes buf chunk 0 n;
             if Buffer.length buf > overlong_cap then continue := false)
       done;
-      guard_overlong ();
-      batches (extract_lines ())
+      batches (extract_lines ());
+      guard_overlong ()
     done;
     (* drain: answer every complete buffered line, plus a final partial
        line if the writer was cut mid-request (it parses or it gets a

@@ -244,12 +244,16 @@ let stats_response t =
 let cache_length t = Cache.length t.cache
 let served t = t.served_n
 
-let finish_bound t ~batch_start ~(job : job) res =
+(* [service_ms] is this job's own compute cost — that is what the EWMA
+   service-time estimators predict from.  The user-facing budget check
+   deliberately stays on elapsed-since-batch-start: queueing behind the
+   rest of the batch counts against the client's deadline. *)
+let finish_bound t ~batch_start ~service_ms ~(job : job) res =
   let p = job.j_params in
   let elapsed_ms = (t.now () -. batch_start) *. 1000. in
   (match job.j_mode with
-  | P.Exact -> t.ewma_exact_ms <- ewma t.ewma_exact_ms elapsed_ms
-  | P.Approx -> t.ewma_approx_ms <- ewma t.ewma_approx_ms elapsed_ms);
+  | P.Exact -> t.ewma_exact_ms <- ewma t.ewma_exact_ms service_ms
+  | P.Approx -> t.ewma_approx_ms <- ewma t.ewma_approx_ms service_ms);
   match res with
   | R_error { kind; detail } ->
     Telemetry.Counter.incr c_errors;
@@ -398,10 +402,19 @@ let handle_batch t lines =
   let exact_jobs =
     List.filter_map (function Exact j -> Some j | _ -> None) plans |> Array.of_list
   in
+  let exact_t0 = if Array.length exact_jobs = 0 then 0. else t.now () in
   let exact_results =
     Parallel.Default.map ~work:1_000_000
       (fun j -> run_exact t.cfg j.j_params j.j_two_class)
       exact_jobs
+  in
+  (* per-job service time for the estimator: the phase's wall time spread
+     over the jobs that shared it — exactly the marginal cost the linear
+     [exact_fits] predictor multiplies back up *)
+  let exact_service_ms =
+    match Array.length exact_jobs with
+    | 0 -> 0.
+    | n -> (t.now () -. exact_t0) *. 1000. /. float_of_int n
   in
   let exact_i = ref 0 in
   let responses =
@@ -420,14 +433,19 @@ let handle_batch t lines =
         | Exact j ->
           let res = exact_results.(!exact_i) in
           incr exact_i;
-          finish_bound t ~batch_start ~job:j res
+          finish_bound t ~batch_start ~service_ms:exact_service_ms ~job:j res
         | Approx j ->
+          (* approx jobs run sequentially right here, so each one's own
+             start/end timestamps give the per-job sample — never the
+             cumulative time since the batch began *)
+          let t0 = t.now () in
           let res =
             match j.j_entry with
             | Some e -> run_approx t.cfg e j.j_params
             | None -> R_error { kind = P.Internal; detail = "missing cache entry" }
           in
-          finish_bound t ~batch_start ~job:j res)
+          let service_ms = (t.now () -. t0) *. 1000. in
+          finish_bound t ~batch_start ~service_ms ~job:j res)
       plans
   in
   responses

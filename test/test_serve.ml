@@ -338,9 +338,10 @@ let test_engine_shed () =
   | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs)
 
 let test_engine_timeout_warms_cache () =
-  (* clock script: create, batch start, plan, then 1 s elapsed at render
-     time — the exact compute blows its 250 ms budget *)
-  let e = mk_engine ~clock:(queue_clock [ 0.; 0.; 0.; 1. ]) () in
+  (* clock script: create, batch start, plan, exact-phase start/end (the
+     per-job service-time sample), then 1 s elapsed at render time — the
+     exact compute blows its 250 ms budget *)
+  let e = mk_engine ~clock:(queue_clock [ 0.; 0.; 0.; 0.; 0.; 1. ]) () in
   let j1 = parse_resp (Engine.handle_line e (admit_req ~id:"t1" ~u0:0.3 ())) in
   check Alcotest.string "timeout status" "timeout" (str_field j1 "status");
   check Alcotest.string "timeout code" "deadline-exceeded" (str_field j1 "code");
@@ -540,6 +541,61 @@ let test_daemon_round_trip () =
     check Alcotest.bool "stats counted the burst" true (num_field (nth 5) "served" >= 5.)
   end
 
+let test_daemon_burst_no_loss () =
+  (* regression: a sustained burst whose buffered size passes the 2x
+     line-bound cap (here ~260 KB of valid lines) must answer every
+     request — the cap applies to the trailing partial line, never to
+     complete buffered lines — and one multi-read oversized line must
+     come back as exactly one typed error *)
+  let cli = Filename.concat Filename.parent_dir_name "bin/deltanet_cli.exe" in
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else begin
+    let out = Filename.temp_file "serve-burst" ".jsonl" in
+    let cmd =
+      Printf.sprintf "%s serve > %s 2>/dev/null" (Filename.quote cli) (Filename.quote out)
+    in
+    let oc = Unix.open_process_out cmd in
+    let n = 3_000 in
+    for i = 1 to n do
+      Printf.fprintf oc
+        "{\"op\":\"admit\",\"id\":\"b%d\",\"h\":3,\"u0\":0.3,\"uc\":0.2,\"deadline\":500}\n" i
+    done;
+    (* one 200 KB line: larger than the cap, so it is discarded across
+       several reads — the client must still see exactly one response *)
+    output_string oc (String.make 200_000 'x');
+    output_char oc '\n';
+    output_string oc "{\"op\":\"health\",\"id\":\"tail\"}\n";
+    let status = Unix.close_process_out oc in
+    check Alcotest.int "daemon exits 0" 0
+      (match status with Unix.WEXITED n -> n | _ -> -1);
+    let ic = open_in out in
+    let lines = read_all ic in
+    close_in ic;
+    Sys.remove out;
+    let js = List.map parse_resp lines in
+    (* n admits + 1 oversized error + 1 health + the drain stats line *)
+    check Alcotest.int "one response per request" (n + 3) (List.length js);
+    let count pred = List.length (List.filter pred js) in
+    let has_field j k v =
+      match Sjson.member k j with Some (Sjson.Str s) -> String.equal s v | _ -> false
+    in
+    check Alcotest.int "exactly one oversized error" 1
+      (count (fun j -> has_field j "status" "error"));
+    check Alcotest.int "nothing shed" 0 (count (fun j -> has_field j "status" "shed"));
+    let stats = List.nth js (List.length js - 1) in
+    check Alcotest.string "drain stats" "stats" (str_field stats "op");
+    (* the oversized line is either discarded before parsing (never
+       reaches the engine: n + 1 served) or — when its newline lands in
+       the same read burst — extracted complete and rejected by the
+       protocol's max_bytes check (n + 2 served); both are one typed
+       error for one request *)
+    let served = num_field stats "served" in
+    check Alcotest.bool
+      (Printf.sprintf "served %g within [n+1, n+2]" served)
+      true
+      (served >= float_of_int (n + 1) && served <= float_of_int (n + 2))
+  end
+
 let suite =
   [
     Alcotest.test_case "sjson values" `Quick test_sjson_values;
@@ -569,4 +625,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_engine_structured;
     Alcotest.test_case "engine nasty corpus" `Quick test_engine_nasty_corpus;
     Alcotest.test_case "daemon round trip" `Quick test_daemon_round_trip;
+    Alcotest.test_case "daemon burst loses nothing past the cap" `Quick
+      test_daemon_burst_no_loss;
   ]
