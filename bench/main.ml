@@ -692,6 +692,130 @@ let serve_bench ~short () =
   end
 
 (* ---------------------------------------------------------------- *)
+(* Flight-recorder overhead: the eq38 kernel sweep, identical code with
+   the recorder off (span/event entry points are load-and-branch no-ops)
+   and on (every call records into the per-domain ring; null sink, no
+   streaming — the serve/CLI configuration).  Instrumentation density
+   mirrors what a traced CLI sweep actually records: a span around the
+   sweep, a point event per work chunk (the pool's granularity, not per
+   grid step), and the kernel's own eval counters.  Each round measures
+   both modes back-to-back in alternating order and the gate takes the
+   median of the paired per-round ratios, so machine-state drift across
+   the section (thermal, cache, GC history) cancels instead of faking
+   an overhead in either direction.
+   The raw per-record ring cost is also measured and reported, ungated —
+   a single event costs more than 5% of a ~1 µs grid step by itself,
+   which is exactly why nothing in the hot path records at that
+   density. *)
+
+let telemetry_bench ~short () =
+  Fmt.pr "@.== telemetry: flight-recorder ring overhead on the eq38 sweep ==@.@.";
+  let through = Envelope.Ebb.v ~m:1. ~rho:15. ~alpha:0.8 in
+  let cross = Envelope.Ebb.v ~m:1. ~rho:35. ~alpha:0.8 in
+  let p =
+    Deltanet.E2e.homogeneous ~h:10 ~capacity:100. ~cross
+      ~delta:(Scheduler.Delta.Fin 0.) ~through
+  in
+  let k = Deltanet.E2e.Kernel.make p in
+  let gmax = Deltanet.E2e.gamma_max p in
+  let lo = gmax *. 1e-6 and points = 40 in
+  let ratio = (0.999 /. 1e-6) ** (1. /. float_of_int (points - 1)) in
+  let grid = Parallel.Grid.log_spaced ~lo ~ratio ~points in
+  (* the pool would split this grid into [min n (4*jobs)] chunks whose
+     per-chunk records run spread across the domains; one event per 16
+     grid steps matches that per-domain record density on one domain *)
+  let chunk = 16 in
+  let sweep () =
+    Telemetry.span "bench.eq38.sweep" @@ fun () ->
+    Array.iteri
+      (fun i g ->
+        if i mod chunk = 0 then Telemetry.event "bench.eq38.chunk";
+        let s = Deltanet.E2e.Kernel.sigma_for k ~gamma:g ~epsilon in
+        Deltanet.E2e.Kernel.set k ~gamma:g ~sigma:s;
+        ignore (Sys.opaque_identity (Deltanet.E2e.Kernel.delay k)))
+      grid
+  in
+  let rounds = if short then 4 else 10 in
+  let per_batch = if short then 40 else 200 in
+  let time_batch () =
+    (* every batch starts from the same GC state: compacted major heap,
+       empty minor heap — the on-mode allocates (events promoted while
+       the ring holds them), and carrying that pressure into the next
+       batch would charge it to the wrong mode *)
+    Gc.compact ();
+    ignore (Sys.opaque_identity (sweep ()));
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to per_batch do
+      ignore (Sys.opaque_identity (sweep ()))
+    done;
+    1e9
+    *. (Unix.gettimeofday () -. t0)
+    /. float_of_int (per_batch * points)
+  in
+  let offs = Array.make rounds 0. and ons = Array.make rounds 0. in
+  for r = 0 to rounds - 1 do
+    let measure_off () =
+      Telemetry.shutdown ();
+      offs.(r) <- time_batch ()
+    in
+    let measure_on () =
+      Telemetry.configure ~sink:Telemetry.Sink.null ();
+      ons.(r) <- time_batch ();
+      (* discard the buffered bench events so a later flush doesn't
+         replay them into whatever sink is live then *)
+      Telemetry.flush ()
+    in
+    (* alternate which mode goes first: any monotone machine-state
+       drift (thermal, cache, paging) then cancels in the paired
+       per-round ratios instead of biasing one mode *)
+    if r mod 2 = 0 then begin
+      measure_off ();
+      measure_on ()
+    end
+    else begin
+      measure_on ();
+      measure_off ()
+    end
+  done;
+  let median a =
+    let s = Array.copy a in
+    Array.sort Float.compare s;
+    let n = Array.length s in
+    if n mod 2 = 1 then s.(n / 2) else 0.5 *. (s.((n / 2) - 1) +. s.(n / 2))
+  in
+  let off = median offs and on = median ons in
+  report_ns "telemetry.eq38.point.off" off;
+  report_ns "telemetry.eq38.point.on" on;
+  (* gate on the median of paired same-round ratios, not on the two
+     medians: pairing cancels drift that spans rounds *)
+  let ratios = Array.init rounds (fun r -> ons.(r) /. offs.(r)) in
+  let overhead = 100. *. (median ratios -. 1.) in
+  (* raw cost of one ring record, at memory speed: informational, not
+     gated — it bounds how fine-grained new instrumentation may be *)
+  let evn = if short then 200_000 else 1_000_000 in
+  Telemetry.configure ~sink:Telemetry.Sink.null ();
+  for _ = 1 to 10_000 do
+    Telemetry.event "bench.ring.raw"
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to evn do
+    Telemetry.event "bench.ring.raw"
+  done;
+  let event_ns = 1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int evn in
+  Telemetry.flush ();
+  report_ns "telemetry.ring.event_ns" event_ns;
+  Fmt.pr "  %-24s %10.0f ns/point@." "recorder off" off;
+  Fmt.pr "  %-24s %10.0f ns/point@." "recorder on" on;
+  Fmt.pr "  %-24s %9.2f%%  (gate: < 5%%)@." "ring overhead" overhead;
+  Fmt.pr "  %-24s %10.0f ns/event  (informational)@." "raw ring record"
+    event_ns;
+  if overhead >= 5. then begin
+    Fmt.epr "FATAL: flight-recorder overhead %.2f%% >= 5%% on the eq38 sweep@."
+      overhead;
+    (exit [@lint.allow "raw-exit"]) 1
+  end
+
+(* ---------------------------------------------------------------- *)
 (* Driver: run the requested sections with telemetry counting work (null
    sink — no streaming overhead), and write BENCH_deltanet.json with the
    per-section wall time and counter deltas. *)
@@ -889,6 +1013,7 @@ let sections ~short =
     ("eq38", eq38 ~short);
     ("micro", micro ~short);
     ("serve", serve_bench ~short);
+    ("telemetry", telemetry_bench ~short);
   ]
 
 let () =
@@ -959,7 +1084,7 @@ let () =
   if bad <> [] then begin
     Fmt.epr
       "unknown section %S (expected \
-       fig2|fig3|fig4|extension|ablation|sweep-seq|sweep-par|eq38|micro|serve|all)@."
+       fig2|fig3|fig4|extension|ablation|sweep-seq|sweep-par|eq38|micro|serve|telemetry|all)@."
       (List.hd bad);
     (exit [@lint.allow "raw-exit"]) 2
   end;

@@ -168,7 +168,10 @@ let trace_arg =
         ~doc:"Print the telemetry span tree (with per-span wall times) to stderr.")
 
 (* Flushing hangs off [at_exit] so the snapshot survives the typed [exit]
-   paths (unstable scenario, numerical failure), which do not unwind. *)
+   paths (unstable scenario, numerical failure), which do not unwind.
+   Crashes leave evidence too: the uncaught-exception handler merges the
+   flight-recorder rings into the sink before the default handler prints
+   the backtrace, and SIGUSR1 dumps the rings of a live process. *)
 let setup_telemetry metrics trace =
   if metrics <> None || trace then begin
     let sinks = ref [] in
@@ -180,7 +183,12 @@ let setup_telemetry metrics trace =
       sinks := Telemetry.Sink.jsonl oc :: !sinks
     | None -> ());
     Telemetry.configure ~sink:(Telemetry.Sink.tee !sinks) ();
-    at_exit Telemetry.shutdown
+    at_exit Telemetry.shutdown;
+    Printexc.set_uncaught_exception_handler (fun e bt ->
+        (try Telemetry.flush () with _ -> ());
+        Printexc.default_uncaught_exception_handler e bt);
+    try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> Telemetry.flush ()))
+    with Invalid_argument _ | Sys_error _ -> ()
   end
 
 let with_telemetry name metrics trace f =
@@ -844,7 +852,25 @@ let serve_cmd =
             "Accept the $(b,debug-fail) op (a deliberately poisoned request that \
              exercises worker supervision).  For tests only.")
   in
-  let run budget queue cache batch debug_ops jobs metrics trace =
+  let prom_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Write a Prometheus text-exposition snapshot of the metric registry to \
+             $(docv), atomically rewritten (tmp + rename) every \
+             $(b,--prom-interval) seconds, on SIGUSR1 and on drain — point a \
+             node-exporter textfile collector (or $(b,curl file://)) at it.")
+  in
+  let prom_interval_arg =
+    Arg.(
+      value
+      & opt float 5.
+      & info [ "prom-interval" ] ~docv:"SECS"
+          ~doc:"Seconds between $(b,--prom) snapshot rewrites.")
+  in
+  let run budget queue cache batch debug_ops prom prom_interval jobs metrics trace =
     setup_jobs jobs;
     setup_telemetry metrics trace;
     (* recording entry points are load-and-branch no-ops until telemetry
@@ -855,6 +881,10 @@ let serve_cmd =
     Telemetry.span "cli.serve" @@ fun () ->
     if batch < 1 then begin
       Fmt.epr "invalid --batch %d (need >= 1)@." batch;
+      exit exit_usage
+    end;
+    if (not (Float.is_finite prom_interval)) || prom_interval <= 0. then begin
+      Fmt.epr "invalid --prom-interval %g (need a finite value > 0)@." prom_interval;
       exit exit_usage
     end;
     let cfg =
@@ -878,6 +908,23 @@ let serve_cmd =
     let handler = Sys.Signal_handle (fun _ -> stop := true) in
     Sys.set_signal Sys.sigterm handler;
     Sys.set_signal Sys.sigint handler;
+    (* SIGUSR1 likewise only flips a flag here (overriding the generic
+       flush-in-handler installed by setup_telemetry): the loop does the
+       ring merge and snapshot write outside signal context. *)
+    let usr1 = ref false in
+    (try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> usr1 := true))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let write_prom () =
+      match prom with
+      | None -> ()
+      | Some path -> (
+        try Telemetry.Prometheus.write_file path
+        with Sys_error msg -> Fmt.epr "serve: --prom write failed: %s@." msg)
+    in
+    let last_prom = ref (Unix.gettimeofday ()) in
+    (* an immediate first snapshot, so scrapers find the file as soon as
+       the daemon is up rather than one interval later *)
+    write_prom ();
     let buf = Buffer.create 65_536 in
     let chunk = Bytes.create 65_536 in
     let eof = ref false in
@@ -974,7 +1021,18 @@ let serve_cmd =
             if Buffer.length buf > overlong_cap then continue := false)
       done;
       batches (extract_lines ());
-      guard_overlong ()
+      guard_overlong ();
+      if !usr1 then begin
+        usr1 := false;
+        Telemetry.flush ();
+        write_prom ();
+        last_prom := Unix.gettimeofday ()
+      end
+      else if Option.is_some prom && Unix.gettimeofday () -. !last_prom >= prom_interval
+      then begin
+        write_prom ();
+        last_prom := Unix.gettimeofday ()
+      end
     done;
     (* drain: answer every complete buffered line, plus a final partial
        line if the writer was cut mid-request (it parses or it gets a
@@ -983,12 +1041,13 @@ let serve_cmd =
     if Buffer.length buf > 0 && not !drop_next_line then
       batches [ Buffer.contents buf ];
     respond_lines [ Serve.Engine.stats_response engine ];
+    write_prom ();
     Telemetry.flush ()
   in
   let term =
     Term.(
       const run $ budget_arg $ queue_arg $ cache_arg $ batch_arg $ debug_ops_arg
-      $ jobs_arg $ metrics_arg $ trace_arg)
+      $ prom_arg $ prom_interval_arg $ jobs_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1036,7 +1095,27 @@ let loadgen_cmd =
       & opt float 50.
       & info [ "deadline" ] ~docv:"MS" ~doc:"Deadline (ms) carried by every admit request.")
   in
-  let run n shapes malformed seed deadline sched =
+  let measure_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "measure" ]
+          ~doc:
+            "Instead of printing request lines, drive them through an in-process \
+             $(b,deltanet serve) engine, record per-request wall latency, and print \
+             count and p50/p95/p99 per outcome \
+             (exact/approx/shed/error/timeout).")
+  in
+  let latency_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "latency-out" ] ~docv:"CSV"
+          ~doc:
+            "With $(b,--measure) (implied), also write one \
+             $(i,request,outcome,latency_ms) CSV row per request to $(docv).")
+  in
+  let run n shapes malformed seed deadline sched measure latency_out =
     if n < 0 || shapes < 1 || malformed < 0. || malformed > 1. || Float.is_nan malformed
     then begin
       Fmt.epr "invalid arguments: need requests >= 0, shapes >= 1, malformed in [0, 1]@.";
@@ -1063,27 +1142,146 @@ let loadgen_cmd =
       | 3 -> "{\"op\":\"admit\",\"h\":5,\"u0\":1e999,\"uc\":0.1,\"deadline\":50}"
       | _ -> "not json at all"
     in
-    for i = 0 to n - 1 do
-      if Desim.Prng.bernoulli rng ~p:malformed then print_endline (malformed_line i)
+    let line i =
+      if Desim.Prng.bernoulli rng ~p:malformed then malformed_line i
       else begin
         let (h, u0, uc) = shape (Desim.Prng.int rng ~bound:shapes) in
-        Printf.printf
-          "{\"op\":\"admit\",\"id\":\"r%d\",\"h\":%d,\"u0\":%.6f,\"uc\":%.6f,\"deadline\":%.17g,\"sched\":%S}\n"
+        Printf.sprintf
+          "{\"op\":\"admit\",\"id\":\"r%d\",\"h\":%d,\"u0\":%.6f,\"uc\":%.6f,\"deadline\":%.17g,\"sched\":%S}"
           i h u0 uc deadline sched_name
       end
-    done
+    in
+    if not (measure || Option.is_some latency_out) then
+      for i = 0 to n - 1 do
+        print_endline (line i)
+      done
+    else begin
+      (* closed-loop measurement: same stream, but each line is answered by
+         an in-process engine and timed individually, so the percentiles
+         reflect pure service time with no pipe or batching effects *)
+      let engine = Serve.Engine.create Serve.Engine.default_config in
+      let contains s sub =
+        let ls = String.length s and lsub = String.length sub in
+        let rec go i =
+          i + lsub <= ls && (String.equal (String.sub s i lsub) sub || go (i + 1))
+        in
+        go 0
+      in
+      let outcome_of_response r =
+        if contains r "\"status\":\"shed\"" then "shed"
+        else if contains r "\"status\":\"timeout\"" then "timeout"
+        else if contains r "\"status\":\"error\"" then "error"
+        else if contains r "\"mode\":\"approx\"" then "approx"
+        else if contains r "\"mode\":\"exact\"" then "exact"
+        else "ok"
+      in
+      let lat = Array.make (max n 1) 0. in
+      let outcomes = Array.make (max n 1) "ok" in
+      for i = 0 to n - 1 do
+        let l = line i in
+        let t0 = Unix.gettimeofday () in
+        let resp =
+          match Serve.Engine.handle_batch engine [ l ] with
+          | [ r ] -> r
+          | rs -> String.concat "" rs
+        in
+        lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e3;
+        outcomes.(i) <- outcome_of_response resp
+      done;
+      (match latency_out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc "request,outcome,latency_ms\n";
+        for i = 0 to n - 1 do
+          Printf.fprintf oc "%d,%s,%.6f\n" i outcomes.(i) lat.(i)
+        done;
+        close_out oc);
+      (* nearest-rank percentile over the measured sample *)
+      let pct sorted q =
+        let m = Array.length sorted in
+        if m = 0 then 0.
+        else begin
+          let rank = int_of_float (Float.ceil (q *. float_of_int m)) in
+          sorted.(min (m - 1) (max 0 (rank - 1)))
+        end
+      in
+      let summarize label xs =
+        let a = Array.of_list xs in
+        Array.sort Float.compare a;
+        Printf.printf "%-8s n=%-6d p50=%.3fms p95=%.3fms p99=%.3fms\n" label
+          (Array.length a) (pct a 0.50) (pct a 0.95) (pct a 0.99)
+      in
+      summarize "all" (Array.to_list (Array.sub lat 0 n));
+      List.iter
+        (fun o ->
+          let xs = ref [] in
+          for i = n - 1 downto 0 do
+            if String.equal outcomes.(i) o then xs := lat.(i) :: !xs
+          done;
+          match !xs with [] -> () | xs -> summarize o xs)
+        [ "exact"; "approx"; "ok"; "shed"; "timeout"; "error" ]
+    end
   in
   let term =
     Term.(
       const run $ requests_arg $ shapes_arg $ malformed_arg $ seed_arg $ deadline_arg
-      $ sched_arg)
+      $ sched_arg $ measure_arg $ latency_out_arg)
   in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
          "Emit a deterministic stream of serve-protocol request lines (optionally \
           salted with malformed input) on stdout, for piping into $(b,deltanet \
-          serve) — the CI smoke test and the bench load generator.")
+          serve) — the CI smoke test and the bench load generator.  With \
+          $(b,--measure), answer the stream in-process instead and report \
+          per-outcome latency percentiles.")
+    term
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Telemetry JSONL file(s) written by $(b,--metrics); several files \
+             aggregate into one report.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ] ~doc:"Emit the report as one JSON object instead of text.")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Number of hot spans to list (by self time).")
+  in
+  let run files json top =
+    if top < 1 then begin
+      Fmt.epr "invalid --top %d (need >= 1)@." top;
+      exit exit_usage
+    end;
+    let t = Report.create () in
+    (try List.iter (Report.add_file t) files
+     with Sys_error msg ->
+       Fmt.epr "report: %s@." msg;
+       exit exit_runtime);
+    print_string (if json then Report.render_json ~top t else Report.render_text ~top t)
+  in
+  let term = Term.(const run $ files_arg $ json_arg $ top_arg) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Offline analyzer for $(b,--metrics) telemetry files: aggregated span \
+          trees with exact p50/p95/p99 per span name, counter rates, top-N hot \
+          spans by self time, and — when the trace comes from $(b,deltanet serve) \
+          — per-outcome request-latency percentiles and shed/timeout/error rates.")
     term
 
 let () =
@@ -1105,4 +1303,5 @@ let () =
             check_cmd;
             serve_cmd;
             loadgen_cmd;
+            report_cmd;
           ]))

@@ -109,9 +109,7 @@ let create ?jobs () =
 let jobs t = t.jobs
 let worker_count t = Array.length t.workers
 
-let effective_jobs t =
-  if t.jobs > 1 && not t.closed && not (Telemetry.streaming ()) then t.jobs
-  else 1
+let effective_jobs t = if t.jobs > 1 && not t.closed then t.jobs else 1
 
 let shutdown t =
   if not t.closed then begin

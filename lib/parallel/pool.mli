@@ -16,9 +16,10 @@
     Concurrency contract: a pool is driven from one domain at a time
     (the domain that created it).  [map] called from inside a worker —
     nested parallelism — degrades to sequential execution instead of
-    deadlocking, as does any [map] while a streaming telemetry sink is
-    live ({!Telemetry.streaming}), because streaming sinks are
-    single-domain. *)
+    deadlocking.  Telemetry never demotes a pool: traced spans and
+    events land in each domain's own flight-recorder ring
+    ({!Telemetry.Ring}) and are merged into one ordered stream at flush
+    time, so [--trace] and [jobs > 1] compose. *)
 
 type t
 
@@ -67,8 +68,7 @@ val worker_count : t -> int
 
 val effective_jobs : t -> int
 (** What a [map] right now would use: [1] when the pool is sequential or
-    a streaming telemetry sink forces single-domain execution, [jobs t]
-    otherwise. *)
+    shut down, [jobs t] otherwise. *)
 
 val in_worker : unit -> bool
 (** [true] on a pool worker domain.  [map] consults this to degrade

@@ -61,7 +61,16 @@ type t = {
   now : unit -> float;
   cache : entry Cache.t;
   started : float;
+  trace_prefix : string;
+  mutable trace_seq : int;
   mutable served_n : int;
+  (* SLO tallies live on the engine, not only in the telemetry registry:
+     the stats reply must be exact even when telemetry is disabled *)
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_shed : int;
+  mutable n_timeouts : int;
+  mutable n_errors : int;
   mutable ewma_exact_ms : float;
   mutable ewma_approx_ms : float;
 }
@@ -75,6 +84,20 @@ let c_timeouts = Telemetry.Counter.make "serve.timeout"
 let c_errors = Telemetry.Counter.make "serve.errors"
 let c_faults = Telemetry.Counter.make "serve.faults"
 let h_latency = Telemetry.Histogram.make "serve.latency_ms"
+let g_queue = Telemetry.Gauge.make "serve.queue_depth"
+
+(* Per-request latency split by outcome, one registry histogram per label
+   so the Prometheus exposition renders them as one labelled family. *)
+let outcome_hists =
+  List.map
+    (fun o ->
+      (o, Telemetry.Histogram.make (Printf.sprintf "serve.request_latency_ms{outcome=%s}" o)))
+    [ "exact"; "approx"; "shed"; "error"; "timeout"; "ok" ]
+
+let observe_outcome outcome ms =
+  match List.assoc_opt outcome outcome_hists with
+  | Some h -> Telemetry.Histogram.observe h ms
+  | None -> ()
 
 let create ?now:(clock = Unix.gettimeofday) cfg =
   if not (Float.is_finite cfg.budget_ms) || cfg.budget_ms <= 0. then
@@ -89,12 +112,43 @@ let create ?now:(clock = Unix.gettimeofday) cfg =
     now = clock;
     cache = Cache.create ~capacity:cfg.cache_entries;
     started = clock ();
+    (* derived from wall clock + pid: distinct across daemon restarts,
+       cheap, and with the per-request sequence number unique within one *)
+    trace_prefix =
+      Printf.sprintf "%08x"
+        (Hashtbl.hash (Unix.getpid (), clock ()) land 0xffffffff);
+    trace_seq = 0;
     served_n = 0;
+    n_hits = 0;
+    n_misses = 0;
+    n_shed = 0;
+    n_timeouts = 0;
+    n_errors = 0;
     (* seeds, not promises: the estimators converge onto the measured
        service times within a handful of requests *)
     ewma_exact_ms = 50.;
     ewma_approx_ms = 0.5;
   }
+
+let next_trace t =
+  t.trace_seq <- t.trace_seq + 1;
+  Printf.sprintf "%s-%06d" t.trace_prefix t.trace_seq
+
+(* Every finished response passes through here: the outcome-labelled
+   latency histogram gets its sample and the access log gets one event,
+   keyed by the trace id the response itself echoes. *)
+let access t ~batch_start ~trace ~outcome resp =
+  let elapsed_ms = (t.now () -. batch_start) *. 1000. in
+  observe_outcome outcome elapsed_ms;
+  if !Telemetry.on then
+    Telemetry.event "serve.access"
+      ~attrs:
+        [
+          ("trace", Telemetry.Str trace);
+          ("outcome", Telemetry.Str outcome);
+          ("elapsed_ms", Telemetry.Float elapsed_ms);
+        ];
+  resp
 
 let ewma old sample = (0.8 *. old) +. (0.2 *. sample)
 
@@ -215,6 +269,7 @@ let run_poison () =
 
 type job = {
   j_id : string option;
+  j_trace : string;
   j_params : P.admit_params;
   j_two_class : Classes.two_class;
   j_entry : entry option;  (* None: the shape failed to build an entry *)
@@ -227,7 +282,7 @@ type plan =
   | Done of string
   | Exact of job
   | Approx of job
-  | Poison of string option
+  | Poison of string option * string  (* id, trace *)
 
 let serve_counters () =
   let snap = Telemetry.snapshot () in
@@ -236,10 +291,11 @@ let serve_counters () =
       String.length name >= 6 && String.equal (String.sub name 0 6) "serve.")
     snap.Telemetry.counters
 
-let stats_response t =
-  P.render_stats ~uptime_s:(t.now () -. t.started) ~served:t.served_n
+let stats_response ?id ?trace t =
+  P.render_stats ?id ?trace ~uptime_s:(t.now () -. t.started) ~served:t.served_n
     ~cache_len:(Cache.length t.cache) ~cache_capacity:(Cache.capacity t.cache)
-    ~counters:(serve_counters ()) ()
+    ~cache_hits:t.n_hits ~cache_misses:t.n_misses ~shed:t.n_shed
+    ~timeouts:t.n_timeouts ~errors:t.n_errors ~counters:(serve_counters ()) ()
 
 let cache_length t = Cache.length t.cache
 let served t = t.served_n
@@ -250,6 +306,7 @@ let served t = t.served_n
    rest of the batch counts against the client's deadline. *)
 let finish_bound t ~batch_start ~service_ms ~(job : job) res =
   let p = job.j_params in
+  let trace = job.j_trace in
   let elapsed_ms = (t.now () -. batch_start) *. 1000. in
   (match job.j_mode with
   | P.Exact -> t.ewma_exact_ms <- ewma t.ewma_exact_ms service_ms
@@ -257,10 +314,15 @@ let finish_bound t ~batch_start ~service_ms ~(job : job) res =
   match res with
   | R_error { kind; detail } ->
     Telemetry.Counter.incr c_errors;
-    P.render_error ?id:job.j_id ~kind ~detail ()
+    t.n_errors <- t.n_errors + 1;
+    access t ~batch_start ~trace ~outcome:"error"
+      (P.render_error ?id:job.j_id ~trace ~kind ~detail ())
   | R_check _ ->
     Telemetry.Counter.incr c_errors;
-    P.render_error ?id:job.j_id ~kind:P.Internal ~detail:"unexpected check result" ()
+    t.n_errors <- t.n_errors + 1;
+    access t ~batch_start ~trace ~outcome:"error"
+      (P.render_error ?id:job.j_id ~trace ~kind:P.Internal
+         ~detail:"unexpected check result" ())
   | R_bound { bound; ok } ->
     (* memoize before the budget check: a timed-out computation still
        warms the cache, so the client's retry is a hit *)
@@ -272,14 +334,18 @@ let finish_bound t ~batch_start ~service_ms ~(job : job) res =
     | _ -> ());
     if elapsed_ms > job.j_budget then begin
       Telemetry.Counter.incr c_timeouts;
-      P.render_timeout ?id:job.j_id ~elapsed_ms ~budget_ms:job.j_budget ()
+      t.n_timeouts <- t.n_timeouts + 1;
+      access t ~batch_start ~trace ~outcome:"timeout"
+        (P.render_timeout ?id:job.j_id ~trace ~elapsed_ms ~budget_ms:job.j_budget ())
     end
     else begin
       let admitted = ok && bound <= p.P.deadline in
       Telemetry.Counter.incr (if admitted then c_accepted else c_rejected);
       Telemetry.Histogram.observe h_latency elapsed_ms;
-      P.render_admit ?id:job.j_id ~admitted ~bound_ms:bound ~deadline_ms:p.P.deadline
-        ~mode:job.j_mode ~cache_hit:job.j_hit ~elapsed_ms ()
+      access t ~batch_start ~trace ~outcome:(P.mode_label job.j_mode)
+        (P.render_admit ?id:job.j_id ~trace ~admitted ~bound_ms:bound
+           ~deadline_ms:p.P.deadline ~mode:job.j_mode ~cache_hit:job.j_hit
+           ~elapsed_ms ())
     end
 
 let handle_batch t lines =
@@ -288,7 +354,7 @@ let handle_batch t lines =
   let batch_start = t.now () in
   let compute_pending = ref 0 in
   let exact_assigned = ref 0 in
-  let plan_admit id (p : P.admit_params) =
+  let plan_admit id trace (p : P.admit_params) =
     let budget = match p.P.budget_ms with Some b -> b | None -> t.cfg.budget_ms in
     let remaining = budget -. ((t.now () -. batch_start) *. 1000.) in
     let predicted_wait = float_of_int !compute_pending *. t.ewma_approx_ms in
@@ -296,7 +362,11 @@ let handle_batch t lines =
       (* refuse before spending: the hint is the time the current backlog
          needs to clear at the degraded service rate *)
       Telemetry.Counter.incr c_shed;
-      Done (P.render_shed ?id ~retry_after_ms:(Float.max predicted_wait t.ewma_approx_ms) ())
+      t.n_shed <- t.n_shed + 1;
+      Done
+        (access t ~batch_start ~trace ~outcome:"shed"
+           (P.render_shed ?id ~trace
+              ~retry_after_ms:(Float.max predicted_wait t.ewma_approx_ms) ()))
     end
     else begin
       let two_class = two_class_of p in
@@ -311,13 +381,16 @@ let handle_batch t lines =
           e
       in
       let hit = match found with Some _ -> true | None -> false in
+      if hit then t.n_hits <- t.n_hits + 1 else t.n_misses <- t.n_misses + 1;
       match entry with
       | None ->
         (* no stable s: treat like the parse-level stability rejection *)
         Telemetry.Counter.incr c_errors;
+        t.n_errors <- t.n_errors + 1;
         Done
-          (P.render_error ?id ~kind:P.Unstable
-             ~detail:"no stable effective-bandwidth parameter exists" ())
+          (access t ~batch_start ~trace ~outcome:"error"
+             (P.render_error ?id ~trace ~kind:P.Unstable
+                ~detail:"no stable effective-bandwidth parameter exists" ()))
       | Some e ->
         let finish_memo mode bound =
           let elapsed_ms = (t.now () -. batch_start) *. 1000. in
@@ -325,8 +398,9 @@ let handle_batch t lines =
           Telemetry.Counter.incr (if admitted then c_accepted else c_rejected);
           Telemetry.Histogram.observe h_latency elapsed_ms;
           Done
-            (P.render_admit ?id ~admitted ~bound_ms:bound ~deadline_ms:p.P.deadline
-               ~mode ~cache_hit:hit ~elapsed_ms ())
+            (access t ~batch_start ~trace ~outcome:(P.mode_label mode)
+               (P.render_admit ?id ~trace ~admitted ~bound_ms:bound
+                  ~deadline_ms:p.P.deadline ~mode ~cache_hit:hit ~elapsed_ms ()))
         in
         (match e.e_exact with
         | Some bound -> finish_memo P.Exact bound
@@ -341,6 +415,7 @@ let handle_batch t lines =
             Exact
               {
                 j_id = id;
+                j_trace = trace;
                 j_params = p;
                 j_two_class = two_class;
                 j_entry = Some e;
@@ -358,6 +433,7 @@ let handle_batch t lines =
               Approx
                 {
                   j_id = id;
+                  j_trace = trace;
                   j_params = p;
                   j_two_class = two_class;
                   j_entry = Some e;
@@ -373,28 +449,55 @@ let handle_batch t lines =
       (fun line ->
         Telemetry.Counter.incr c_requests;
         t.served_n <- t.served_n + 1;
+        let trace = next_trace t in
         let id, parsed =
           P.parse ~max_bytes:t.cfg.max_line_bytes ~debug_ops:t.cfg.debug_ops line
         in
         match parsed with
         | Error { P.kind; detail } ->
           Telemetry.Counter.incr c_errors;
-          Done (P.render_error ?id ~kind ~detail ())
-        | Ok P.Stats -> Done (stats_response t)
-        | Ok P.Health -> Done (P.render_health ?id ~uptime_s:(t.now () -. t.started) ())
-        | Ok P.Debug_fail -> Poison id
+          t.n_errors <- t.n_errors + 1;
+          Done
+            (access t ~batch_start ~trace ~outcome:"error"
+               (P.render_error ?id ~trace ~kind ~detail ()))
+        | Ok P.Stats ->
+          Done
+            (access t ~batch_start ~trace ~outcome:"ok"
+               (stats_response ?id ~trace t))
+        | Ok P.Health ->
+          Done
+            (access t ~batch_start ~trace ~outcome:"ok"
+               (P.render_health ?id ~trace ~uptime_s:(t.now () -. t.started) ()))
+        | Ok P.Metrics ->
+          Done
+            (access t ~batch_start ~trace ~outcome:"ok"
+               (P.render_metrics ?id ~trace
+                  ~prometheus:(Telemetry.Prometheus.render ()) ()))
+        | Ok P.Debug_fail -> Poison (id, trace)
         | Ok (P.Check p) ->
           (match run_check p with
-          | R_check findings -> Done (P.render_check ?id ~findings ())
+          | R_check findings ->
+            Done
+              (access t ~batch_start ~trace ~outcome:"ok"
+                 (P.render_check ?id ~trace ~findings ()))
           | R_error { kind; detail } ->
             Telemetry.Counter.incr c_errors;
-            Done (P.render_error ?id ~kind ~detail ())
+            t.n_errors <- t.n_errors + 1;
+            Done
+              (access t ~batch_start ~trace ~outcome:"error"
+                 (P.render_error ?id ~trace ~kind ~detail ()))
           | R_bound _ ->
             Telemetry.Counter.incr c_errors;
-            Done (P.render_error ?id ~kind:P.Internal ~detail:"unexpected bound result" ()))
-        | Ok (P.Admit p) -> plan_admit id p)
+            t.n_errors <- t.n_errors + 1;
+            Done
+              (access t ~batch_start ~trace ~outcome:"error"
+                 (P.render_error ?id ~trace ~kind:P.Internal
+                    ~detail:"unexpected bound result" ())))
+        | Ok (P.Admit p) -> plan_admit id trace p)
       lines
   in
+  (* the cache maintains its own serve.cache.size gauge on mutation *)
+  Telemetry.Gauge.set g_queue (float_of_int !compute_pending);
   (* exact jobs fan out on the default pool; each is pure (no cached
      kernel) and individually supervised, so a poisoned request comes
      back as a value and the pool survives.  The large work hint reflects
@@ -422,14 +525,15 @@ let handle_batch t lines =
       (fun plan ->
         match plan with
         | Done s -> s
-        | Poison id ->
-          (match run_poison () with
-          | R_error { kind; detail } ->
-            Telemetry.Counter.incr c_errors;
-            P.render_error ?id ~kind ~detail ()
-          | R_bound _ | R_check _ ->
-            Telemetry.Counter.incr c_errors;
-            P.render_error ?id ~kind:P.Internal ~detail:"poison returned a value" ())
+        | Poison (id, trace) ->
+          Telemetry.Counter.incr c_errors;
+          t.n_errors <- t.n_errors + 1;
+          access t ~batch_start ~trace ~outcome:"error"
+            (match run_poison () with
+            | R_error { kind; detail } -> P.render_error ?id ~trace ~kind ~detail ()
+            | R_bound _ | R_check _ ->
+              P.render_error ?id ~trace ~kind:P.Internal
+                ~detail:"poison returned a value" ())
         | Exact j ->
           let res = exact_results.(!exact_i) in
           incr exact_i;

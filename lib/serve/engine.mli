@@ -68,8 +68,24 @@ val handle_batch : t -> string list -> string list
     compute starts, so overload is refused early instead of after the
     queue has already burned the budget. *)
 
-val stats_response : t -> string
-(** The [stats] response line (also emitted on drain). *)
+val stats_response : ?id:string -> ?trace:string -> t -> string
+(** The enriched [stats] response line (also emitted on drain): uptime,
+    served count, cache length/capacity, hit/miss totals with ratio, and
+    shed/timeout/error counts since the engine started — exact even when
+    telemetry is disabled, because the tallies live on the engine. *)
 
 val cache_length : t -> int
 val served : t -> int
+
+(** {1 Observability}
+
+    Every response passes through the engine's access path: a
+    server-assigned trace id ([<prefix>-<seq>], unique per engine) is
+    echoed in the response's ["trace"] field and emitted as a
+    ["serve.access"] telemetry event with the outcome and elapsed time;
+    the per-request latency lands in the outcome-labelled histogram
+    family ["serve.request_latency_ms{outcome=...}"] with outcome one of
+    [exact]/[approx]/[shed]/[error]/[timeout]/[ok] (control ops), and the
+    planner publishes the ["serve.queue_depth"] gauge per batch.  The
+    [metrics] request verb renders the whole registry via
+    {!Telemetry.Prometheus.render}. *)

@@ -26,6 +26,7 @@ type request =
   | Check of admit_params
   | Stats
   | Health
+  | Metrics
   | Debug_fail
 
 type error_kind =
@@ -150,6 +151,7 @@ let request_of ~debug_ops json =
   | Some (Sjson.Str "check") -> Check (admit_params_of ~require_deadline:false json)
   | Some (Sjson.Str "stats") -> Stats
   | Some (Sjson.Str "health") -> Health
+  | Some (Sjson.Str "metrics") -> Metrics
   | Some (Sjson.Str "debug-fail") when debug_ops -> Debug_fail
   | Some (Sjson.Str op) -> bad Invalid_request "unknown op %S" op
   | Some other -> bad Invalid_request "field \"op\" must be a string, got %s" (Sjson.type_name other)
@@ -190,12 +192,19 @@ type mode = Exact | Approx
 let mode_label = function Exact -> "exact" | Approx -> "approx"
 
 let str s = "\"" ^ J.escape s ^ "\""
-let with_id id fields = match id with None -> fields | Some i -> ("id", str i) :: fields
 let bool b = if b then "true" else "false"
 
-let render_admit ?id ~admitted ~bound_ms ~deadline_ms ~mode ~cache_hit ~elapsed_ms () =
+(* [id] (echoed client correlation id) leads, [trace] (server-assigned
+   request trace id, also in the access log) closes, so clients can join
+   a response line against the daemon's own telemetry. *)
+let with_ids id trace fields =
+  let fields = match trace with None -> fields | Some s -> fields @ [ ("trace", str s) ] in
+  match id with None -> fields | Some i -> ("id", str i) :: fields
+
+let render_admit ?id ?trace ~admitted ~bound_ms ~deadline_ms ~mode ~cache_hit
+    ~elapsed_ms () =
   J.obj
-    (with_id id
+    (with_ids id trace
        [
          ("status", str "ok");
          ("op", str "admit");
@@ -207,9 +216,9 @@ let render_admit ?id ~admitted ~bound_ms ~deadline_ms ~mode ~cache_hit ~elapsed_
          ("elapsed_ms", J.number elapsed_ms);
        ])
 
-let render_check ?id ~findings () =
+let render_check ?id ?trace ~findings () =
   J.obj
-    (with_id id
+    (with_ids id trace
        [
          ("status", str "ok");
          ("op", str "check");
@@ -217,9 +226,9 @@ let render_check ?id ~findings () =
          ("findings", J.arr (List.map str findings));
        ])
 
-let render_error ?id ~kind ~detail () =
+let render_error ?id ?trace ~kind ~detail () =
   J.obj
-    (with_id id
+    (with_ids id trace
        [
          ("status", str "error");
          ("code", str (error_code kind));
@@ -227,9 +236,9 @@ let render_error ?id ~kind ~detail () =
          ("exit_hint", string_of_int (exit_hint kind));
        ])
 
-let render_shed ?id ~retry_after_ms () =
+let render_shed ?id ?trace ~retry_after_ms () =
   J.obj
-    (with_id id
+    (with_ids id trace
        [
          ("status", str "shed");
          ("code", str (error_code Overloaded));
@@ -237,9 +246,9 @@ let render_shed ?id ~retry_after_ms () =
          ("exit_hint", string_of_int (exit_hint Overloaded));
        ])
 
-let render_timeout ?id ~elapsed_ms ~budget_ms () =
+let render_timeout ?id ?trace ~elapsed_ms ~budget_ms () =
   J.obj
-    (with_id id
+    (with_ids id trace
        [
          ("status", str "timeout");
          ("code", str (error_code Deadline_exceeded));
@@ -248,9 +257,14 @@ let render_timeout ?id ~elapsed_ms ~budget_ms () =
          ("exit_hint", string_of_int (exit_hint Deadline_exceeded));
        ])
 
-let render_stats ?id ~uptime_s ~served ~cache_len ~cache_capacity ~counters () =
+let render_stats ?id ?trace ~uptime_s ~served ~cache_len ~cache_capacity
+    ~cache_hits ~cache_misses ~shed ~timeouts ~errors ~counters () =
+  let lookups = cache_hits + cache_misses in
+  let hit_ratio =
+    if lookups = 0 then 0. else float_of_int cache_hits /. float_of_int lookups
+  in
   J.obj
-    (with_id id
+    (with_ids id trace
        [
          ("status", str "ok");
          ("op", str "stats");
@@ -258,11 +272,22 @@ let render_stats ?id ~uptime_s ~served ~cache_len ~cache_capacity ~counters () =
          ("served", string_of_int served);
          ("cache_len", string_of_int cache_len);
          ("cache_capacity", string_of_int cache_capacity);
+         ("cache_hits", string_of_int cache_hits);
+         ("cache_misses", string_of_int cache_misses);
+         ("cache_hit_ratio", J.number hit_ratio);
+         ("shed", string_of_int shed);
+         ("timeouts", string_of_int timeouts);
+         ("errors", string_of_int errors);
          ( "counters",
            J.obj (List.map (fun (k, v) -> (k, string_of_int v)) counters) );
        ])
 
-let render_health ?id ~uptime_s () =
+let render_health ?id ?trace ~uptime_s () =
   J.obj
-    (with_id id
+    (with_ids id trace
        [ ("status", str "ok"); ("op", str "health"); ("uptime_s", J.number uptime_s) ])
+
+let render_metrics ?id ?trace ~prometheus () =
+  J.obj
+    (with_ids id trace
+       [ ("status", str "ok"); ("op", str "metrics"); ("prometheus", str prometheus) ])

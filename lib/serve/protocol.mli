@@ -11,6 +11,8 @@
       EDF, default 10), [id] (echoed back for correlation).
     - [check] — contract findings for a shape, no bound computed.
     - [stats] — counter/cache snapshot.  [health] — liveness probe.
+    - [metrics] — the whole metric registry in Prometheus text
+      exposition, embedded as one JSON string field.
     - [debug-fail] — deliberately raises inside the worker; only parsed
       when the engine enables debug ops (the supervision tests' poisoned
       request).
@@ -22,7 +24,10 @@
     missed).  Admission responses are tagged ["mode"]: ["exact"] for the
     full s+gamma optimization, ["approx"] for the degraded cached-kernel
     bound — both are sound upper bounds, approx is merely looser (it can
-    refuse an admissible flow, never the reverse).
+    refuse an admissible flow, never the reverse).  Every response may
+    additionally carry a server-assigned ["trace"] id, echoed in the
+    daemon's access-log telemetry so one can join a response against the
+    trace after the fact.
 
     Parsing is total: every byte string maps to a request or to a typed
     error, never an exception. *)
@@ -50,6 +55,7 @@ type request =
   | Check of admit_params
   | Stats
   | Health
+  | Metrics
   | Debug_fail
 
 type error_kind =
@@ -91,6 +97,7 @@ val mode_label : mode -> string
 
 val render_admit :
   ?id:string ->
+  ?trace:string ->
   admitted:bool ->
   bound_ms:float ->
   deadline_ms:float ->
@@ -100,22 +107,39 @@ val render_admit :
   unit ->
   string
 
-val render_check : ?id:string -> findings:string list -> unit -> string
+val render_check : ?id:string -> ?trace:string -> findings:string list -> unit -> string
 (** [findings] are {!Contracts.code} strings; empty means the shape passes
     every contract. *)
 
-val render_error : ?id:string -> kind:error_kind -> detail:string -> unit -> string
-val render_shed : ?id:string -> retry_after_ms:float -> unit -> string
-val render_timeout : ?id:string -> elapsed_ms:float -> budget_ms:float -> unit -> string
+val render_error :
+  ?id:string -> ?trace:string -> kind:error_kind -> detail:string -> unit -> string
+
+val render_shed : ?id:string -> ?trace:string -> retry_after_ms:float -> unit -> string
+
+val render_timeout :
+  ?id:string -> ?trace:string -> elapsed_ms:float -> budget_ms:float -> unit -> string
 
 val render_stats :
   ?id:string ->
+  ?trace:string ->
   uptime_s:float ->
   served:int ->
   cache_len:int ->
   cache_capacity:int ->
+  cache_hits:int ->
+  cache_misses:int ->
+  shed:int ->
+  timeouts:int ->
+  errors:int ->
   counters:(string * int) list ->
   unit ->
   string
+(** The enriched stats reply: cache hit/miss totals with their ratio
+    (0 when no lookup happened yet), shed/timeout/error counts since the
+    engine started, uptime, plus the raw ["serve.*"] counter snapshot. *)
 
-val render_health : ?id:string -> uptime_s:float -> unit -> string
+val render_health : ?id:string -> ?trace:string -> uptime_s:float -> unit -> string
+
+val render_metrics : ?id:string -> ?trace:string -> prometheus:string -> unit -> string
+(** The Prometheus exposition text as one escaped JSON string field
+    (["prometheus"]). *)

@@ -1,4 +1,5 @@
-(* Zero-dependency observability: metric registry, spans, pluggable sinks.
+(* Zero-dependency observability: metric registry, spans, flight-recorder
+   rings, pluggable sinks.
 
    The enabled flag is the single hot-path gate: every recording entry
    point loads it and branches before doing any work, so instrumentation
@@ -13,10 +14,13 @@
    - the span stack is domain-local, so a span opened inside a worker
      nests against that worker's own spans, never against another
      domain's;
-   - sinks are NOT synchronized.  Streaming sinks (fmt, jsonl) must only
-     be driven from one domain; [streaming] exposes exactly that
-     condition and the parallel pool drops to sequential execution while
-     it holds. *)
+   - span/point events are recorded into a per-domain bounded ring (one
+     writer per ring, lock-free publication through an atomic write
+     index), never pushed to the sink inline.  [flush] merges all rings
+     by timestamp into one ordered stream and hands it to the sink from
+     the calling domain, so sinks see a single-domain, time-ordered
+     stream no matter how many domains recorded — parallel pools need no
+     demotion while tracing. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 type kv = string * value
@@ -25,6 +29,7 @@ let enabled = ref false
 let is_enabled () = !enabled
 let on = enabled
 let now () = Unix.gettimeofday ()
+let dom_id () = (Domain.self () :> int)
 
 (* ---------------- JSON / CSV emission ---------------- *)
 
@@ -71,14 +76,24 @@ end
 
 module Sink = struct
   type event =
-    | Span_start of { name : string; depth : int; attrs : kv list }
+    | Span_start of {
+        ts : float;
+        dom : int;
+        name : string;
+        depth : int;
+        attrs : kv list;
+      }
     | Span_end of {
+        ts : float;
+        dom : int;
         name : string;
         depth : int;
         elapsed_ms : float;
         attrs : kv list;
       }
     | Point of {
+        ts : float;
+        dom : int;
         span : string option;
         depth : int;
         name : string;
@@ -86,14 +101,10 @@ module Sink = struct
       }
     | Metric of { kind : string; name : string; fields : kv list }
 
-  (* [quiet] marks sinks that provably drop every event: the null sink and
-     tees of quiet sinks.  While a non-quiet sink is configured the event
-     stream is single-domain by contract, which [streaming] below exposes
-     to the parallel pool. *)
-  type t = { emit : event -> unit; flush : unit -> unit; quiet : bool }
+  type t = { emit : event -> unit; flush : unit -> unit }
 
-  let make ~emit ~flush = { emit; flush; quiet = false }
-  let null = { emit = (fun _ -> ()); flush = (fun () -> ()); quiet = true }
+  let make ~emit ~flush = { emit; flush }
+  let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
 
   let pp_attrs ppf = function
     | [] -> ()
@@ -116,47 +127,52 @@ module Sink = struct
   let fmt ?ppf () =
     let ppf = match ppf with Some p -> p | None -> Format.err_formatter in
     let indent d = String.make (2 * d) ' ' in
+    let pp_dom ppf d = if d <> 0 then Format.fprintf ppf "[d%d] " d in
     let emit = function
-      | Span_start { name; depth; attrs } ->
-        Format.fprintf ppf "%s> %s%a@." (indent depth) name pp_attrs attrs
-      | Span_end { name; depth; elapsed_ms; attrs } ->
-        Format.fprintf ppf "%s< %s %.3fms%a@." (indent depth) name elapsed_ms
+      | Span_start { ts = _; dom; name; depth; attrs } ->
+        Format.fprintf ppf "%s%a> %s%a@." (indent depth) pp_dom dom name
           pp_attrs attrs
-      | Point { span = _; depth; name; attrs } ->
-        Format.fprintf ppf "%s. %s%a@." (indent depth) name pp_attrs attrs
+      | Span_end { ts = _; dom; name; depth; elapsed_ms; attrs } ->
+        Format.fprintf ppf "%s%a< %s %.3fms%a@." (indent depth) pp_dom dom name
+          elapsed_ms pp_attrs attrs
+      | Point { ts = _; dom; span = _; depth; name; attrs } ->
+        Format.fprintf ppf "%s%a. %s%a@." (indent depth) pp_dom dom name
+          pp_attrs attrs
       | Metric { kind; name; fields } ->
         Format.fprintf ppf "# %s %s%a@." kind name pp_attrs fields
     in
-    { emit; flush = (fun () -> Format.pp_print_flush ppf ()); quiet = false }
+    { emit; flush = (fun () -> Format.pp_print_flush ppf ()) }
 
   let jsonl oc =
     let epoch = now () in
-    let ts () = ("ts", Json.number (now () -. epoch)) in
+    let ts_field ts = ("ts", Json.number (ts -. epoch)) in
+    let dom_field dom = ("dom", string_of_int dom) in
     let attr_fields attrs = List.map (fun (k, v) -> (k, Json.of_value v)) attrs in
     let line fields =
       output_string oc (Json.obj fields);
       output_char oc '\n'
     in
     let emit = function
-      | Span_start { name; depth; attrs } ->
+      | Span_start { ts; dom; name; depth; attrs } ->
         line
-          ([ ("type", "\"span_start\""); ts ();
+          ([ ("type", "\"span_start\""); ts_field ts; dom_field dom;
              ("name", Json.of_value (Str name)); ("depth", string_of_int depth) ]
           @ attr_fields attrs)
-      | Span_end { name; depth; elapsed_ms; attrs } ->
+      | Span_end { ts; dom; name; depth; elapsed_ms; attrs } ->
         line
-          ([ ("type", "\"span_end\""); ts ();
+          ([ ("type", "\"span_end\""); ts_field ts; dom_field dom;
              ("name", Json.of_value (Str name)); ("depth", string_of_int depth);
              ("elapsed_ms", Json.number elapsed_ms) ]
           @ attr_fields attrs)
-      | Point { span; depth = _; name; attrs } ->
+      | Point { ts; dom; span; depth = _; name; attrs } ->
         let span_field =
           match span with
           | None -> []
           | Some s -> [ ("span", Json.of_value (Str s)) ]
         in
         line
-          ([ ("type", "\"event\""); ts (); ("name", Json.of_value (Str name)) ]
+          ([ ("type", "\"event\""); ts_field ts; dom_field dom;
+             ("name", Json.of_value (Str name)) ]
           @ span_field @ attr_fields attrs)
       | Metric { kind; name; fields } ->
         line
@@ -164,20 +180,160 @@ module Sink = struct
              ("name", Json.of_value (Str name)) ]
           @ attr_fields fields)
     in
-    { emit; flush = (fun () -> flush oc); quiet = false }
+    { emit; flush = (fun () -> flush oc) }
 
   let tee sinks =
     {
       emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
       flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
-      quiet = List.for_all (fun s -> s.quiet) sinks;
     }
 end
 
 let sink = ref Sink.null
-let emit e = !sink.Sink.emit e
-let flush () = if !enabled then !sink.Sink.flush ()
-let streaming () = !enabled && not !sink.Sink.quiet
+
+(* ---------------- flight-recorder rings ---------------- *)
+
+module Ring = struct
+  (* One ring per recording domain, single writer (the owning domain).
+     The slot array is published through [r_w]: the writer stores the
+     event first, then bumps the atomic write index, so any index a
+     reader observes covers fully-written slots.  Readers (the merge in
+     [flush]) re-read [r_w] after copying and discard anything that may
+     have been overwritten mid-copy, so a drain racing a live writer
+     yields a consistent suffix rather than torn data.  When the ring
+     wraps, the oldest events are overwritten — flight-recorder
+     semantics: after a crash the tail survives, and the merge reports
+     how many events fell off the front. *)
+
+  type t = {
+    r_dom : int;
+    r_cap : int;
+    r_slots : Sink.event array;
+    r_w : int Atomic.t;  (* total events ever recorded to this ring *)
+    mutable r_read : int;  (* drained up to; only touched under rings_mutex *)
+  }
+
+  let default_capacity = 32768
+  let dummy = Sink.Metric { kind = ""; name = ""; fields = [] }
+
+  let make ~dom ~cap =
+    (* round up to a power of two so [record] can mask instead of
+       divide — an integer division on every event is measurable in the
+       ring's ns/record cost *)
+    let cap =
+      let rec up n = if n >= cap then n else up (n * 2) in
+      up 1
+    in
+    {
+      r_dom = dom;
+      r_cap = cap;
+      r_slots = Array.make cap dummy;
+      r_w = Atomic.make 0;
+      r_read = 0;
+    }
+
+  let record r ev =
+    let i = Atomic.get r.r_w in
+    r.r_slots.(i land (r.r_cap - 1)) <- ev;
+    Atomic.set r.r_w (i + 1)
+end
+
+let rings_mutex = Mutex.create ()
+let rings : Ring.t list ref = ref []
+let ring_cap = ref Ring.default_capacity
+
+let ring_key : Ring.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let r = Ring.make ~dom:(dom_id ()) ~cap:!ring_cap in
+      Mutex.lock rings_mutex;
+      rings := r :: !rings;
+      Mutex.unlock rings_mutex;
+      r)
+
+let record ev = Ring.record (Domain.DLS.get ring_key) ev
+
+let ring_stats () =
+  Mutex.lock rings_mutex;
+  let rs = !rings in
+  Mutex.unlock rings_mutex;
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (List.map (fun r -> (r.Ring.r_dom, Atomic.get r.Ring.r_w)) rs)
+
+let event_ts = function
+  | Sink.Span_start { ts; _ } | Sink.Span_end { ts; _ } | Sink.Point { ts; _ }
+    ->
+    ts
+  | Sink.Metric _ -> 0.
+
+let event_dom = function
+  | Sink.Span_start { dom; _ } | Sink.Span_end { dom; _ }
+  | Sink.Point { dom; _ } ->
+    dom
+  | Sink.Metric _ -> 0
+
+(* Drain every ring and merge into one timestamp-ordered stream.  Ties
+   (identical wall-clock stamps) break by (domain, ring order), so the
+   merged stream is deterministic given the recorded events.  Holding
+   [rings_mutex] for the whole drain serializes concurrent flushers;
+   writers never take the lock, so a drain can race a live writer — the
+   per-ring re-check above keeps that safe. *)
+let drain_rings () =
+  Mutex.lock rings_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock rings_mutex)
+    (fun () ->
+      let out = ref [] in
+      List.iter
+        (fun r ->
+          let w = Atomic.get r.Ring.r_w in
+          let lo = max r.Ring.r_read (w - r.Ring.r_cap) in
+          let copied = ref [] in
+          for i = w - 1 downto lo do
+            copied := (i, r.Ring.r_slots.(i mod r.Ring.r_cap)) :: !copied
+          done;
+          let w' = Atomic.get r.Ring.r_w in
+          let lo' = max lo (w' - r.Ring.r_cap) in
+          let kept = List.filter (fun (i, _) -> i >= lo') !copied in
+          let dropped = lo' - r.Ring.r_read in
+          r.Ring.r_read <- w;
+          (match kept with
+          | (_, first) :: _ when dropped > 0 ->
+            out :=
+              ( event_ts first,
+                r.Ring.r_dom,
+                min_int,
+                Sink.Point
+                  {
+                    ts = event_ts first;
+                    dom = r.Ring.r_dom;
+                    span = None;
+                    depth = 0;
+                    name = "telemetry.ring.dropped";
+                    attrs = [ ("count", Int dropped) ];
+                  } )
+              :: !out
+          | _ -> ());
+          List.iter
+            (fun (i, ev) -> out := (event_ts ev, event_dom ev, i, ev) :: !out)
+            kept)
+        !rings;
+      List.map
+        (fun (_, _, _, ev) -> ev)
+        (List.sort
+           (fun (ta, da, ia, _) (tb, db, ib, _) ->
+             let c = Float.compare ta tb in
+             if c <> 0 then c
+             else
+               let c = Int.compare da db in
+               if c <> 0 then c else Int.compare ia ib)
+           !out))
+
+let flush () =
+  if !enabled then begin
+    List.iter !sink.Sink.emit (drain_rings ());
+    !sink.Sink.flush ()
+  end
 
 (* ---------------- metric registry ---------------- *)
 
@@ -316,6 +472,14 @@ module Histogram = struct
   let count h = Atomic.get h.hg_n
   let sum h = Atomic.get h.hg_sum
 
+  let buckets h =
+    let acc = ref [] in
+    for i = hist_buckets - 1 downto 0 do
+      let c = Atomic.get h.hg_counts.(i) in
+      if c > 0 then acc := (bucket_upper i, c) :: !acc
+    done;
+    !acc
+
   let quantile h q =
     let n = Atomic.get h.hg_n in
     if n = 0 then Float.nan
@@ -341,25 +505,57 @@ let stack_key : string list ref Domain.DLS.key =
 
 let stack () = Domain.DLS.get stack_key
 
-let span_hist name = Histogram.make ("span." ^ name ^ ".ms")
-let span_calls name = Counter.make ("span." ^ name ^ ".calls")
+(* Every span close feeds a histogram and a counter derived from the span
+   name.  Resolving them through the registry each time costs two mutex
+   acquisitions plus two string concatenations — and the mutex is shared
+   across domains, so a traced parallel sweep would serialize on it.
+   Span-name cardinality is tiny, so a lock-free association list in an
+   atomic serves repeat lookups without synchronisation and falls back to
+   the registry only the first time a name is seen.  [reset] zeroes
+   metrics in place without removing them from the registry, so cached
+   pairs never go stale. *)
+let span_metrics : (string * (histogram * counter)) list Atomic.t =
+  Atomic.make []
+
+let rec span_metrics_for name =
+  let rec find = function
+    | [] -> None
+    | (n, v) :: tl -> if String.equal n name then Some v else find tl
+  in
+  let cache = Atomic.get span_metrics in
+  match find cache with
+  | Some pair -> pair
+  | None ->
+    let pair =
+      ( Histogram.make ("span." ^ name ^ ".ms"),
+        Counter.make ("span." ^ name ^ ".calls") )
+    in
+    (* a lost race just retries; the registry dedupes the underlying
+       metrics, so whichever entry wins the CAS points at the same
+       objects *)
+    if Atomic.compare_and_set span_metrics cache ((name, pair) :: cache)
+    then pair
+    else span_metrics_for name
 
 let span ?(attrs = []) name f =
   if not !enabled then f ()
   else begin
     let stack = stack () in
+    let dom = dom_id () in
     let depth = List.length !stack in
-    emit (Sink.Span_start { name; depth; attrs });
-    stack := name :: !stack;
     let t0 = now () in
+    record (Sink.Span_start { ts = t0; dom; name; depth; attrs });
+    stack := name :: !stack;
     let close extra =
-      let elapsed_ms = (now () -. t0) *. 1000. in
+      let t1 = now () in
+      let elapsed_ms = (t1 -. t0) *. 1000. in
       (match !stack with _ :: rest -> stack := rest | [] -> ());
       (* histogram/counter before the enabled-recheck: shutdown inside the
          span would otherwise lose the closing sample *)
-      Histogram.observe (span_hist name) elapsed_ms;
-      Counter.incr (span_calls name);
-      emit (Sink.Span_end { name; depth; elapsed_ms; attrs = extra })
+      let hist, calls = span_metrics_for name in
+      Histogram.observe hist elapsed_ms;
+      Counter.incr calls;
+      record (Sink.Span_end { ts = t1; dom; name; depth; elapsed_ms; attrs = extra })
     in
     match f () with
     | v ->
@@ -373,9 +569,11 @@ let span ?(attrs = []) name f =
 let event ?(attrs = []) name =
   if !enabled then begin
     let stack = stack () in
-    emit
+    record
       (Sink.Point
          {
+           ts = now ();
+           dom = dom_id ();
            span = (match !stack with [] -> None | s :: _ -> Some s);
            depth = List.length !stack;
            name;
@@ -393,6 +591,7 @@ type histogram_view = {
   h_p50 : float;
   h_p90 : float;
   h_p99 : float;
+  h_buckets : (float * int) list;
 }
 
 type snapshot = {
@@ -411,6 +610,7 @@ let hist_view h =
     h_p50 = Histogram.quantile h 0.5;
     h_p90 = Histogram.quantile h 0.9;
     h_p99 = Histogram.quantile h 0.99;
+    h_buckets = Histogram.buckets h;
   }
 
 let snapshot () =
@@ -449,13 +649,158 @@ let reset () =
             Atomic.set h.hg_max Float.neg_infinity)
         registry)
 
+(* ---------------- Prometheus text exposition ---------------- *)
+
+module Prometheus = struct
+  (* Registry names use dots and optional trailing labels:
+     "serve.request_latency_ms{outcome=exact}".  Exposition mangles the
+     base ([^a-zA-Z0-9_:] -> '_') and renders labels with quoted values;
+     histograms become cumulative _bucket/_sum/_count series with a
+     closing le="+Inf", counters gain the conventional _total suffix. *)
+
+  let sanitize base =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      base
+
+  let split_labels name =
+    let n = String.length name in
+    match String.index_opt name '{' with
+    | Some i when n > 0 && Char.equal name.[n - 1] '}' ->
+      let base = String.sub name 0 i in
+      let inner = String.sub name (i + 1) (n - i - 2) in
+      let labels =
+        List.filter_map
+          (fun kv ->
+            match String.index_opt kv '=' with
+            | Some j ->
+              Some
+                ( String.sub kv 0 j,
+                  String.sub kv (j + 1) (String.length kv - j - 1) )
+            | None -> None)
+          (if String.length inner = 0 then []
+           else String.split_on_char ',' inner)
+      in
+      (sanitize base, labels)
+    | _ -> (sanitize name, [])
+
+  let render_labels = function
+    | [] -> ""
+    | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               sanitize k ^ "=\"" ^ Json.escape v ^ "\"")
+             labels)
+      ^ "}"
+
+  let number x =
+    if Float.is_nan x then "NaN"
+    else if Float.is_finite x then Printf.sprintf "%.17g" x
+    else if x > 0. then "+Inf"
+    else "-Inf"
+
+  (* Emit # HELP / # TYPE once per family: label-variants of one base
+     name arrive adjacent (the snapshot is name-sorted). *)
+  let header buf seen base kind =
+    if not (List.mem base !seen) then begin
+      seen := base :: !seen;
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s deltanet %s\n# TYPE %s %s\n" base kind
+           base kind)
+    end
+
+  let render () =
+    let snap = snapshot () in
+    let buf = Buffer.create 4096 in
+    let seen = ref [] in
+    List.iter
+      (fun (name, v) ->
+        let base, labels = split_labels name in
+        let base = base ^ "_total" in
+        header buf seen base "counter";
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" base (render_labels labels) v))
+      snap.counters;
+    List.iter
+      (fun (name, last, mx) ->
+        if not (Float.is_nan last) then begin
+          let base, labels = split_labels name in
+          header buf seen base "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" base (render_labels labels)
+               (number last));
+          let mbase = base ^ "_max" in
+          header buf seen mbase "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" mbase (render_labels labels)
+               (number mx))
+        end)
+      snap.gauges;
+    List.iter
+      (fun (name, hv) ->
+        let base, labels = split_labels name in
+        header buf seen base "histogram";
+        let cum = ref 0 in
+        List.iter
+          (fun (upper, count) ->
+            cum := !cum + count;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" base
+                 (render_labels (labels @ [ ("le", number upper) ]))
+                 !cum))
+          hv.h_buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" base
+             (render_labels (labels @ [ ("le", "+Inf") ]))
+             hv.h_count);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" base (render_labels labels)
+             (number hv.h_sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" base (render_labels labels)
+             hv.h_count))
+      snap.histograms;
+    Buffer.contents buf
+
+  let write_file path =
+    let text = render () in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    (match
+       output_string oc text;
+       close_out oc
+     with
+    | () -> ()
+    | exception e ->
+      (try close_out_noerr oc with _ -> ());
+      raise e);
+    Unix.rename tmp path
+end
+
 (* ---------------- lifecycle ---------------- *)
 
 let at_exit_registered = ref false
 
-let configure ?sink:(s = Sink.null) () =
+let configure ?sink:(s = Sink.null) ?ring_capacity () =
+  (match ring_capacity with
+  | Some c when c < 16 ->
+    invalid_arg "Telemetry.configure: ring_capacity must be >= 16"
+  | Some c -> ring_cap := c
+  | None -> ());
   sink := s;
   stack () := [];
+  (* Discard events a previous run left in the rings: a fresh configure
+     starts a fresh trace. *)
+  Mutex.lock rings_mutex;
+  List.iter
+    (fun r -> r.Ring.r_read <- Atomic.get r.Ring.r_w)
+    !rings;
+  Mutex.unlock rings_mutex;
   enabled := true;
   (* A long-running process that dies between explicit shutdowns must not
      lose buffered JSONL rows to the channel buffer; one process-wide
@@ -467,19 +812,30 @@ let configure ?sink:(s = Sink.null) () =
     at_exit flush
   end
 
+let bucket_field hv =
+  ( "buckets",
+    Str
+      (String.concat ";"
+         (List.map
+            (fun (upper, count) -> Printf.sprintf "%.17g:%d" upper count)
+            hv.h_buckets)) )
+
 let shutdown () =
   if !enabled then begin
+    (* the flight recorder's tail first, then the registry rows *)
+    List.iter !sink.Sink.emit (drain_rings ());
     (* only metrics that saw activity: a quiet registry row says nothing *)
     let snap = snapshot () in
     List.iter
       (fun (name, v) ->
         if v <> 0 then
-          emit (Sink.Metric { kind = "counter"; name; fields = [ ("value", Int v) ] }))
+          !sink.Sink.emit
+            (Sink.Metric { kind = "counter"; name; fields = [ ("value", Int v) ] }))
       snap.counters;
     List.iter
       (fun (name, last, mx) ->
         if not (Float.is_nan last) then
-          emit
+          !sink.Sink.emit
             (Sink.Metric
                { kind = "gauge"; name;
                  fields = [ ("value", Float last); ("max", Float mx) ] }))
@@ -487,7 +843,7 @@ let shutdown () =
     List.iter
       (fun (name, hv) ->
         if hv.h_count > 0 then
-          emit
+          !sink.Sink.emit
           (Sink.Metric
              {
                kind = "histogram";
@@ -501,6 +857,7 @@ let shutdown () =
                    ("p50", Float hv.h_p50);
                    ("p90", Float hv.h_p90);
                    ("p99", Float hv.h_p99);
+                   bucket_field hv;
                  ];
              }))
       snap.histograms;

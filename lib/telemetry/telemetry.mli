@@ -1,6 +1,6 @@
 (** Zero-dependency observability: counters, gauges, log-scale histograms,
-    monotonic timers and nestable spans with structured key/value events,
-    behind pluggable sinks.
+    nestable spans with structured key/value events, per-domain
+    flight-recorder rings, and pluggable sinks.
 
     Design constraints, in priority order:
 
@@ -8,21 +8,21 @@
       entry point is a single load-and-branch until {!configure} is called,
       so instrumented hot loops (the Eq.-38 objective, the per-slot
       simulator) pay no measurable cost in production runs.
-    - {b Metrics are pull, events are push.}  Counters, gauges and
+    - {b Metrics are pull, events are buffered.}  Counters, gauges and
       histograms accumulate in a process-global registry and are read with
       {!snapshot} (or emitted to the sink on {!shutdown}); span boundaries
-      and key/value events stream to the configured {!Sink.t} as they
-      happen.
+      and key/value events are recorded into a per-domain bounded ring
+      ({!Ring}) and only reach the configured {!Sink.t} when {!flush} or
+      {!shutdown} merges the rings into one timestamp-ordered stream.
     - {b No dependencies.}  Only the standard library and [unix] (for the
       wall clock), so every sublibrary — including [minplus] at the bottom
       of the dependency tree — can be instrumented.
-    - {b Domain-safe metrics.}  Counters, gauges and histograms are
-      lock-free atomics and the span stack is domain-local, so worker
-      domains (the [parallel] execution layer) can run instrumented
-      kernels concurrently without losing updates.  Streaming sinks are
-      the exception: they must be driven from a single domain, and
-      {!streaming} exposes exactly that condition so parallel pools can
-      drop to sequential execution while a streaming sink is live. *)
+    - {b Domain-safe.}  Counters, gauges and histograms are lock-free
+      atomics, the span stack is domain-local, and each domain records
+      events into its own single-writer ring, so worker domains (the
+      [parallel] execution layer) can run instrumented kernels — including
+      traced ones — concurrently without losing updates and without any
+      demotion to sequential execution. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 type kv = string * value
@@ -42,29 +42,39 @@ val on : bool ref
 val now : unit -> float
 (** Wall-clock seconds ([Unix.gettimeofday]). *)
 
-val streaming : unit -> bool
-(** [true] while telemetry is enabled with a sink that actually emits
-    events (anything but {!Sink.null} or a tee of nulls).  Streaming
-    sinks are single-domain by contract — span trees and JSONL streams
-    interleaved from several domains would be garbage — so the parallel
-    execution layer forces [jobs = 1] whenever this returns [true]. *)
-
 (** {1 Sinks} *)
 
 module Sink : sig
   type event =
-    | Span_start of { name : string; depth : int; attrs : kv list }
+    | Span_start of {
+        ts : float;  (** wall-clock seconds at record time *)
+        dom : int;  (** recording domain's id (0 = main) *)
+        name : string;
+        depth : int;
+        attrs : kv list;
+      }
     | Span_end of {
+        ts : float;
+        dom : int;
         name : string;
         depth : int;
         elapsed_ms : float;
         attrs : kv list;
       }
-    | Point of { span : string option; depth : int; name : string; attrs : kv list }
+    | Point of {
+        ts : float;
+        dom : int;
+        span : string option;
+        depth : int;
+        name : string;
+        attrs : kv list;
+      }
         (** A structured key/value event inside the enclosing span. *)
     | Metric of { kind : string; name : string; fields : kv list }
         (** One registry row ([kind] is ["counter"], ["gauge"] or
-            ["histogram"]), emitted on {!shutdown}. *)
+            ["histogram"]), emitted on {!shutdown}.  Histogram rows carry
+            a ["buckets"] field (["upper:count;..."]) so offline tools can
+            recompute quantiles. *)
 
   type t
 
@@ -72,34 +82,64 @@ module Sink : sig
 
   val null : t
   (** Drops every event.  Counters/gauges/histograms still accumulate in
-      the registry — use this to collect {!snapshot}s without streaming. *)
+      the registry — use this to collect {!snapshot}s without writing a
+      trace anywhere. *)
 
   val fmt : ?ppf:Format.formatter -> unit -> t
   (** Human-readable span tree (two-space indent per depth), to [ppf]
-      (default stderr). *)
+      (default stderr).  Events recorded off the main domain are prefixed
+      with ["[d<id>]"]. *)
 
   val jsonl : out_channel -> t
   (** One JSON object per line.  Span/point records carry a ["ts"] field of
-      seconds since {!configure}.  The channel is flushed by [flush] but
-      never closed. *)
+      seconds since the sink was created and a ["dom"] field with the
+      recording domain's id.  The channel is flushed by [flush] but never
+      closed. *)
 
   val tee : t list -> t
 end
 
-val configure : ?sink:Sink.t -> unit -> unit
-(** Enable telemetry, routing events to [sink] (default {!Sink.null}).
-    Resets the span stack and the sink epoch, not the metric registry. *)
+(** {1 Flight recorder} *)
+
+module Ring : sig
+  (** Per-domain bounded event ring.  Every {!span} boundary and {!event}
+      is recorded into the calling domain's ring — single writer,
+      lock-free publication through an atomic write index — and stays
+      there until {!flush} or {!shutdown} merges all rings by timestamp
+      into the sink.  When a ring wraps, the oldest events are
+      overwritten (flight-recorder semantics: the tail survives a crash)
+      and the next merge emits a synthetic
+      ["telemetry.ring.dropped"] point carrying the overwritten count. *)
+
+  val default_capacity : int
+  (** Events per ring unless {!configure} overrides it (32768). *)
+end
+
+val ring_stats : unit -> (int * int) list
+(** [(domain id, events ever recorded)] for every ring created so far,
+    sorted by domain id.  Rings of terminated domains remain listed —
+    their events are still merged by {!flush}. *)
+
+val configure : ?sink:Sink.t -> ?ring_capacity:int -> unit -> unit
+(** Enable telemetry, routing merged events to [sink] (default
+    {!Sink.null}).  Resets the span stack, discards events left in the
+    rings by a previous run, and sets the capacity used by rings created
+    from now on ([ring_capacity] must be >= 16; existing rings keep
+    theirs).  Does not reset the metric registry. *)
 
 val shutdown : unit -> unit
-(** Emit every registry row as a {!Sink.Metric} event, flush the sink and
-    disable telemetry.  Idempotent; a no-op when disabled. *)
+(** Merge the rings into the sink, emit every registry row as a
+    {!Sink.Metric} event, flush the sink and disable telemetry.
+    Idempotent; a no-op when disabled. *)
 
 val flush : unit -> unit
-(** Flush the live sink without disabling telemetry.  A no-op when
-    disabled.  {!configure} registers this once with [Stdlib.at_exit], so
-    buffered JSONL rows survive a process that exits without calling
-    {!shutdown}; long-running servers also call it from their signal-drain
-    path so metrics are on disk before the process stops. *)
+(** Merge every ring's undrained events into one timestamp-ordered stream,
+    hand it to the live sink and flush it, without disabling telemetry.
+    A no-op when disabled.  {!configure} registers this once with
+    [Stdlib.at_exit], so the flight-recorder tail and buffered JSONL rows
+    survive a process that exits — or crashes by uncaught exception —
+    without calling {!shutdown}; long-running servers also call it from
+    their signal paths (SIGUSR1 dump, SIGTERM drain). *)
 
 (** {1 Metrics} *)
 
@@ -140,24 +180,29 @@ module Histogram : sig
   val count : t -> int
   val sum : t -> float
 
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets as [(upper bound, count)], ascending.  Bucket
+      upper bounds are the base-2 boundaries [2^k]; a leading [(0., n)]
+      entry counts non-positive observations. *)
+
   val quantile : t -> float -> float
-  (** Upper bound of the bucket holding the [q]-quantile; [nan] when
-      empty. *)
+  (** Upper bound of the bucket holding the [q]-quantile (clamped to the
+      observed maximum); [nan] when empty. *)
 end
 
 (** {1 Spans and events} *)
 
 val span : ?attrs:kv list -> string -> (unit -> 'a) -> 'a
-(** [span name f] runs [f] inside a nested span: emits
-    [Span_start]/[Span_end] (with wall-clock [elapsed_ms]) around it and
-    folds the duration into the auto-registered histogram
-    ["span.<name>.ms"] and counter ["span.<name>.calls"].  Exceptions
-    propagate after closing the span with an ["error"] attribute.  When
-    disabled this is exactly [f ()]. *)
+(** [span name f] runs [f] inside a nested span: records
+    [Span_start]/[Span_end] (with wall-clock [elapsed_ms]) around it in
+    the calling domain's ring and folds the duration into the
+    auto-registered histogram ["span.<name>.ms"] and counter
+    ["span.<name>.calls"].  Exceptions propagate after closing the span
+    with an ["error"] attribute.  When disabled this is exactly [f ()]. *)
 
 val event : ?attrs:kv list -> string -> unit
-(** Emit a structured key/value event attributed to the innermost open
-    span.  A no-op when disabled. *)
+(** Record a structured key/value event attributed to the innermost open
+    span of the calling domain.  A no-op when disabled. *)
 
 (** {1 Snapshots} *)
 
@@ -169,6 +214,7 @@ type histogram_view = {
   h_p50 : float;
   h_p90 : float;
   h_p99 : float;
+  h_buckets : (float * int) list;  (** as {!Histogram.buckets} *)
 }
 
 type snapshot = {
@@ -186,6 +232,29 @@ val reset : unit -> unit
     for delta-measurement between benchmark sections. *)
 
 (** {1 Exporters} *)
+
+module Prometheus : sig
+  (** Prometheus text exposition (format version 0.0.4) of the metric
+      registry.
+
+      Registry names are mangled to exposition names ([[^a-zA-Z0-9_:]]
+      becomes ['_']); a trailing [{k=v,...}] suffix on a registry name
+      (e.g. ["serve.request_latency_ms{outcome=exact}"]) becomes a proper
+      label set, and label-variants of one base name share a single
+      [# TYPE] header.  Counters gain the conventional [_total] suffix;
+      gauges render their last value plus a [_max] high-water series and
+      are skipped while unset; histograms render cumulative
+      [_bucket{le="..."}] series over the non-empty log-2 buckets, a
+      closing [le="+Inf"], and [_sum]/[_count]. *)
+
+  val render : unit -> string
+  (** The whole registry, name-sorted within each metric kind. *)
+
+  val write_file : string -> unit
+  (** Atomically replace [path] with {!render}'s output (write to
+      [path ^ ".tmp"], then rename), so scrapers never observe a torn
+      snapshot. *)
+end
 
 module Json : sig
   (** Minimal JSON emission — enough to write valid JSON-lines and

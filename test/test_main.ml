@@ -30,4 +30,5 @@ let () =
       ("deltanet.contracts", Test_contracts.suite);
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
+      ("report", Test_report.suite);
     ]

@@ -224,24 +224,85 @@ let test_nested_map_degrades () =
       in
       Alcotest.(check (array int)) "nested results" (Array.init 40 (fun x -> 10 * x)) got)
 
-let test_effective_jobs_streaming () =
+let count_spans events name =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Telemetry.Sink.Span_start { name = n; _ } when String.equal n name ->
+        acc + 1
+      | _ -> acc)
+    0 events
+
+let test_effective_jobs_with_sink () =
   Pool.with_pool ~jobs:4 (fun p ->
       Alcotest.(check int) "parallel without telemetry" 4 (Pool.effective_jobs p);
-      let silent = Telemetry.Sink.make ~emit:(fun _ -> ()) ~flush:(fun () -> ()) in
-      Telemetry.configure ~sink:silent ();
+      let events = ref [] in
+      let sink =
+        Telemetry.Sink.make
+          ~emit:(fun e -> events := e :: !events)
+          ~flush:(fun () -> ())
+      in
+      Telemetry.configure ~sink ();
       Fun.protect ~finally:Telemetry.shutdown (fun () ->
-          Alcotest.(check bool) "sink is streaming" true (Telemetry.streaming ());
-          Alcotest.(check int) "streaming forces sequential" 1 (Pool.effective_jobs p);
-          Alcotest.(check (array int)) "map still correct" [| 2; 3; 4 |]
-            (Pool.map p (fun x -> x + 1) [| 1; 2; 3 |]));
-      Alcotest.(check int) "parallel again after shutdown" 4 (Pool.effective_jobs p))
+          (* the flight recorder means a live sink no longer demotes *)
+          Alcotest.(check int) "no demotion while tracing" 4 (Pool.effective_jobs p);
+          let got =
+            Pool.map p
+              (fun x -> Telemetry.span "tick" (fun () -> x + 1))
+              (Array.init 8 Fun.id)
+          in
+          Alcotest.(check (array int)) "map still correct"
+            (Array.init 8 (fun x -> x + 1)) got;
+          Telemetry.flush ();
+          Alcotest.(check int) "every traced task reached the sink" 8
+            (count_spans !events "tick"));
+      Alcotest.(check int) "parallel after shutdown too" 4 (Pool.effective_jobs p))
 
-let test_null_sink_not_streaming () =
-  Telemetry.configure ~sink:Telemetry.Sink.null ();
-  Fun.protect ~finally:Telemetry.shutdown (fun () ->
-      Alcotest.(check bool) "null sink streams nothing" false (Telemetry.streaming ());
-      Pool.with_pool ~jobs:4 (fun p ->
-          Alcotest.(check int) "stays parallel under null sink" 4 (Pool.effective_jobs p)))
+let test_traced_map_span_parity () =
+  (* same traced workload at jobs 1 and 4: the merged trace must contain
+     the same span population either way *)
+  let run jobs =
+    let events = ref [] in
+    let sink =
+      Telemetry.Sink.make
+        ~emit:(fun e -> events := e :: !events)
+        ~flush:(fun () -> ())
+    in
+    Telemetry.configure ~sink ();
+    Fun.protect ~finally:Telemetry.shutdown (fun () ->
+        Pool.with_pool ~jobs (fun p ->
+            ignore
+              (Pool.map p
+                 (fun x -> Telemetry.span "work" (fun () -> x * 2))
+                 (Array.init 64 Fun.id)));
+        Telemetry.flush ());
+    List.rev !events
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check int) "span count parity at jobs 1 vs 4"
+    (count_spans seq "work") (count_spans par "work");
+  Alcotest.(check int) "all 64 spans present" 64 (count_spans par "work");
+  (* the merged stream is timestamp-ordered even across domains *)
+  let ts = function
+    | Telemetry.Sink.Span_start { ts; _ }
+    | Telemetry.Sink.Span_end { ts; _ }
+    | Telemetry.Sink.Point { ts; _ } ->
+      Some ts
+    | Telemetry.Sink.Metric _ -> None
+  in
+  let ordered =
+    let prev = ref Float.neg_infinity in
+    List.for_all
+      (fun e ->
+        match ts e with
+        | None -> true
+        | Some t ->
+          let ok = t >= !prev in
+          prev := t;
+          ok)
+      par
+  in
+  Alcotest.(check bool) "merged trace is timestamp-ordered" true ordered
 
 (* ---------------- adaptive sequential cutoff ---------------- *)
 
@@ -669,6 +730,114 @@ let test_sim_vs_bounds () =
         ])
     [ 2; 5; 10 ]
 
+(* ---------------- CLI: --trace --jobs parity ---------------- *)
+
+(* The tentpole's end-to-end check: a traced parallel sweep must produce
+   the same CSV bytes as the sequential one, and the merged flight
+   recorder must carry the same span population (per-name counts) in
+   timestamp order — tracing no longer demotes the pool. *)
+let test_cli_trace_jobs_parity () =
+  let cli = Filename.concat Filename.parent_dir_name "bin/deltanet_cli.exe" in
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else begin
+    let read_file path =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let temp suffix = Filename.temp_file "deltanet_parity" suffix in
+    let out1 = temp ".csv" and out4 = temp ".csv" in
+    let m1 = temp ".jsonl" and m4 = temp ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> List.iter Sys.remove [ out1; out4; m1; m4 ])
+      (fun () ->
+        let run jobs out metrics =
+          let cmd =
+            Printf.sprintf
+              "%s sweep utilization -H 3 --s-points 8 --jobs %d --trace \
+               --metrics %s > %s 2>/dev/null"
+              (Filename.quote cli) jobs (Filename.quote metrics)
+              (Filename.quote out)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "sweep --jobs %d exits 0" jobs)
+            0 (Sys.command cmd)
+        in
+        run 1 out1 m1;
+        run 4 out4 m4;
+        Alcotest.(check string) "sweep CSV bytes identical across jobs"
+          (read_file out1) (read_file out4);
+        let lines path =
+          String.split_on_char '\n' (read_file path)
+          |> List.filter (fun l -> String.length l > 0)
+        in
+        let field_str line key =
+          (* pull "key":"value" out of a JSONL line *)
+          let marker = "\"" ^ key ^ "\":\"" in
+          let lm = String.length marker and ll = String.length line in
+          let rec find i =
+            if i + lm > ll then None
+            else if String.sub line i lm = marker then begin
+              let start = i + lm in
+              match String.index_from_opt line start '"' with
+              | Some stop -> Some (String.sub line start (stop - start))
+              | None -> None
+            end
+            else find (i + 1)
+          in
+          find 0
+        in
+        let span_counts path =
+          let tbl = Hashtbl.create 32 in
+          List.iter
+            (fun l ->
+              match (field_str l "type", field_str l "name") with
+              | Some "span_start", Some name ->
+                Hashtbl.replace tbl name
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+              | _ -> ())
+            (lines path);
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+        in
+        Alcotest.(check (list (pair string int)))
+          "per-name span counts identical at jobs 1 vs 4" (span_counts m1)
+          (span_counts m4);
+        (* the parallel trace is one merged, timestamp-ordered stream *)
+        let ts_of line =
+          let marker = "\"ts\":" in
+          let lm = String.length marker and ll = String.length line in
+          let rec find i =
+            if i + lm > ll then None
+            else if String.sub line i lm = marker then begin
+              let start = i + lm in
+              let stop = ref start in
+              while
+                !stop < ll
+                && (match line.[!stop] with
+                   | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+                   | _ -> false)
+              do
+                incr stop
+              done;
+              float_of_string_opt (String.sub line start (!stop - start))
+            end
+            else find (i + 1)
+          in
+          find 0
+        in
+        let stamps = List.filter_map ts_of (lines m4) in
+        Alcotest.(check bool) "at least one timestamped event" true
+          (stamps <> []);
+        let rec ordered = function
+          | a :: (b :: _ as tl) -> a <= b && ordered tl
+          | _ -> true
+        in
+        Alcotest.(check bool) "jobs 4 trace is timestamp-ordered" true
+          (ordered stamps))
+  end
+
 (* ---------------- suite ---------------- *)
 
 let suite =
@@ -693,8 +862,10 @@ let suite =
     Alcotest.test_case "with_pool returns and cleans up" `Quick test_with_pool_returns_and_cleans;
     Alcotest.test_case "in_worker flag" `Quick test_in_worker_flag;
     Alcotest.test_case "nested map degrades to sequential" `Quick test_nested_map_degrades;
-    Alcotest.test_case "streaming sink forces sequential" `Quick test_effective_jobs_streaming;
-    Alcotest.test_case "null sink stays parallel" `Quick test_null_sink_not_streaming;
+    Alcotest.test_case "live sink no longer demotes" `Quick test_effective_jobs_with_sink;
+    Alcotest.test_case "traced map span parity jobs 1 vs 4" `Quick test_traced_map_span_parity;
+    Alcotest.test_case "cli: --trace --jobs 4 sweep parity" `Quick
+      test_cli_trace_jobs_parity;
     Alcotest.test_case "cutoff defaults and validation" `Quick
       test_cutoff_defaults_and_validation;
     Alcotest.test_case "cutoff sequentializes small hinted maps" `Quick

@@ -1,0 +1,196 @@
+(* Offline trace analyzer: replay synthetic JSONL through Report and
+   check span aggregation, orphan/drop accounting, counter totals, the
+   serve SLO view, and that bucket-resolution percentiles recomputed
+   from a histogram dump agree exactly with the quantile the live
+   daemon would report. *)
+
+let check = Alcotest.check
+let checkf msg = check (Alcotest.float 1e-9) msg
+
+let with_temp_jsonl lines f =
+  let path = Filename.temp_file "deltanet_report" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      f path)
+
+let synthetic =
+  [
+    "{\"type\":\"span_start\",\"ts\":0.0,\"dom\":0,\"name\":\"outer\",\"depth\":0}";
+    "{\"type\":\"span_start\",\"ts\":0.001,\"dom\":0,\"name\":\"inner\",\"depth\":1}";
+    "{\"type\":\"span_end\",\"ts\":0.003,\"dom\":0,\"name\":\"inner\",\"depth\":1,\"elapsed_ms\":2.0}";
+    "{\"type\":\"span_end\",\"ts\":0.010,\"dom\":0,\"name\":\"outer\",\"depth\":0,\"elapsed_ms\":10.0}";
+    (* a span_end whose start fell off the flight-recorder ring *)
+    "{\"type\":\"span_end\",\"ts\":0.011,\"dom\":0,\"name\":\"ghost\",\"depth\":0,\"elapsed_ms\":1.5}";
+    "{\"type\":\"event\",\"ts\":0.012,\"dom\":0,\"name\":\"telemetry.ring.dropped\",\"count\":7}";
+    "{\"type\":\"event\",\"ts\":0.013,\"dom\":0,\"name\":\"serve.access\",\"trace\":\"t-1\",\"outcome\":\"exact\",\"elapsed_ms\":4.0}";
+    "{\"type\":\"event\",\"ts\":0.014,\"dom\":0,\"name\":\"serve.access\",\"trace\":\"t-2\",\"outcome\":\"exact\",\"elapsed_ms\":8.0}";
+    "{\"type\":\"counter\",\"name\":\"serve.requests\",\"value\":4}";
+    "{\"type\":\"counter\",\"name\":\"serve.shed\",\"value\":1}";
+    "{\"type\":\"counter\",\"name\":\"serve.timeout\",\"value\":0}";
+    "{\"type\":\"counter\",\"name\":\"serve.errors\",\"value\":1}";
+    "this line is not json";
+  ]
+
+let test_span_aggregation () =
+  with_temp_jsonl synthetic (fun path ->
+      let t = Report.create () in
+      Report.add_file t path;
+      let by_name = Report.by_name t in
+      let find name =
+        match List.find_opt (fun s -> String.equal s.Report.s_name name) by_name with
+        | Some s -> s
+        | None -> Alcotest.failf "span %s missing from the report" name
+      in
+      let outer = find "outer" in
+      check Alcotest.int "outer calls" 1 outer.Report.s_calls;
+      checkf "outer total" 10. outer.Report.s_total_ms;
+      checkf "outer self = total - inner" 8. outer.Report.s_self_ms;
+      checkf "outer p50 over one sample" 10. outer.Report.s_p50;
+      let inner = find "inner" in
+      checkf "inner total" 2. inner.Report.s_total_ms;
+      checkf "inner self (leaf)" 2. inner.Report.s_self_ms;
+      (* the orphan end still contributes a call instead of crashing *)
+      let ghost = find "ghost" in
+      check Alcotest.int "ghost aggregated" 1 ghost.Report.s_calls;
+      (* hot spans sort by self time: outer (8 ms) leads *)
+      (match Report.hot_spans ~top:1 t with
+      | [ s ] -> check Alcotest.string "hottest span" "outer" s.Report.s_name
+      | l -> Alcotest.failf "expected 1 hot span, got %d" (List.length l)))
+
+let test_accounting_and_rates () =
+  with_temp_jsonl synthetic (fun path ->
+      let t = Report.create () in
+      Report.add_file t path;
+      check Alcotest.int "counter total" 4
+        (List.assoc "serve.requests" (Report.counter_rows t));
+      let requests, shed, timeout, error = Report.serve_rates t in
+      check Alcotest.int "requests" 4 requests;
+      checkf "shed rate" 0.25 shed;
+      checkf "timeout rate" 0. timeout;
+      checkf "error rate" 0.25 error;
+      (* access-log rows carry exact percentiles *)
+      (match Report.serve_rows t with
+      | [ r ] ->
+        check Alcotest.string "outcome" "exact" r.Report.sv_outcome;
+        check Alcotest.int "sample count" 2 r.Report.sv_count;
+        checkf "p50 over [4;8]" 4. r.Report.sv_p50;
+        checkf "p99 over [4;8]" 8. r.Report.sv_p99;
+        check Alcotest.string "exact source" "access" r.Report.sv_source
+      | rows -> Alcotest.failf "expected 1 serve row, got %d" (List.length rows));
+      (* header tallies surface in the rendered report *)
+      let text = Report.render_text t in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "unparseable line counted" true
+        (contains text "(1 unparseable)");
+      Alcotest.(check bool) "ring drops surfaced" true
+        (contains text "[7 events dropped by the ring]");
+      Alcotest.(check bool) "orphan ends surfaced" true
+        (contains text "[1 orphan span ends]");
+      (* the JSON rendering parses and carries the same tallies *)
+      let json = Report.render_json t in
+      Alcotest.(check bool) "json has the drop tally" true
+        (contains json "\"dropped_events\":7"))
+
+(* The acceptance check of the PR: percentiles recomputed offline from a
+   dumped histogram row must agree with what the live registry reports —
+   same bucket walk, same rank rule, same max clamp. *)
+let test_histogram_fallback_matches_live () =
+  Telemetry.reset ();
+  Telemetry.configure ();
+  Fun.protect ~finally:Telemetry.shutdown (fun () ->
+      let name = "serve.request_latency_ms{outcome=approx}" in
+      let h = Telemetry.Histogram.make name in
+      let samples = [ 0.7; 1.5; 3.0; 3.9; 5.2; 6.0; 17.0; 0.2; 0.9; 2.2 ] in
+      List.iter (Telemetry.Histogram.observe h) samples;
+      (* dump the histogram the way shutdown does, then replay it *)
+      let hv =
+        List.assoc name (Telemetry.snapshot ()).Telemetry.histograms
+      in
+      let buckets =
+        String.concat ";"
+          (List.map
+             (fun (upper, count) -> Printf.sprintf "%.17g:%d" upper count)
+             hv.Telemetry.h_buckets)
+      in
+      let row =
+        Printf.sprintf
+          "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%.17g,\"max\":%.17g,\"buckets\":\"%s\"}"
+          name hv.Telemetry.h_count hv.Telemetry.h_sum hv.Telemetry.h_max
+          buckets
+      in
+      with_temp_jsonl [ row ] (fun path ->
+          let t = Report.create () in
+          Report.add_file t path;
+          match Report.serve_rows t with
+          | [ r ] ->
+            check Alcotest.string "fallback source" "histogram"
+              r.Report.sv_source;
+            check Alcotest.int "count round-trips" (List.length samples)
+              r.Report.sv_count;
+            checkf "p50 matches the live quantile"
+              (Telemetry.Histogram.quantile h 0.5)
+              r.Report.sv_p50;
+            checkf "p95 matches the live quantile"
+              (Telemetry.Histogram.quantile h 0.95)
+              r.Report.sv_p95;
+            checkf "p99 matches the live quantile"
+              (Telemetry.Histogram.quantile h 0.99)
+              r.Report.sv_p99
+          | rows ->
+            Alcotest.failf "expected 1 serve row, got %d" (List.length rows)))
+
+let test_multi_file_and_domains () =
+  (* two files, interleaved domains: per-domain stacks keep nesting
+     straight, and aggregates sum across files *)
+  let file1 =
+    [
+      "{\"type\":\"span_start\",\"ts\":0.0,\"dom\":0,\"name\":\"work\",\"depth\":0}";
+      "{\"type\":\"span_start\",\"ts\":0.0005,\"dom\":1,\"name\":\"work\",\"depth\":0}";
+      "{\"type\":\"span_end\",\"ts\":0.001,\"dom\":0,\"name\":\"work\",\"depth\":0,\"elapsed_ms\":1.0}";
+      "{\"type\":\"span_end\",\"ts\":0.002,\"dom\":1,\"name\":\"work\",\"depth\":0,\"elapsed_ms\":1.5}";
+    ]
+  in
+  let file2 =
+    [
+      "{\"type\":\"span_start\",\"ts\":0.0,\"dom\":0,\"name\":\"work\",\"depth\":0}";
+      "{\"type\":\"span_end\",\"ts\":0.004,\"dom\":0,\"name\":\"work\",\"depth\":0,\"elapsed_ms\":4.0}";
+    ]
+  in
+  with_temp_jsonl file1 (fun p1 ->
+      with_temp_jsonl file2 (fun p2 ->
+          let t = Report.create () in
+          Report.add_file t p1;
+          Report.add_file t p2;
+          match Report.by_name t with
+          | [ s ] ->
+            check Alcotest.string "one span name" "work" s.Report.s_name;
+            check Alcotest.int "calls across domains and files" 3
+              s.Report.s_calls;
+            checkf "total sums" 6.5 s.Report.s_total_ms;
+            checkf "p50 over [1;1.5;4]" 1.5 s.Report.s_p50
+          | rows ->
+            Alcotest.failf "expected 1 span row, got %d" (List.length rows)))
+
+let suite =
+  [
+    Alcotest.test_case "span tree aggregation + orphans" `Quick
+      test_span_aggregation;
+    Alcotest.test_case "tallies, counters, serve rates" `Quick
+      test_accounting_and_rates;
+    Alcotest.test_case "histogram fallback matches live quantiles" `Quick
+      test_histogram_fallback_matches_live;
+    Alcotest.test_case "multi-file, multi-domain replay" `Quick
+      test_multi_file_and_domains;
+  ]

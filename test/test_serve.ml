@@ -218,10 +218,14 @@ let test_protocol_render_round_trip () =
   check Alcotest.string "timeout status" "timeout" (str_field j4 "status");
   let j5 =
     parse_resp
-      (P.render_stats ~uptime_s:1. ~served:3 ~cache_len:2 ~cache_capacity:8
-         ~counters:[ ("serve.requests", 3) ] ())
+      (P.render_stats ~trace:"t-1" ~uptime_s:1. ~served:3 ~cache_len:2
+         ~cache_capacity:8 ~cache_hits:3 ~cache_misses:1 ~shed:2 ~timeouts:1
+         ~errors:4 ~counters:[ ("serve.requests", 3) ] ())
   in
   check (Alcotest.float 0.) "served" 3. (num_field j5 "served");
+  check (Alcotest.float 1e-9) "hit ratio" 0.75 (num_field j5 "cache_hit_ratio");
+  check (Alcotest.float 0.) "shed count" 2. (num_field j5 "shed");
+  check Alcotest.string "trace echoed" "t-1" (str_field j5 "trace");
   match Sjson.member "counters" j5 with
   | Some (Sjson.Obj [ ("serve.requests", Sjson.Num 3.) ]) -> ()
   | _ -> Alcotest.fail "stats counters object"
@@ -596,6 +600,53 @@ let test_daemon_burst_no_loss () =
       (served >= float_of_int (n + 1) && served <= float_of_int (n + 2))
   end
 
+(* ---------------- observability: metrics verb, trace ids, SLO tallies ---------------- *)
+
+let test_engine_metrics_and_trace () =
+  let e = mk_engine () in
+  let j = parse_resp (Engine.handle_line e "{\"op\":\"metrics\",\"id\":\"m1\"}") in
+  check Alcotest.string "metrics op" "metrics" (str_field j "op");
+  check Alcotest.string "status ok" "ok" (str_field j "status");
+  check Alcotest.string "id echo" "m1" (str_field j "id");
+  (* the exposition rides inside the response; registry may be quiet but
+     the field must exist *)
+  ignore (str_field j "prometheus");
+  let t0 = str_field j "trace" in
+  let j2 = parse_resp (Engine.handle_line e (admit_req ~id:"r1" ~u0:0.3 ())) in
+  let t1 = str_field j2 "trace" in
+  check Alcotest.bool "trace ids non-empty" true
+    (String.length t0 > 0 && String.length t1 > 0);
+  check Alcotest.bool "trace ids unique per request" true
+    (not (String.equal t0 t1))
+
+let test_engine_slo_telemetry () =
+  Telemetry.reset ();
+  let events = ref [] in
+  let sink =
+    Telemetry.Sink.make
+      ~emit:(fun ev -> events := ev :: !events)
+      ~flush:(fun () -> ())
+  in
+  Telemetry.configure ~sink ();
+  Fun.protect ~finally:Telemetry.shutdown (fun () ->
+      let e = mk_engine () in
+      ignore (Engine.handle_line e (admit_req ~id:"r1" ~u0:0.3 ()));
+      Telemetry.flush ();
+      let snap = Telemetry.snapshot () in
+      check Alcotest.bool "outcome-labelled latency histogram recorded" true
+        (List.exists
+           (fun (n, hv) ->
+             String.equal n "serve.request_latency_ms{outcome=exact}"
+             && hv.Telemetry.h_count = 1)
+           snap.Telemetry.histograms);
+      check Alcotest.bool "access event carries trace + outcome attrs" true
+        (List.exists
+           (function
+             | Telemetry.Sink.Point { name = "serve.access"; attrs; _ } ->
+               List.mem_assoc "trace" attrs && List.mem_assoc "outcome" attrs
+             | _ -> false)
+           !events))
+
 let suite =
   [
     Alcotest.test_case "sjson values" `Quick test_sjson_values;
@@ -627,4 +678,8 @@ let suite =
     Alcotest.test_case "daemon round trip" `Quick test_daemon_round_trip;
     Alcotest.test_case "daemon burst loses nothing past the cap" `Quick
       test_daemon_burst_no_loss;
+    Alcotest.test_case "engine metrics verb + per-request trace ids" `Quick
+      test_engine_metrics_and_trace;
+    Alcotest.test_case "engine records outcome SLO telemetry" `Quick
+      test_engine_slo_telemetry;
   ]

@@ -349,6 +349,139 @@ let test_cli_metrics () =
           ])
   end
 
+(* ---------------- flight-recorder ring ---------------- *)
+
+let test_ring_overflow_merge () =
+  let (sink, events) = collecting_sink () in
+  with_telemetry sink (fun () ->
+      let cap = Telemetry.Ring.default_capacity in
+      let extra = 100 in
+      for i = 0 to cap + extra - 1 do
+        Telemetry.event "ring.e" ~attrs:[ ("i", Telemetry.Int i) ]
+      done;
+      (* the writes land in the ring only; nothing reaches the sink until
+         the merge runs *)
+      check Alcotest.int "ring buffers until flush" 0 (List.length (events ()));
+      Alcotest.(check bool) "ring_stats counts this domain's writes" true
+        (List.exists (fun (_, w) -> w >= cap + extra) (Telemetry.ring_stats ()));
+      Telemetry.flush ();
+      let points =
+        List.filter_map
+          (function
+            | Telemetry.Sink.Point { ts; name; attrs; _ } -> Some (ts, name, attrs)
+            | _ -> None)
+          (events ())
+      in
+      (match points with
+      | (_, "telemetry.ring.dropped", attrs) :: rest ->
+        (match List.assoc_opt "count" attrs with
+        | Some (Telemetry.Int d) ->
+          check Alcotest.int "drop marker counts the overwritten prefix" extra d
+        | _ -> Alcotest.fail "drop marker has no count attr");
+        check Alcotest.int "ring keeps exactly its capacity" cap
+          (List.length rest);
+        (* the survivors are the newest [cap] events, in order *)
+        (match (List.hd rest, List.nth rest (cap - 1)) with
+        | ((_, _, first_attrs), (_, _, last_attrs)) ->
+          Alcotest.(check bool) "oldest survivor is the first un-dropped event"
+            true
+            (match List.assoc_opt "i" first_attrs with
+            | Some (Telemetry.Int i) -> i = extra
+            | _ -> false);
+          Alcotest.(check bool) "newest survivor is the last event" true
+            (match List.assoc_opt "i" last_attrs with
+            | Some (Telemetry.Int i) -> i = cap + extra - 1
+            | _ -> false));
+        let rec ordered = function
+          | (ta, _, _) :: ((tb, _, _) :: _ as tl) -> ta <= tb && ordered tl
+          | _ -> true
+        in
+        Alcotest.(check bool) "merged stream is timestamp-ordered" true
+          (ordered points)
+      | _ -> Alcotest.fail "flush did not lead with the drop marker"))
+
+(* ---------------- Prometheus exposition ---------------- *)
+
+let test_prometheus_golden () =
+  with_telemetry Telemetry.Sink.null (fun () ->
+      let c = Telemetry.Counter.make "golden.requests" in
+      let g = Telemetry.Gauge.make "golden.depth" in
+      let h = Telemetry.Histogram.make "golden.lat_ms{outcome=ok}" in
+      Telemetry.Counter.add c 3;
+      Telemetry.Gauge.set g 7.;
+      Telemetry.Gauge.set g 2.5;
+      (* 0.5 lands in the (0.25, 0.5] ... bucket upper 1 (frexp puts
+         [2^(e-1), 2^e) under upper 2^e); 3.0 under upper 4 *)
+      Telemetry.Histogram.observe h 0.5;
+      Telemetry.Histogram.observe h 3.0;
+      let rendered =
+        List.filter
+          (fun line -> contains line "golden_")
+          (String.split_on_char '\n' (Telemetry.Prometheus.render ()))
+      in
+      Alcotest.(check (list string))
+        "golden exposition: counter _total, gauge + _max, cumulative \
+         buckets with +Inf"
+        [
+          "# HELP golden_requests_total deltanet counter";
+          "# TYPE golden_requests_total counter";
+          "golden_requests_total 3";
+          "# HELP golden_depth deltanet gauge";
+          "# TYPE golden_depth gauge";
+          "golden_depth 2.5";
+          "# HELP golden_depth_max deltanet gauge";
+          "# TYPE golden_depth_max gauge";
+          "golden_depth_max 7";
+          "# HELP golden_lat_ms deltanet histogram";
+          "# TYPE golden_lat_ms histogram";
+          "golden_lat_ms_bucket{outcome=\"ok\",le=\"1\"} 1";
+          "golden_lat_ms_bucket{outcome=\"ok\",le=\"4\"} 2";
+          "golden_lat_ms_bucket{outcome=\"ok\",le=\"+Inf\"} 2";
+          "golden_lat_ms_sum{outcome=\"ok\"} 3.5";
+          "golden_lat_ms_count{outcome=\"ok\"} 2";
+        ]
+        rendered)
+
+let test_prometheus_write_file () =
+  with_telemetry Telemetry.Sink.null (fun () ->
+      let c = Telemetry.Counter.make "golden.requests" in
+      Telemetry.Counter.incr c;
+      let path = Filename.temp_file "deltanet_prom" ".prom" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          Telemetry.Prometheus.write_file path;
+          Alcotest.(check bool) "no .tmp litter" false
+            (Sys.file_exists (path ^ ".tmp"));
+          let body = String.concat "\n" (read_lines path) in
+          Alcotest.(check bool) "snapshot holds the rendered registry" true
+            (contains body "golden_requests_total 1")))
+
+(* Property: the log-2 bucket quantile brackets the exact order statistic
+   at the same target rank — never below it, never more than one bucket
+   (a factor of 2) above it. *)
+let prop_quantile_within_bucket =
+  QCheck.Test.make ~name:"histogram quantile within one log-2 bucket of exact"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200) (float_range 1e-6 1e9))
+        (float_range 0. 1.))
+    (fun (xs, q) ->
+      Telemetry.reset ();
+      Telemetry.configure ();
+      Fun.protect ~finally:Telemetry.shutdown (fun () ->
+          let h = Telemetry.Histogram.make "prop.quantile" in
+          List.iter (Telemetry.Histogram.observe h) xs;
+          let hq = Telemetry.Histogram.quantile h q in
+          let sorted = List.sort Float.compare xs in
+          let n = List.length xs in
+          let target =
+            max 1 (int_of_float (Float.round (q *. float_of_int n)))
+          in
+          let exact = List.nth sorted (target - 1) in
+          exact <= hq && hq <= 2. *. exact))
+
 let suite =
   [
     Alcotest.test_case "counter: disabled/accumulate/reset" `Quick test_counter;
@@ -366,4 +499,11 @@ let suite =
       test_checkpoint_version;
     Alcotest.test_case "cli: --metrics emits parseable JSON-lines" `Quick
       test_cli_metrics;
+    Alcotest.test_case "ring: overflow keeps the tail, merge is ordered" `Quick
+      test_ring_overflow_merge;
+    Alcotest.test_case "prometheus: golden exposition incl +Inf" `Quick
+      test_prometheus_golden;
+    Alcotest.test_case "prometheus: atomic file snapshot" `Quick
+      test_prometheus_write_file;
+    QCheck_alcotest.to_alcotest prop_quantile_within_bucket;
   ]
