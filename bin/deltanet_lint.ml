@@ -1,9 +1,11 @@
 (* deltanet-lint — AST-level lint driver.
 
-   Usage: deltanet_lint [--rules] PATH...
+   Usage: deltanet_lint [--rules] [--warn-unused-allow] PATH...
    Directories are walked recursively for .ml files.  Findings print one
    per line as "file:line rule message"; the exit code is 1 when any
-   finding is reported, 2 on usage errors, 0 otherwise. *)
+   finding is reported, 2 on usage errors, 0 otherwise.
+   --warn-unused-allow additionally reports [@lint.allow] attributes that
+   suppress no finding of this tool. *)
 
 let rec ml_files path =
   if Sys.is_directory path then
@@ -16,9 +18,11 @@ let rec ml_files path =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let warn_unused_allow = List.mem "--warn-unused-allow" args in
+  let args = List.filter (fun a -> a <> "--warn-unused-allow") args in
   match args with
   | [] | [ "--help" ] ->
-    print_endline "usage: deltanet_lint [--rules] PATH...";
+    print_endline "usage: deltanet_lint [--rules] [--warn-unused-allow] PATH...";
     print_endline "Lints .ml files (recursing into directories); exits 1 on findings.";
     exit (if args = [] then 2 else 0)
   | [ "--rules" ] ->
@@ -33,7 +37,7 @@ let () =
     end;
     let files = List.concat_map ml_files paths in
     let findings =
-      List.concat_map Lint.Engine.lint_file files
+      List.concat_map (Lint.Engine.lint_file ~warn_unused_allow) files
       |> List.sort_uniq Lint.Finding.compare
     in
     List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;

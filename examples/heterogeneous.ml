@@ -35,7 +35,7 @@ let path ~s =
 
 let bound_over_s () =
   (* optimize over the shared effective-bandwidth parameter s by log grid *)
-  let best = ref infinity in
+  let best = ref Float.infinity in
   let s = ref 1e-3 in
   for _ = 1 to 60 do
     let d = E2e.delay_bound ~epsilon:1e-9 (path ~s:!s) in
@@ -53,7 +53,7 @@ let () =
   let base = path ~s:1. in
   Array.iteri
     (fun i _ ->
-      let best = ref infinity in
+      let best = ref Float.infinity in
       let s = ref 1e-3 in
       for _ = 1 to 60 do
         let p = path ~s:!s in

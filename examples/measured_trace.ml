@@ -38,7 +38,7 @@ let () =
        (Estimate.max_reliable_s cross_trace ~tau:100));
   Fmt.pr "(beyond it the estimator falls back to observed peak rates)@.@.";
   let bound_for delta =
-    let best = ref infinity in
+    let best = ref Float.infinity in
     List.iter
       (fun s ->
         let through = Estimate.ebb_of_trace through_trace ~s in

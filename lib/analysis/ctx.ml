@@ -1,0 +1,43 @@
+(* Shared per-file state for the typed rules: finding accumulation,
+   [@lint.allow] suppression frames (reusing the lint's Allow machinery so
+   both layers have identical semantics), and the top-level definition map
+   used to expand locally-defined functions at capture sites and in
+   [@@zero_alloc_check] bodies. *)
+
+module F = Lint.Finding
+
+type t = {
+  file : string;
+  allow : Lint.Allow.t;
+  (* Ident.unique_name -> (display name, bound expression).  Filled by a
+     pre-pass over every value binding in the structure; stamps are unique
+     so one flat table is sound. *)
+  defs : (string, string * Typedtree.expression) Hashtbl.t;
+  mutable findings : F.t list;
+}
+
+let make ~file =
+  { file; allow = Lint.Allow.make (); defs = Hashtbl.create 64; findings = [] }
+
+let report t ~(loc : Location.t) ~rule message =
+  if not (Lint.Allow.allowed t.allow rule) then begin
+    let pos = loc.Location.loc_start in
+    t.findings <-
+      F.v ~file:t.file ~line:pos.Lexing.pos_lnum
+        ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+        ~rule message
+      :: t.findings
+  end
+
+let with_allows t attrs f = Lint.Allow.with_frames t.allow attrs f
+
+(* cmt environments are summaries; rebuild a queryable Env.t on demand.
+   Returns None when the load path is missing a cmi — callers fall back to
+   name-based heuristics. *)
+let env_of (e : Typedtree.expression) : Env.t option =
+  try Some (Envaux.env_of_only_summary e.exp_env) with _ -> None
+
+let has_attr name (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
+    attrs

@@ -1,0 +1,105 @@
+(* Classify the type of a captured value for the cross-domain-capture rule.
+
+   The classification is deliberately about *directly captured* cells: a
+   ref, array or mutable record captured by a closure that crosses a domain
+   boundary.  Mutable state nested inside an immutable wrapper (e.g. an
+   immutable record of arrays shared read-only across a sweep — the repo's
+   standard input shape) is treated as safe; writes through such a path go
+   through a local binding the rule sees separately.
+
+   Safe by construction:
+     - Atomic.t, Mutex.t, Condition.t, Semaphore.*, Domain.DLS.key
+     - abstract types (their module owns the synchronization story;
+       e.g. Telemetry.Counter.t is atomic inside)
+     - records containing a Mutex.t/Semaphore field: the monitor idiom
+       (Parallel.Pool.t) — the lock travels with the state it guards. *)
+
+type kind =
+  | Safe of string (* why it is safe, for messages *)
+  | Ref
+  | Arr of string (* "array" | "floatarray" | "bytes" *)
+  | Container of string (* Hashtbl.t, Buffer.t, Queue.t, Stack.t, ... *)
+  | Mut_record of string (* type path with mutable fields *)
+  | Func
+
+let safe_heads =
+  [
+    "Atomic.t";
+    "Mutex.t";
+    "Condition.t";
+    "Semaphore.Counting.t";
+    "Semaphore.Binary.t";
+    "Domain.DLS.key";
+  ]
+
+let sync_field_heads =
+  [ "Mutex.t"; "Semaphore.Counting.t"; "Semaphore.Binary.t" ]
+
+let array_heads = [ "array"; "floatarray"; "bytes"; "Float.Array.t" ]
+
+let container_heads =
+  [ "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t"; "Dynarray.t" ]
+
+(* Name-only fallback when no Env.t is available. *)
+let classify_by_name p =
+  if Paths.matches_any p safe_heads then Safe (Paths.norm p)
+  else if Paths.matches p "ref" then Ref
+  else if Paths.matches_any p array_heads then Arr (Paths.norm p)
+  else if Paths.matches_any p container_heads then Container (Paths.norm p)
+  else Safe (Paths.norm p)
+
+let head_matches env ty pats =
+  let ty = match env with Some e -> (try Ctype.expand_head e ty with _ -> ty) | None -> ty in
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Paths.matches_any p pats
+  | _ -> false
+
+let classify ?(depth = 0) (env : Env.t option) (ty : Types.type_expr) : kind
+    =
+  if depth > 6 then Safe "depth limit"
+  else
+    let ty =
+      match env with
+      | Some e -> ( try Ctype.expand_head e ty with _ -> ty)
+      | None -> ty
+    in
+    match Types.get_desc ty with
+    | Tarrow _ -> Func
+    | Tconstr (p, _, _) -> (
+      if Paths.matches_any p safe_heads then Safe (Paths.norm p)
+      else if Paths.matches p "ref" then Ref
+      else if Paths.matches_any p array_heads then Arr (Paths.norm p)
+      else if Paths.matches_any p container_heads then Container (Paths.norm p)
+      else
+        match env with
+        | None -> classify_by_name p
+        | Some e -> (
+          match Env.find_type p e with
+          | decl -> (
+            match decl.type_kind with
+            | Type_record (lbls, _) ->
+              let has_sync =
+                List.exists
+                  (fun (l : Types.label_declaration) ->
+                    head_matches env l.ld_type sync_field_heads)
+                  lbls
+              in
+              let muts =
+                List.filter
+                  (fun (l : Types.label_declaration) ->
+                    match l.ld_mutable with
+                    | Asttypes.Mutable -> true
+                    | Asttypes.Immutable -> false)
+                  lbls
+              in
+              if has_sync then
+                Safe (Paths.norm p ^ " (monitor: carries its own Mutex)")
+              else if muts <> [] then Mut_record (Paths.norm p)
+              else Safe "immutable record"
+            | Type_variant _ -> Safe "variant"
+            | Type_abstract -> Safe "abstract type"
+            | Type_open -> Safe "open type")
+          | exception _ -> classify_by_name p))
+    | Ttuple _ -> Safe "tuple"
+    | Tvar _ | Tunivar _ | Tpoly _ -> Safe "polymorphic"
+    | _ -> Safe "other"

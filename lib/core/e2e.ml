@@ -281,6 +281,7 @@ module Kernel = struct
       if epsilon <= 0. then invalid_arg "Exponential.invert: non-positive epsilon";
       Float.max 0. (log (m_c /. epsilon) /. a_c)
     end
+  [@@zero_alloc_check]
 
   (* case tags compiled by [set]:
      0 — theta = +inf for every x (c_h <= 0, or BMUX with margin <= 0)
@@ -356,6 +357,7 @@ module Kernel = struct
       done;
       t.ncand <- !w
     end
+  [@@zero_alloc_check]
 
   let candidate_count t = t.ncand
 
@@ -383,6 +385,7 @@ module Kernel = struct
     | _ ->
       Float.max 0.
         (((t.sigma +. (t.r.(i) *. Float.max 0. (x +. t.dv.(i)))) /. t.c.(i)) -. x)
+  [@@zero_alloc_check]
 
   let objective_at t x =
     let acc = ref x in
@@ -390,6 +393,7 @@ module Kernel = struct
       acc := !acc +. theta_at t x i
     done;
     !acc
+  [@@zero_alloc_check]
 
   let delay t =
     if !Telemetry.on then Telemetry.Counter.add c_objective_evals t.ncand;
@@ -398,6 +402,7 @@ module Kernel = struct
       best := Float.min !best (objective_at t t.cand.(i))
     done;
     !best
+  [@@zero_alloc_check]
 
   let optimal_thetas t =
     if !Telemetry.on then Telemetry.Counter.add c_objective_evals (t.ncand + 1);
@@ -417,6 +422,7 @@ module Kernel = struct
     let sigma = sigma_for t ~gamma ~epsilon in
     set t ~gamma ~sigma;
     delay t
+  [@@zero_alloc_check]
 end
 
 (* The pre-kernel list-based solver, retained verbatim: the oracle for
@@ -679,7 +685,9 @@ let smallest_k ~extra_ok ~h ~c ~rho_c ~gamma =
     (c -. rho_c -. (float_of_int k *. gamma))
     /. (c -. (float_of_int (k - 1) *. gamma))
   in
-  let suffix = Array.make (h + 2) 0. in
+  (* entry cost, not per-candidate cost: one scratch array sized by the
+     hop count, filled by the backward pass below *)
+  let suffix = (Array.make (h + 2) 0. [@lint.allow "zero-alloc"]) in
   for k = h downto 1 do
     suffix.(k) <- term k +. suffix.(k + 1)
   done;
@@ -689,6 +697,7 @@ let smallest_k ~extra_ok ~h ~c ~rho_c ~gamma =
     else find (k + 1)
   in
   find 0
+  [@@zero_alloc_check]
 
 let fifo_closed_form p ~gamma ~sigma =
   let nd = require_homogeneous p "E2e.fifo_closed_form" in

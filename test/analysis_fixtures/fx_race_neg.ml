@@ -1,0 +1,50 @@
+(* Known-safe idioms for cross-domain-capture: nothing here may fire.
+   These mirror the repo's real patterns (lib/parallel/pool.ml result
+   slots, lib/telemetry single-writer rings) — they are recognized
+   structurally, not suppressed. *)
+
+let atomic_bump xs =
+  let hits = Atomic.make 0 in
+  Parallel.Default.map (fun x -> Atomic.incr hits; x + 1) xs
+
+type guarded = { lock : Mutex.t; mutable sum : int }
+
+(* Monitor idiom: the record carries its own Mutex. *)
+let monitor_bump xs =
+  let g = { lock = Mutex.create (); sum = 0 } in
+  Parallel.Default.map
+    (fun x ->
+      Mutex.lock g.lock;
+      g.sum <- g.sum + x;
+      Mutex.unlock g.lock;
+      x)
+    xs
+
+(* Per-index result slots: the write index varies with the closure's own
+   parameter. *)
+let slot_per_index xs =
+  let out = Array.make (Array.length xs) 0 in
+  let _ = Parallel.Default.map (fun i -> out.(i) <- i * i; i) xs in
+  out
+
+(* Domain-local storage. *)
+let key = Domain.DLS.new_key (fun () -> 0)
+
+let dls_bump xs =
+  Parallel.Default.map
+    (fun x ->
+      Domain.DLS.set key (Domain.DLS.get key + 1);
+      x)
+    xs
+
+(* Read-only deref of a startup flag (single-writer discipline). *)
+let enabled = ref true
+
+let gated xs = Parallel.Default.map (fun x -> if !enabled then x + 1 else x) xs
+
+(* Single writer until join: any array write is fine under Domain.spawn. *)
+let spawn_writer () =
+  let out = Array.make 4 0 in
+  let d = (Domain.spawn [@lint.allow "domain-spawn"]) (fun () -> out.(0) <- 1) in
+  Domain.join d;
+  out

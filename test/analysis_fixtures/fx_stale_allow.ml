@@ -1,0 +1,7 @@
+(* A [@lint.allow] for a typed rule that suppresses nothing: with
+   --warn-unused-allow the analyzer must report unused-allow here (and
+   the untyped lint must NOT — it does not own the zero-alloc id). *)
+
+let fine (x : int) = x + 1 [@@zero_alloc_check]
+
+let stale n = (n * 2 [@lint.allow "zero-alloc"])

@@ -1,0 +1,13 @@
+(* Violations under [@lint.allow "rule"]: the analyzer must stay silent,
+   and with --warn-unused-allow the attributes must register as used (no
+   unused-allow finding either). *)
+
+let hits = ref 0
+
+let bump xs =
+  (Parallel.Default.map (fun x -> incr hits; x) xs
+  [@lint.allow "cross-domain-capture"])
+
+let scratch n =
+  (Array.make n 0. [@lint.allow "zero-alloc"])
+  [@@zero_alloc_check]

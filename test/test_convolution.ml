@@ -4,7 +4,7 @@ module Curve = Minplus.Curve
 module Conv = Minplus.Convolution
 
 let feq ?(tol = 1e-9) a b =
-  (a = infinity && b = infinity)
+  (Float.equal a Float.infinity && Float.equal b Float.infinity)
   || Float.abs (a -. b) <= tol *. (1. +. Float.max (Float.abs a) (Float.abs b))
 
 let check_float ?tol name expected got =
@@ -16,7 +16,7 @@ let check_float ?tol name expected got =
    we check both directions with a slack matched to the grid). *)
 let brute_convolve f g t =
   let n = 2000 in
-  let best = ref infinity in
+  let best = ref Float.infinity in
   for i = 0 to n do
     let s = t *. float_of_int i /. float_of_int n in
     let v = Curve.eval f s +. Curve.eval g (t -. s) in
@@ -88,7 +88,7 @@ let test_deconv_output_envelope () =
 let test_deconv_divergent () =
   let e = Curve.affine ~rate:5. ~burst:0. in
   let s = Curve.constant_rate 2. in
-  check_float "divergent eval" infinity (Conv.deconvolve_eval e s 1.);
+  check_float "divergent eval" Float.infinity (Conv.deconvolve_eval e s 1.);
   Alcotest.check_raises "divergent deconvolve"
     (Invalid_argument "Convolution.deconvolve: divergent (unstable rates)") (fun () ->
       ignore (Conv.deconvolve e s))

@@ -10,7 +10,7 @@ module Single = Deltanet.Single_node
 
 let check_float ?(tol = 1e-9) name expected got =
   let ok =
-    (expected = infinity && got = infinity)
+    (Float.equal expected Float.infinity && Float.equal got Float.infinity)
     || Float.abs (expected -. got)
        <= tol *. (1. +. Float.max (Float.abs expected) (Float.abs got))
   in
@@ -192,7 +192,7 @@ let test_overload_infinite () =
       { Sched.envelope = lb 8. 1.; delta = Delta.Fin 0. };
     ]
   in
-  check_float "overload" infinity (Sched.min_delay ~capacity:10. flows)
+  check_float "overload" Float.infinity (Sched.min_delay ~capacity:10. flows)
 
 let test_edf_negative_delta_below_fifo () =
   (* Theorem 2 comparison: cross with looser deadline (delta < 0) always

@@ -3,7 +3,7 @@
 module Curve = Minplus.Curve
 
 let feq ?(tol = 1e-9) a b =
-  (a = infinity && b = infinity)
+  (Float.equal a Float.infinity && Float.equal b Float.infinity)
   || Float.abs (a -. b) <= tol *. (1. +. Float.max (Float.abs a) (Float.abs b))
 
 let check_float ?tol name expected got =
@@ -68,7 +68,7 @@ let test_rate_latency () =
 let test_delta_curve () =
   let f = Curve.delta 4. in
   check_float "f(2)" 0. (Curve.eval f 2.);
-  check_float "f(5)" infinity (Curve.eval f 5.);
+  check_float "f(5)" Float.infinity (Curve.eval f 5.);
   Alcotest.(check bool) "ultimately infinite" true (Curve.ultimately_infinite f);
   check_float "left limit at 4" 0. (Curve.eval_left f 4.)
 
@@ -94,7 +94,7 @@ let test_inverse () =
   check_float "inverse 8" 3. (Curve.inverse f 8.);
   let plateau = Curve.step ~at:1. ~height:2. in
   check_float "inverse plateau reachable" 1. (Curve.inverse plateau 2.);
-  check_float "inverse plateau unreachable" infinity (Curve.inverse plateau 3.)
+  check_float "inverse plateau unreachable" Float.infinity (Curve.inverse plateau 3.)
 
 let test_min_max_add () =
   let f = Curve.affine ~rate:1. ~burst:4. in

@@ -10,7 +10,7 @@ module Tandem = Netsim.Tandem
 
 let check_float ?(tol = 1e-9) name expected got =
   let ok =
-    (expected = infinity && got = infinity)
+    (Float.equal expected Float.infinity && Float.equal got Float.infinity)
     || Float.abs (expected -. got)
        <= tol *. (1. +. Float.max (Float.abs expected) (Float.abs got))
   in
@@ -94,7 +94,7 @@ let test_det_linear_scaling_bmux () =
 let test_det_overload () =
   let nodes = [ node ~capacity:10. ~rate:9. ~burst:1. ~delta:Delta.Pos_inf ] in
   let through = Curve.affine ~rate:2. ~burst:1. in
-  check_float "unstable" infinity (Det.delay_bound ~nodes ~through ~thetas:[ 0. ])
+  check_float "unstable" Float.infinity (Det.delay_bound ~nodes ~through ~thetas:[ 0. ])
 
 (* ---------------- analytic bounds vs simulation ---------------- *)
 

@@ -5,7 +5,7 @@ module Dev = Minplus.Deviation
 
 let check_float ?(tol = 1e-9) name expected got =
   let ok =
-    (expected = infinity && got = infinity)
+    (Float.equal expected Float.infinity && Float.equal got Float.infinity)
     || Float.abs (expected -. got)
        <= tol *. (1. +. Float.max (Float.abs expected) (Float.abs got))
   in
@@ -31,8 +31,8 @@ let test_zero_arrival () =
 let test_unstable () =
   let arrival = Curve.affine ~rate:10. ~burst:1. in
   let service = Curve.constant_rate 2. in
-  check_float "unstable delay" infinity (Dev.horizontal ~arrival ~service);
-  check_float "unstable backlog" infinity (Dev.vertical ~arrival ~service)
+  check_float "unstable delay" Float.infinity (Dev.horizontal ~arrival ~service);
+  check_float "unstable backlog" Float.infinity (Dev.vertical ~arrival ~service)
 
 let test_equal_rates () =
   (* Equal ultimate rates: finite deviation determined by burst. *)

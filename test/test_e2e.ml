@@ -12,7 +12,7 @@ module Exp = Envelope.Exponential
 
 let check_float ?(tol = 1e-9) name expected got =
   let ok =
-    (expected = infinity && got = infinity)
+    (Float.equal expected Float.infinity && Float.equal got Float.infinity)
     || Float.abs (expected -. got)
        <= tol *. (1. +. Float.max (Float.abs expected) (Float.abs got))
   in
@@ -159,7 +159,7 @@ let test_overload_infinite () =
   let through = Ebb.v ~m:1. ~rho:60. ~alpha:1. in
   let cross = Ebb.v ~m:1. ~rho:60. ~alpha:1. in
   let p = E2e.homogeneous ~h:3 ~capacity:100. ~cross ~delta:(Delta.Fin 0.) ~through in
-  check_float "overloaded path" infinity (E2e.delay_bound ~epsilon:1e-9 p);
+  check_float "overloaded path" Float.infinity (E2e.delay_bound ~epsilon:1e-9 p);
   Alcotest.(check bool) "gamma_max non-positive" true (E2e.gamma_max p <= 0.)
 
 let test_fifo_approaches_bmux_low_cross () =
@@ -445,7 +445,7 @@ let prop_k_procedure_vs_enumeration =
       in
       if must_be_exact then begin
         let agree =
-          (exact = infinity && kproc = infinity)
+          (Float.equal exact Float.infinity && Float.equal kproc Float.infinity)
           || Float.abs (exact -. kproc)
              <= 1e-9 *. (1. +. Float.max (Float.abs exact) (Float.abs kproc))
         in

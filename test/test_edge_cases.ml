@@ -10,7 +10,7 @@ module Tandem = Netsim.Tandem
 
 let check_float ?(tol = 1e-9) name expected got =
   let ok =
-    (expected = infinity && got = infinity)
+    (Float.equal expected Float.infinity && Float.equal got Float.infinity)
     || Float.abs (expected -. got)
        <= tol *. (1. +. Float.max (Float.abs expected) (Float.abs got))
   in
@@ -33,7 +33,7 @@ let test_infinite_tail_operations () =
   check_float "min with delta before" 0. (Curve.eval m 1.);
   check_float "min with delta after" 9. (Curve.eval m 3.);
   let s = Curve.add d f in
-  check_float "add with delta" infinity (Curve.eval s 3.)
+  check_float "add with delta" Float.infinity (Curve.eval s 3.)
 
 let test_degenerate_single_point_pieces () =
   (* Nearly-zero-length pieces survive normalization without corruption. *)
@@ -44,7 +44,7 @@ let test_inverse_at_jump () =
   let f = Curve.step ~at:3. ~height:5. in
   check_float "inverse below jump" 3. (Curve.inverse f 2.);
   check_float "inverse at height" 3. (Curve.inverse f 5.);
-  check_float "inverse above" infinity (Curve.inverse f 5.1)
+  check_float "inverse above" Float.infinity (Curve.inverse f 5.1)
 
 (* ---------------- exponential / estimation ---------------- *)
 
@@ -69,7 +69,7 @@ let test_estimate_validation () =
 
 let test_max_reliable_s_constant_trace () =
   (* constant trace: max = mean, estimator reliable at any s *)
-  check_float "infinite for constant" infinity
+  check_float "infinite for constant" Float.infinity
     (Estimate.max_reliable_s (Array.make 100 2.) ~tau:5)
 
 (* ---------------- e2e boundary conditions ---------------- *)
@@ -94,7 +94,7 @@ let test_gamma_at_boundary () =
 let test_exactly_critical_load_infinite () =
   let p = mk_path ~h:3 ~cross_rho:90. in
   (* through 10 + cross 90 = 100 = capacity: gamma_max = 0 *)
-  check_float "critical load" infinity (E2e.delay_bound ~epsilon:1e-9 p);
+  check_float "critical load" Float.infinity (E2e.delay_bound ~epsilon:1e-9 p);
   Alcotest.(check bool) "gamma_max zero" true (E2e.gamma_max p <= 0.)
 
 let test_h1_consistency_all_deltas () =

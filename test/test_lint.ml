@@ -253,6 +253,58 @@ let test_allow_space_separated () =
     (rules ~file:"lib/core/a.ml"
        "let f xs = (List.hd xs = nan) [@lint.allow \"unsafe-partial nan-literal float-equal\"]")
 
+(* ---------------- unused-allow ---------------- *)
+
+let rules_w ~file src =
+  Lint.Engine.lint_string ~warn_unused_allow:true ~file src
+  |> List.map (fun f -> f.Lint.Finding.rule)
+
+let test_unused_allow_fires () =
+  check (list string) "an allow that suppresses nothing is stale"
+    [ "unused-allow" ]
+    (rules_w ~file:"lib/core/a.ml" "let a = 1 [@lint.allow \"nan-literal\"]")
+
+let test_unused_allow_used_is_silent () =
+  check (list string) "an allow that suppresses a finding is not stale" []
+    (rules_w ~file:"lib/core/a.ml" "let a = nan [@lint.allow \"nan-literal\"]")
+
+let test_unused_allow_off_by_default () =
+  check (list string) "without the flag, stale allows pass" []
+    (rules ~file:"lib/core/a.ml" "let a = 1 [@lint.allow \"nan-literal\"]")
+
+let test_unused_allow_bare () =
+  check (list string) "a bare [@lint.allow] that suppresses nothing is stale"
+    [ "unused-allow" ]
+    (rules_w ~file:"lib/core/a.ml" "let a = 1 [@lint.allow]")
+
+let test_unused_allow_foreign_rule () =
+  (* zero-alloc belongs to the typed analyzer: the untyped lint must not
+     call it stale, or the two drivers would fight over the attribute. *)
+  check (list string) "typed-analyzer rule ids are not this tool's business"
+    []
+    (rules_w ~file:"lib/core/a.ml" "let a = 1 [@lint.allow \"zero-alloc\"]")
+
+let test_unused_allow_partial_payload () =
+  (* One id of the payload is used, the other is stale: report only the
+     stale one, in the message. *)
+  match
+    Lint.Engine.lint_string ~warn_unused_allow:true ~file:"lib/core/a.ml"
+      "let a = nan [@lint.allow \"nan-literal float-equal\"]"
+  with
+  | [ f ] ->
+    check string "rule" "unused-allow" f.Lint.Finding.rule;
+    check bool "names only the stale id" true
+      (let m = f.Lint.Finding.message in
+       let has sub =
+         let lm = String.length m and ls = String.length sub in
+         let rec at i =
+           i + ls <= lm && (String.sub m i ls = sub || at (i + 1))
+         in
+         at 0
+       in
+       has "float-equal" && not (has "nan-literal"))
+  | fs -> failf "expected one unused-allow finding, got %d" (List.length fs)
+
 (* ---------------- parse errors and output format ---------------- *)
 
 let test_parse_error () =
@@ -292,7 +344,7 @@ let test_catalogue_covers_rules () =
     (fun r -> check bool (r ^ " is catalogued") true (List.mem r ids))
     [
       "float-equal"; "poly-compare"; "banned-ident"; "raw-exit"; "nan-literal";
-      "unsafe-partial"; "domain-spawn"; "parse-error";
+      "unsafe-partial"; "domain-spawn"; "parse-error"; "unused-allow";
     ]
 
 let suite =
@@ -345,6 +397,17 @@ let suite =
     test_case "allow without payload" `Quick test_allow_all;
     test_case "allow is scoped to the subtree" `Quick test_allow_is_scoped;
     test_case "allow space-separated ids" `Quick test_allow_space_separated;
+    test_case "unused-allow fires on a stale allow" `Quick
+      test_unused_allow_fires;
+    test_case "unused-allow silent when the allow is used" `Quick
+      test_unused_allow_used_is_silent;
+    test_case "unused-allow off by default" `Quick
+      test_unused_allow_off_by_default;
+    test_case "unused-allow on a bare allow" `Quick test_unused_allow_bare;
+    test_case "unused-allow ignores typed-analyzer rule ids" `Quick
+      test_unused_allow_foreign_rule;
+    test_case "unused-allow reports only the stale ids" `Quick
+      test_unused_allow_partial_payload;
     test_case "parse error becomes a finding" `Quick test_parse_error;
     test_case "golden machine-readable output" `Quick test_golden_output;
     test_case "catalogue covers every rule" `Quick test_catalogue_covers_rules;

@@ -7,7 +7,7 @@ module Ebb = Envelope.Ebb
 
 let check_float ?(tol = 1e-9) name expected got =
   let ok =
-    (expected = infinity && got = infinity)
+    (Float.equal expected Float.infinity && Float.equal got Float.infinity)
     || Float.abs (expected -. got)
        <= tol *. (1. +. Float.max (Float.abs expected) (Float.abs got))
   in
@@ -143,7 +143,7 @@ let test_overload_infinite () =
       ~cross:[ { Mc.rho = 90.; m = 1.; delta = Delta.Fin 0. } ]
       ~through
   in
-  check_float "overload" infinity (Mc.delay_bound ~epsilon:1e-9 p)
+  check_float "overload" Float.infinity (Mc.delay_bound ~epsilon:1e-9 p)
 
 let suite =
   [

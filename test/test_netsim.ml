@@ -178,7 +178,7 @@ let small_config scheduler =
 let test_tandem_runs_and_measures () =
   let r = Tandem.run (small_config Scheduler.Classes.Fifo) in
   Alcotest.(check bool) "collected delays" true (Desim.Stats.Sample.count r.Tandem.delays > 1000);
-  Alcotest.(check bool) "nothing censored" true (r.Tandem.censored_kb = 0.);
+  Alcotest.(check bool) "nothing censored" true (Float.equal r.Tandem.censored_kb 0.);
   Array.iter
     (fun u ->
       if u < 0. || u > 1.0001 then Alcotest.failf "utilization out of range: %g" u)
@@ -219,7 +219,7 @@ let test_tandem_gps_mode () =
   in
   Alcotest.(check bool) "gps run completes" true
     (Desim.Stats.Sample.count r.Tandem.delays > 1000);
-  Alcotest.(check bool) "gps drains" true (r.Tandem.censored_kb = 0.)
+  Alcotest.(check bool) "gps drains" true (Float.equal r.Tandem.censored_kb 0.)
 
 let test_tandem_packetized_mode () =
   (* Packetized FIFO with small packets behaves like fluid FIFO. *)

@@ -147,7 +147,7 @@ let prop_multiclass_matches_e2e =
         let pm = Deltanet.Multiclass.of_two_class p in
         let d2 = E2e.delay_given p ~gamma ~sigma in
         let dm = Deltanet.Multiclass.delay_given pm ~gamma ~sigma in
-        (d2 = infinity && dm = infinity)
+        (Float.equal d2 Float.infinity && Float.equal dm Float.infinity)
         || Float.abs (d2 -. dm) <= 1e-5 *. (1. +. Float.abs d2))
 
 (* ---------------- scaling laws ---------------- *)

@@ -12,7 +12,7 @@ module Classes = Scheduler.Classes
 
 let check_float ?(tol = 1e-9) name expected got =
   let ok =
-    (expected = infinity && got = infinity)
+    (Float.equal expected Float.infinity && Float.equal got Float.infinity)
     || Float.abs (expected -. got)
        <= tol *. (1. +. Float.max (Float.abs expected) (Float.abs got))
   in
@@ -67,8 +67,8 @@ let test_gilbert_process () =
   let mean = Array.fold_left ( +. ) 0. a /. 5000. in
   (* stationary degraded fraction p_fail /. (p_fail +. p_recover) = 0.2 *)
   check_float ~tol:0.05 "mean factor near stationary" (Faults.stationary_factor spec) mean;
-  Alcotest.(check bool) "saw degraded slots" true (Array.exists (fun f -> f = 0.4) a);
-  Alcotest.(check bool) "saw healthy slots" true (Array.exists (fun f -> f = 1.) a)
+  Alcotest.(check bool) "saw degraded slots" true (Array.exists (fun f -> Float.equal f 0.4) a);
+  Alcotest.(check bool) "saw healthy slots" true (Array.exists (fun f -> Float.equal f 1.) a)
 
 let test_spec_round_trip () =
   List.iter
@@ -211,13 +211,13 @@ let test_guard_helpers () =
   | _ -> Alcotest.fail "expected Tripped"
   | exception Diag.Guard.Tripped _ -> ());
   Alcotest.(check bool) "protect catches" true
-    (match Diag.Guard.protect (fun () -> Diag.Guard.finite ~what:"y" infinity) with
+    (match Diag.Guard.protect (fun () -> Diag.Guard.finite ~what:"y" Float.infinity) with
     | Error _ -> true
     | Ok _ -> false);
   Alcotest.(check string) "status of nan" "non-finite"
     (Diag.status_to_string (Diag.Guard.status_of_value Float.nan));
   Alcotest.(check string) "status of inf" "unstable"
-    (Diag.status_to_string (Diag.Guard.status_of_value infinity))
+    (Diag.status_to_string (Diag.Guard.status_of_value Float.infinity))
 
 (* ---------------- scenario validation and checked bounds ---------------- *)
 
@@ -248,7 +248,7 @@ let test_checked_delay_bound () =
   let over = Scenario.paper_defaults ~h:2 ~n_through:400. ~n_cross:400. in
   let o = Scenario.delay_bound_checked ~s_points:16 ~scheduler:Classes.Fifo over in
   Alcotest.(check bool) "unstable" true (o.Diag.diag.Diag.status = Diag.Unstable);
-  check_float "unstable value is inf" infinity o.Diag.value
+  check_float "unstable value is inf" Float.infinity o.Diag.value
 
 let test_checked_edf_bound () =
   let sc = Scenario.of_utilization ~h:3 ~u_through:0.15 ~u_cross:0.3 in

@@ -26,11 +26,11 @@ let test_delta_clip () =
     (Delta.clip_fin Delta.Pos_inf 1.)
 
 let test_delta_of_float () =
-  Alcotest.(check bool) "infinity" true (Delta.of_float infinity = Delta.Pos_inf);
-  Alcotest.(check bool) "neg infinity" true (Delta.of_float neg_infinity = Delta.Neg_inf);
+  Alcotest.(check bool) "infinity" true (Delta.of_float Float.infinity = Delta.Pos_inf);
+  Alcotest.(check bool) "neg infinity" true (Delta.of_float Float.neg_infinity = Delta.Neg_inf);
   Alcotest.(check bool) "finite" true (Delta.of_float 2. = Delta.Fin 2.);
   Alcotest.check_raises "nan" (Invalid_argument "Delta.fin: nan") (fun () ->
-      ignore (Delta.of_float nan))
+      ignore (Delta.of_float Float.nan))
 
 let test_delta_order () =
   Alcotest.(check bool) "neg_inf < fin" true (Delta.compare Delta.Neg_inf (Delta.Fin 0.) < 0);

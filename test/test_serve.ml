@@ -69,7 +69,7 @@ let test_sjson_values () =
   (* overflowing literals are kept as infinity: the protocol layer, not
      the reader, owns the finiteness policy *)
   (match sjson_ok "1e999" with
-  | Sjson.Num v -> check Alcotest.bool "1e999 -> inf" true (v = Float.infinity)
+  | Sjson.Num v -> check Alcotest.bool "1e999 -> inf" true (Float.equal v Float.infinity)
   | _ -> Alcotest.fail "1e999")
 
 let test_sjson_strings () =

@@ -118,15 +118,15 @@ let test_span_exception () =
 let test_csv_row_non_finite () =
   (* regression: results/*.csv used to print "inf"/"nan" through %.6g *)
   check Alcotest.string "non-finite values become empty cells" "1.5,,,2"
-    (Telemetry.Csv.row [ 1.5; infinity; nan; 2. ]);
+    (Telemetry.Csv.row [ 1.5; Float.infinity; Float.nan; 2. ]);
   check Alcotest.string "neg_infinity too" ","
-    (Telemetry.Csv.row [ neg_infinity; nan ]);
+    (Telemetry.Csv.row [ Float.neg_infinity; Float.nan ]);
   check Alcotest.string "%.6g formatting retained" "0.333333"
     (Telemetry.Csv.cell (1. /. 3.))
 
 let test_json_emission () =
-  check Alcotest.string "nan is null" "null" (Telemetry.Json.number nan);
-  check Alcotest.string "inf is null" "null" (Telemetry.Json.number infinity);
+  check Alcotest.string "nan is null" "null" (Telemetry.Json.number Float.nan);
+  check Alcotest.string "inf is null" "null" (Telemetry.Json.number Float.infinity);
   check Alcotest.string "string escaping" "a\\\"b\\\\c\\n"
     (Telemetry.Json.escape "a\"b\\c\n");
   check Alcotest.string "object/array composition"
