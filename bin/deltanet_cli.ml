@@ -398,13 +398,64 @@ let slots_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let engine_conv =
+  let parse s =
+    match Tandem.engine_of_string s with Ok e -> Ok e | Error m -> Error (`Msg m)
+  in
+  let print ppf e = Fmt.string ppf (Tandem.engine_to_string e) in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Tandem.Slotted
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulation engine: $(b,slotted) (the reference time-stepped loop) or \
+           $(b,event) (heap-based event engine — bit-identical delay samples on \
+           slot-aligned configs, and much faster when traffic is sparse).")
+
+let cbr_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | None -> Error (`Msg (Fmt.str "expected PERIOD:BURST, got %S" s))
+    | Some i -> (
+      let period = String.sub s 0 i in
+      let burst = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt period, float_of_string_opt burst) with
+      | (Some p, Some b) when p >= 1 && b > 0. && Float.is_finite b ->
+        Ok (p, b)
+      | _ -> Error (`Msg (Fmt.str "bad CBR spec %S (need PERIOD >= 1, BURST > 0)" s)))
+  in
+  let print ppf (p, b) = Fmt.pf ppf "%d:%g" p b in
+  Arg.conv (parse, print)
+
+let cbr_arg =
+  Arg.(
+    value
+    & opt (some cbr_conv) None
+    & info [ "cbr" ] ~docv:"PERIOD:BURST"
+        ~doc:
+          "Replace the Markov through aggregate with a deterministic source: \
+           $(i,BURST) kb every $(i,PERIOD) slots.  Engine-independent by \
+           construction, and sparse traffic is where $(b,--engine event) wins \
+           (the Markov sources step their chains every slot).")
+
 let simulate_cmd =
-  let run h u0 uc slots seed sched edf_ratio faults metrics trace =
+  let run h u0 uc slots seed sched edf_ratio faults engine cbr metrics trace =
     with_telemetry "simulate" metrics trace @@ fun () ->
     let cfg =
       tandem_config ~h ~u0 ~uc ~slots ~sched ~edf_ratio ~faults ~seed:(Int64.of_int seed)
     in
-    let r = Tandem.run cfg in
+    let cfg =
+      match cbr with
+      | None -> cfg
+      | Some (period, burst) ->
+        { cfg with Tandem.through_kind = Tandem.Cbr { period; burst } }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Tandem.run ~engine cfg in
+    let wall = Unix.gettimeofday () -. t0 in
     Fmt.pr "through flows: %d, cross flows/node: %d, slots: %d@." cfg.Tandem.n_through
       cfg.Tandem.n_cross slots;
     Fmt.pr "through data: %.0f kb (censored %.0f kb)@." r.Tandem.through_kb
@@ -421,12 +472,23 @@ let simulate_cmd =
         Fmt.pr "delay quantile %-7g: %6.1f ms@." q (Tandem.delay_quantile r q))
       [ 0.5; 0.9; 0.99; 0.999; 0.9999 ];
     Fmt.pr "delay max         : %6.1f ms@."
-      (Desim.Stats.Sample.max r.Tandem.delays)
+      (Desim.Stats.Sample.max r.Tandem.delays);
+    let pps =
+      float_of_int (Desim.Stats.Sample.count r.Tandem.delays) /. Float.max wall 1e-9
+    in
+    (match engine with
+    | Tandem.Slotted ->
+      Fmt.pr "engine: slotted (%.0f packets/s, %.2f s wall)@." pps wall
+    | Tandem.Event ->
+      Fmt.pr "engine: event (%d events for %d slots; %.0f packets/s, %.2f s wall)@."
+        r.Tandem.events_processed
+        (slots + cfg.Tandem.drain_limit)
+        pps wall)
   in
   let term =
     Term.(
       const run $ hops_arg $ u0_arg $ uc_arg $ slots_arg $ seed_arg $ sched_arg
-      $ edf_ratio_arg $ faults_arg $ metrics_arg $ trace_arg)
+      $ edf_ratio_arg $ faults_arg $ engine_arg $ cbr_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -438,8 +500,8 @@ let simulate_cmd =
 (* ---------------- replicate ---------------- *)
 
 let replicate_cmd =
-  let run h u0 uc slots seed sched edf_ratio faults runs q retries max_wall resume jobs
-      metrics trace =
+  let run h u0 uc slots seed sched edf_ratio faults engine runs q retries max_wall resume
+      jobs metrics trace =
     setup_jobs jobs;
     with_telemetry "replicate" metrics trace @@ fun () ->
     if runs < 2 then begin
@@ -447,7 +509,7 @@ let replicate_cmd =
       exit exit_usage
     end;
     let experiment ~seed =
-      (Tandem.run (tandem_config ~h ~u0 ~uc ~slots ~sched ~edf_ratio ~faults ~seed))
+      (Tandem.run ~engine (tandem_config ~h ~u0 ~uc ~slots ~sched ~edf_ratio ~faults ~seed))
         .Tandem.delays
     in
     match
@@ -513,8 +575,8 @@ let replicate_cmd =
   let term =
     Term.(
       const run $ hops_arg $ u0_arg $ uc_arg $ slots_arg $ seed_arg $ sched_arg
-      $ edf_ratio_arg $ faults_arg $ runs_arg $ q_arg $ retries_arg $ max_wall_arg
-      $ resume_arg $ jobs_arg $ metrics_arg $ trace_arg)
+      $ edf_ratio_arg $ faults_arg $ engine_arg $ runs_arg $ q_arg $ retries_arg
+      $ max_wall_arg $ resume_arg $ jobs_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "replicate"
@@ -628,7 +690,7 @@ let admission_cmd =
 (* ---------------- scaling ---------------- *)
 
 let scaling_cmd =
-  let run u0 epsilon jobs metrics trace =
+  let run u0 epsilon sim_slots engine jobs metrics trace =
     setup_jobs jobs;
     with_telemetry "scaling" metrics trace @@ fun () ->
     let sc =
@@ -648,10 +710,46 @@ let scaling_cmd =
          fun () -> Deltanet.Scaling.delay_growth ~scheduler:Classes.Bmux sc);
         ("BMUX (additive)", fun () -> Deltanet.Scaling.additive_growth sc);
       ];
+    if sim_slots > 0 then begin
+      (* Empirical overlay: simulated q0.99 delays at the same H points as
+         the analytic curves, fitted with the same log-log regression.  The
+         simulated exponent sits below the analytic one (a sample quantile
+         vs a tail bound) but should stay near-linear in H. *)
+      let hs = [ 2; 4; 8; 16; 32 ] in
+      let points =
+        List.map
+          (fun h ->
+            let cfg =
+              tandem_config ~h ~u0 ~uc:u0 ~slots:sim_slots ~sched:S_fifo ~edf_ratio:10.
+                ~faults:[] ~seed:(Int64.of_int (4242 + h))
+            in
+            let r = Tandem.run ~engine cfg in
+            (float_of_int h, Desim.Stats.Sample.quantile r.Tandem.delays 0.99))
+          hs
+      in
+      let e = Deltanet.Scaling.growth_exponent points in
+      Fmt.pr "%-22s exponent %.3f  (" "FIFO (simulated q99)" e;
+      List.iter (fun (h, d) -> Fmt.pr " H=%.0f:%.1f" h d) points;
+      Fmt.pr " )  [engine %s, %d slots]@." (Tandem.engine_to_string engine) sim_slots
+    end;
     Fmt.pr "# Θ(H log H) appears as an exponent slightly above 1;@.";
     Fmt.pr "# the additive baseline's exponent is >= 2.@."
   in
-  let term = Term.(const run $ u0_arg $ epsilon_arg $ jobs_arg $ metrics_arg $ trace_arg) in
+  let sim_slots_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "sim-slots" ] ~docv:"N"
+          ~doc:
+            "Overlay an empirical growth exponent from packet-level simulation: run \
+             the tandem simulator for $(docv) slots at each path length and fit the \
+             q0.99 delay (0 disables the overlay).")
+  in
+  let term =
+    Term.(
+      const run $ u0_arg $ epsilon_arg $ sim_slots_arg $ engine_arg $ jobs_arg
+      $ metrics_arg $ trace_arg)
+  in
   Cmd.v
     (Cmd.info "scaling"
        ~doc:"Empirical growth exponents of the delay bounds in the path length.")

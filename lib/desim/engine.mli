@@ -1,0 +1,46 @@
+(** Event-driven simulation core.
+
+    A monotone virtual clock over the stable binary {!Heap}: events are
+    scheduled at absolute timestamps and processed in (time, kind,
+    scheduling-order) order.  The engine is generic in the event payload;
+    queueing-network semantics live with the caller ([Netsim.Event_tandem]).
+
+    Determinism: the heap is stable, so events with equal timestamp and
+    kind are processed in the order they were scheduled.  [schedule]
+    rejects timestamps in the past — the clock never moves backwards. *)
+
+type kind =
+  | Source_change  (** traffic-source state transition / emission tick *)
+  | Fault_transition  (** capacity-degradation process advance *)
+  | Arrival  (** work offered to a node *)
+  | Service_completion  (** a batch or packet finishes service *)
+
+type 'a event = { time : float; kind : kind; payload : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+
+val now : 'a t -> float
+(** Current virtual time (the timestamp of the last processed event). *)
+
+val schedule : 'a t -> time:float -> kind:kind -> 'a -> unit
+(** Enqueue an event.  @raise Invalid_argument if [time] is NaN or lies
+    before the current clock. *)
+
+val next : 'a t -> 'a event option
+(** Pop the most urgent event, advancing the clock to its timestamp. *)
+
+val run : 'a t -> ('a t -> 'a event -> unit) -> unit
+(** Drain the queue: repeatedly [next] and hand the event to the handler
+    (which may schedule further events) until the queue is empty. *)
+
+val pending : 'a t -> int
+(** Events currently queued. *)
+
+val events_processed : 'a t -> int
+(** Total events popped so far — exported as a telemetry counter by the
+    simulation layer. *)
+
+val heap_high_water : 'a t -> int
+(** Largest number of simultaneously queued events seen so far. *)

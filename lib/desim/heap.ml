@@ -1,26 +1,52 @@
-(* Array-backed binary min-heap. *)
+(* Array-backed binary min-heap, stable for equal keys.
 
-type 'a t = { cmp : 'a -> 'a -> int; mutable data : 'a array; mutable size : int }
+   Stability: every pushed element carries a monotone sequence number used
+   as the final tie-break, so elements that compare equal under [cmp] pop
+   in insertion (FIFO) order.  The event engine relies on this for
+   deterministic processing of same-timestamp events, and the packetized
+   scheduler relies on it for same-key packet order. *)
 
-let create ~cmp = { cmp; data = [||]; size = 0 }
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable seqs : int array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; data = [||]; seqs = [||]; size = 0; next_seq = 0 }
 let length h = h.size
 let is_empty h = h.size = 0
+
+(* cmp, then insertion order. *)
+let less h i j =
+  let c = h.cmp h.data.(i) h.data.(j) in
+  if c <> 0 then c < 0 else h.seqs.(i) < h.seqs.(j)
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp;
+  let tmp = h.seqs.(i) in
+  h.seqs.(i) <- h.seqs.(j);
+  h.seqs.(j) <- tmp
 
 let grow h x =
   if h.size = Array.length h.data then begin
     let cap = Stdlib.max 8 (2 * Array.length h.data) in
     let data = Array.make cap x in
     Array.blit h.data 0 data 0 h.size;
-    h.data <- data
+    h.data <- data;
+    let seqs = Array.make cap 0 in
+    Array.blit h.seqs 0 seqs 0 h.size;
+    h.seqs <- seqs
   end
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
-      let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(parent);
-      h.data.(parent) <- tmp;
+    if less h i parent then begin
+      swap h i parent;
       sift_up h parent
     end
   end
@@ -28,18 +54,18 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if l < h.size && less h l !smallest then smallest := l;
+  if r < h.size && less h r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
+    swap h i !smallest;
     sift_down h !smallest
   end
 
 let push h x =
   grow h x;
   h.data.(h.size) <- x;
+  h.seqs.(h.size) <- h.next_seq;
+  h.next_seq <- h.next_seq + 1;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
@@ -52,6 +78,7 @@ let pop h =
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      h.seqs.(0) <- h.seqs.(h.size);
       sift_down h 0
     end;
     Some top

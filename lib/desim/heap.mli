@@ -1,5 +1,11 @@
 (** Polymorphic binary min-heap with a caller-supplied comparison.
-    Used for precedence queues in the network simulator. *)
+    Used for precedence queues in the network simulator and for the
+    event queue of the event-driven engine.
+
+    The heap is {e stable}: elements that compare equal under [cmp] pop
+    in insertion (FIFO) order.  Deterministic tie-breaking is load-bearing
+    — same-timestamp events and same-key packets must process in a fixed
+    order for the event engine to be bit-reproducible. *)
 
 type 'a t
 

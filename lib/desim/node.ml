@@ -1,0 +1,242 @@
+(* Continuous-time work-conserving server for the event engine.
+
+   The node serves backlogged work at [rate *. factor] work-units per unit
+   of virtual time.  Between two consecutive events nothing changes at the
+   node, so service within the interval goes to a fixed set of batches;
+   [sync] replays the elapsed interval, [next_completion] predicts the next
+   batch-departure instant, and the caller turns that into a
+   [Engine.Service_completion] event.  Stale completion events are fenced
+   with a generation counter ([gen]/[bump]).
+
+   Three service shapes, mirroring [Netsim.Queue_node] in event time:
+   - fluid preemptive under a [Scheduler.Policy] (most urgent key first,
+     re-evaluated at every event);
+   - packetized non-preemptive (the packet on the wire finishes first);
+   - fluid GPS (instantaneous weighted shares over backlogged classes,
+     re-evaluated whenever the backlog composition changes). *)
+
+type batch = {
+  key : Scheduler.Policy.key;
+  cls : int;
+  total : float;  (* size as offered; reported downstream on completion *)
+  mutable size : float;  (* remaining work *)
+}
+
+type discipline =
+  | Policy of Scheduler.Policy.t
+  | Gps of Scheduler.Gps.t
+
+type state =
+  | Fluid of Scheduler.Policy.t * batch Heap.t
+  | Packet of Scheduler.Policy.t * float * batch Heap.t
+  | Gps_fluid of Scheduler.Gps.t * batch Queue.t array
+
+type t = {
+  rate : float;
+  classes : int;
+  state : state;
+  backlog : float array;  (* per class, including any in-service remainder *)
+  served : float array;  (* per class cumulative work applied *)
+  mutable factor : float;
+  mutable last : float;
+  mutable in_service : batch option;  (* Packet mode only *)
+  mutable completed : (int * float) list;  (* (cls, total), reverse order *)
+  mutable hwm : float;
+  mutable gen : int;
+}
+
+let eps = 1e-9
+
+let create ?packet_size ~rate ~classes discipline =
+  if rate <= 0. then invalid_arg "Node.create: non-positive rate";
+  if classes <= 0 then invalid_arg "Node.create: non-positive class count";
+  let state =
+    match (discipline, packet_size) with
+    | (Policy p, None) ->
+      Fluid (p, Heap.create ~cmp:(fun a b -> Scheduler.Policy.compare_key a.key b.key))
+    | (Policy p, Some l) ->
+      if l <= 0. then invalid_arg "Node.create: non-positive packet size";
+      Packet (p, l, Heap.create ~cmp:(fun a b -> Scheduler.Policy.compare_key a.key b.key))
+    | (Gps g, None) -> Gps_fluid (g, Array.init classes (fun _ -> Queue.create ()))
+    | (Gps _, Some _) -> invalid_arg "Node.create: GPS is fluid (no packet size)"
+  in
+  {
+    rate;
+    classes;
+    state;
+    backlog = Array.make classes 0.;
+    served = Array.make classes 0.;
+    factor = 1.;
+    last = 0.;
+    in_service = None;
+    completed = [];
+    hwm = 0.;
+    gen = 0;
+  }
+
+let finish t (b : batch) =
+  t.completed <- (b.cls, b.total) :: t.completed
+
+let apply_work t (b : batch) amount =
+  t.backlog.(b.cls) <- Float.max 0. (t.backlog.(b.cls) -. amount);
+  t.served.(b.cls) <- t.served.(b.cls) +. amount;
+  b.size <- b.size -. amount
+
+(* Replay the service of the elapsed interval.  The engine fires an event
+   at every predicted completion, so at most one batch (per class, for GPS)
+   drains per interval; the loops below only mop up float dust. *)
+let sync t ~now =
+  let dt = now -. t.last in
+  if dt < -.eps then invalid_arg "Node.sync: time moved backwards";
+  t.last <- now;
+  let budget = ref (Float.max 0. dt *. t.rate *. t.factor) in
+  if !budget > 0. then begin
+    match t.state with
+    | Fluid (_, heap) ->
+      let continue_ = ref true in
+      while !continue_ && !budget > eps do
+        match Heap.pop heap with
+        | None -> continue_ := false
+        | Some b ->
+          let served = Float.min b.size !budget in
+          budget := !budget -. served;
+          apply_work t b served;
+          if b.size > eps then Heap.push heap b else finish t b
+      done
+    | Packet (_, _, heap) ->
+      let continue_ = ref true in
+      while !continue_ && !budget > eps do
+        match t.in_service with
+        | Some b ->
+          let served = Float.min b.size !budget in
+          budget := !budget -. served;
+          apply_work t b served;
+          if b.size <= eps then begin
+            finish t b;
+            t.in_service <- None
+          end
+        | None -> (
+          match Heap.pop heap with
+          | None -> continue_ := false
+          | Some b -> t.in_service <- Some b)
+      done;
+      (* Keep the wire busy: the service-start decision happens here. *)
+      if t.in_service = None then t.in_service <- Heap.pop heap
+    | Gps_fluid (g, queues) ->
+      (* Water-fill the interval budget over current backlogs; between
+         events the backlog composition is constant, so this equals
+         serving at instantaneous weighted rates. *)
+      let grants =
+        Scheduler.Gps.allocate g ~capacity:!budget ~backlogs:(Array.copy t.backlog)
+      in
+      Array.iteri
+        (fun cls grant ->
+          let remaining = ref grant in
+          while !remaining > eps && not (Queue.is_empty queues.(cls)) do
+            let b = Queue.peek queues.(cls) in
+            let served = Float.min b.size !remaining in
+            remaining := !remaining -. served;
+            apply_work t b served;
+            if b.size <= eps then begin
+              finish t b;
+              ignore (Queue.pop queues.(cls))
+            end
+          done)
+        grants
+  end
+
+let offer t ~now ~cls size =
+  if cls < 0 || cls >= t.classes then invalid_arg "Node.offer: class out of range";
+  if size < 0. then invalid_arg "Node.offer: negative size";
+  sync t ~now;
+  if size > 0. then begin
+    t.backlog.(cls) <- t.backlog.(cls) +. size;
+    let depth = Array.fold_left ( +. ) 0. t.backlog in
+    if depth > t.hwm then t.hwm <- depth;
+    match t.state with
+    | Fluid (p, heap) ->
+      let key = Scheduler.Policy.key p ~arrival:now ~cls ~size in
+      Heap.push heap { key; cls; total = size; size }
+    | Packet (p, l, heap) ->
+      let rec go remaining =
+        if remaining > 1e-12 then begin
+          let sz = Float.min l remaining in
+          let key = Scheduler.Policy.key p ~arrival:now ~cls ~size:sz in
+          Heap.push heap { key; cls; total = sz; size = sz };
+          go (remaining -. l)
+        end
+      in
+      go size;
+      if t.in_service = None then t.in_service <- Heap.pop heap
+    | Gps_fluid (_, queues) ->
+      let key = Scheduler.Policy.key Scheduler.Policy.fifo ~arrival:now ~cls ~size in
+      Queue.push { key; cls; total = size; size } queues.(cls)
+  end
+
+let set_factor t ~now factor =
+  if Float.is_nan factor || factor < 0. || factor > 1. then
+    invalid_arg "Node.set_factor: factor outside [0, 1]";
+  sync t ~now;
+  t.factor <- factor
+
+let next_completion t =
+  let r = t.rate *. t.factor in
+  if r <= eps then None
+  else begin
+    match t.state with
+    | Fluid (_, heap) -> (
+      match Heap.peek heap with
+      | None -> None
+      | Some b -> Some (t.last +. (b.size /. r)))
+    | Packet (_, _, _) -> (
+      match t.in_service with
+      | None -> None
+      | Some b -> Some (t.last +. (b.size /. r)))
+    | Gps_fluid (g, queues) ->
+      let weights = Scheduler.Gps.weights g in
+      let active = ref 0. in
+      Array.iteri
+        (fun cls q -> if not (Queue.is_empty q) then active := !active +. weights.(cls))
+        queues;
+      if !active <= 0. then None
+      else begin
+        let best = ref Float.infinity in
+        Array.iteri
+          (fun cls q ->
+            if not (Queue.is_empty q) then begin
+              let share = r *. weights.(cls) /. !active in
+              if share > eps then begin
+                let b = Queue.peek q in
+                let dt = b.size /. share in
+                if dt < !best then best := dt
+              end
+            end)
+          queues;
+        match Float.classify_float !best with
+        | FP_infinite -> None
+        | _ -> Some (t.last +. !best)
+      end
+  end
+
+let take_completions t =
+  let out = List.rev t.completed in
+  t.completed <- [];
+  out
+
+let gen t = t.gen
+
+let bump t =
+  t.gen <- t.gen + 1;
+  t.gen
+
+let backlog t = Array.fold_left ( +. ) 0. t.backlog
+let backlog_of t ~cls =
+  if cls < 0 || cls >= t.classes then invalid_arg "Node.backlog_of: class out of range";
+  t.backlog.(cls)
+
+let served_of t ~cls =
+  if cls < 0 || cls >= t.classes then invalid_arg "Node.served_of: class out of range";
+  t.served.(cls)
+
+let high_water t = t.hwm
+let factor t = t.factor

@@ -1,0 +1,57 @@
+(** Continuous-time work-conserving server for the event engine.
+
+    Serves backlogged work at [rate *. factor] work-units per unit of
+    virtual time under a {!Scheduler.Policy} (fluid preemptive or
+    packetized non-preemptive) or fluid GPS.  The caller drives the node
+    with the event loop:
+
+    + mutate ([offer] / [set_factor]) or [sync] at the current time;
+    + drain [take_completions] and forward them downstream;
+    + [bump] the generation and schedule a {!Engine.Service_completion}
+      event at [next_completion], fencing any stale in-flight event.
+
+    All entry points taking [~now] first replay elapsed service, so the
+    node state is always exact at the event being processed. *)
+
+type t
+
+type discipline =
+  | Policy of Scheduler.Policy.t
+  | Gps of Scheduler.Gps.t
+
+val create : ?packet_size:float -> rate:float -> classes:int -> discipline -> t
+(** [rate] is the full-capacity service rate in work-units per unit time.
+    [packet_size] switches the policy shapes to non-preemptive packetized
+    service; GPS is fluid-only. *)
+
+val sync : t -> now:float -> unit
+(** Replay service up to [now].  @raise Invalid_argument if [now] lies
+    before the last sync point. *)
+
+val offer : t -> now:float -> cls:int -> float -> unit
+(** Add work (kb) of class [cls] arriving at [now]; zero is a no-op. *)
+
+val set_factor : t -> now:float -> float -> unit
+(** Capacity-degradation multiplier in [0, 1] (fault injection). *)
+
+val next_completion : t -> float option
+(** Absolute time of the next predicted batch departure given the current
+    state, [None] when idle or stalled ([factor = 0]).  Only valid
+    immediately after a sync/mutation at the current time. *)
+
+val take_completions : t -> (int * float) list
+(** Batches that completed since the last call, as [(cls, size)] in
+    completion order. *)
+
+val gen : t -> int
+val bump : t -> int
+(** Generation fence for completion events: [bump] invalidates every
+    previously scheduled completion event for this node. *)
+
+val backlog : t -> float
+val backlog_of : t -> cls:int -> float
+val served_of : t -> cls:int -> float
+(** Cumulative work applied per class (utilization accounting). *)
+
+val high_water : t -> float
+val factor : t -> float

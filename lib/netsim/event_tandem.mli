@@ -1,0 +1,61 @@
+(** Event-driven tandem simulation over {!Desim.Engine}.
+
+    Used through {!Tandem.run}[ ~engine:Event]; this interface exists so
+    the dispatcher in [Tandem] stays cycle-free.  Two fidelity paths:
+
+    - {b Lockstep} (slot-aligned configs: no propagation delay, no loss):
+      reuses {!Queue_node} at slot granularity, touching a node only on
+      slots where it is occupied or offered work, while every stochastic
+      source and fault process still advances once per slot with the same
+      per-stream RNG order as the slotted engine.  Per-flow delay samples
+      are {e bit-identical} to [Tandem.run] on the same config and seed —
+      the differential-testing guarantee.
+    - {b Continuous} (propagation delay and/or loss present): per-node
+      {!Desim.Node} servers in continuous time; statistically equivalent
+      to a slotted run (quantile-envelope parity), not sample-identical. *)
+
+type source_kind =
+  | Markov  (** aggregate on-off Markov flows ({!Source}) *)
+  | Cbr of { period : int; burst : float }
+      (** deterministic burst of [burst] kb every [period] slots *)
+
+type params = {
+  h : int;
+  capacities : float array;  (** per-node service rate (kb/slot), length [h] *)
+  discipline : Queue_node.discipline;  (** lockstep path *)
+  node_discipline : Desim.Node.discipline;  (** continuous path *)
+  packet_size : float option;
+  source : Envelope.Mmpp.t;
+  through_kind : source_kind;
+  n_through : int;
+  n_cross : int;
+  slots : int;
+  drain_limit : int;
+  seed : int64;
+  faults : (int * Faults.spec) list;
+  prop_delay : float array option;
+      (** per-hop delay after node [i] (slot units); [None] = slot-aligned
+          store-and-forward (1 per internal hop, 0 to the sink) *)
+  loss : float array option;
+      (** per-link through-traffic drop probability after node [i] *)
+}
+
+type outcome = {
+  delays : Desim.Stats.Sample.t;
+  through_backlog : Desim.Stats.Sample.t;
+  through_kb : float;
+  censored_kb : float;
+  lost_kb : float;  (** through kb dropped by link loss (continuous path) *)
+  utilization : float array;
+  fault_factor : float array;
+  events_processed : int;
+  heap_high_water : int;
+}
+
+val slot_aligned : params -> bool
+(** [true] iff the config has neither propagation delay nor loss, i.e.
+    the exact-parity lockstep path applies. *)
+
+val run : params -> outcome
+(** @raise Invalid_argument on inconsistent arities or out-of-range
+    parameters. *)

@@ -158,13 +158,17 @@ let serve_gps t ~capacity g queues =
     grants;
   departed
 
-let serve_slot t =
+let serve_slot ?factor t =
   (* A degraded slot serves at a scaled-down capacity — the fault process
-     advances one step per serve_slot call. *)
+     advances one step per serve_slot call, unless the caller drives the
+     degradation externally (event engine) and passes [?factor]. *)
   let capacity =
-    match t.faults with
-    | None -> t.capacity
-    | Some p ->
+    match (factor, t.faults) with
+    | (Some f, _) ->
+      if f < 1. && !Telemetry.on then Telemetry.Counter.incr c_degraded_slots;
+      t.capacity *. f
+    | (None, None) -> t.capacity
+    | (None, Some p) ->
       let factor = Faults.step p in
       if factor < 1. && !Telemetry.on then Telemetry.Counter.incr c_degraded_slots;
       t.capacity *. factor
@@ -174,6 +178,13 @@ let serve_slot t =
   | (Heap_state (_, heap), None) -> serve_heap_fluid t ~capacity heap
   | (Heap_state (_, heap), Some _) -> serve_heap_packetized t ~capacity heap
   | (Gps_state (g, queues), _) -> serve_gps t ~capacity g queues
+
+let occupied t =
+  Option.is_some t.in_service
+  ||
+  match t.state with
+  | Heap_state (_, heap) -> not (Desim.Heap.is_empty heap)
+  | Gps_state (_, queues) -> Array.exists (fun q -> not (Queue.is_empty q)) queues
 
 let fault_mean_factor t =
   match t.faults with None -> 1. | Some p -> Faults.mean_factor p

@@ -39,9 +39,19 @@ val offer : t -> now:float -> cls:int -> float -> unit
 (** Enqueue [size] kb of class [cls] arriving at time [now].  Zero-size
     offers are ignored. *)
 
-val serve_slot : t -> float array
+val serve_slot : ?factor:float -> t -> float array
 (** Transmit up to one slot's capacity (scaled by the fault process when
-    one is attached); returns the kb departed per class in this slot. *)
+    one is attached); returns the kb departed per class in this slot.
+    [?factor] overrides the attached fault process for this slot without
+    stepping it — the event engine steps fault processes itself (they must
+    advance on {e every} slot for RNG parity, served or not) and passes
+    the already-drawn factor here. *)
+
+val occupied : t -> bool
+(** [true] iff any batch is queued or in service — i.e. iff a
+    {!serve_slot} call could transmit anything.  The event engine skips
+    slot-serves of unoccupied nodes; because serving an unoccupied node is
+    a no-op, the skip is exact. *)
 
 val fault_mean_factor : t -> float
 (** Realized mean capacity factor of the attached fault process over the

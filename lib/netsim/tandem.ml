@@ -1,9 +1,25 @@
-(* Tandem-network simulation with virtual-delay measurement. *)
+(* Tandem-network simulation with virtual-delay measurement.
+
+   Two engines produce the same observable result record:
+   - [Slotted]: the original time-stepped loop — one pass per slot over
+     every node.  The reference semantics ("the oracle").
+   - [Event]: the heap-based event engine ([Event_tandem]); on
+     slot-aligned configs it reproduces the slotted delay samples
+     bit-for-bit while skipping idle (node, slot) pairs, and it is the
+     only engine for heterogeneous configs (propagation delay, loss). *)
+
+type engine = Slotted | Event
+
+type source_kind = Event_tandem.source_kind =
+  | Markov
+  | Cbr of { period : int; burst : float }
 
 type config = {
   h : int;
   capacity : float;
+  capacities : float array option;
   source : Envelope.Mmpp.t;
+  through_kind : source_kind;
   n_through : int;
   n_cross : int;
   scheduler : Scheduler.Classes.two_class;
@@ -15,13 +31,17 @@ type config = {
   gps_weights : (float * float) option;
   packet_size : float option;
   faults : (int * Faults.spec) list;
+  prop_delay : float array option;
+  loss : float array option;
 }
 
 let default_config =
   {
     h = 2;
     capacity = 100.;
+    capacities = None;
     source = Envelope.Mmpp.paper_source;
+    through_kind = Markov;
     n_through = 100;
     n_cross = 233;
     scheduler = Scheduler.Classes.Fifo;
@@ -33,6 +53,8 @@ let default_config =
     gps_weights = None;
     packet_size = None;
     faults = [];
+    prop_delay = None;
+    loss = None;
   }
 
 type result = {
@@ -40,8 +62,10 @@ type result = {
   through_backlog : Desim.Stats.Sample.t;
   through_kb : float;
   censored_kb : float;
+  lost_kb : float;
   utilization : float array;
   fault_factor : float array;
+  events_processed : int;
 }
 
 let through_class = 0
@@ -49,24 +73,16 @@ let cross_class = 1
 
 let c_sim_slots = Telemetry.Counter.make "netsim.tandem.slots"
 let g_backlog_hwm = Telemetry.Gauge.make "netsim.tandem.backlog_hwm"
+let c_events = Telemetry.Counter.make "netsim.desim.events"
+let g_heap_hwm = Telemetry.Gauge.make "netsim.desim.heap_hwm"
 
-let run cfg =
+let validate cfg =
   if cfg.h <= 0 then invalid_arg "Tandem.run: non-positive path length";
   if cfg.slots <= 0 then invalid_arg "Tandem.run: non-positive horizon";
-  Telemetry.span "netsim.tandem.run"
-    ~attrs:[ ("h", Telemetry.Int cfg.h); ("slots", Telemetry.Int cfg.slots) ]
-  @@ fun () ->
-  let rng = Desim.Prng.create ~seed:cfg.seed in
-  let policy =
-    Scheduler.Policy.of_two_class cfg.scheduler ~through_deadline:cfg.through_deadline
-      ~cross_deadline:cfg.cross_deadline
-  in
-  let discipline =
-    match cfg.gps_weights with
-    | Some (w_through, w_cross) ->
-      Queue_node.Gps (Scheduler.Gps.v ~weights:[| w_through; w_cross |])
-    | None -> Queue_node.Delta_policy policy
-  in
+  (match cfg.capacities with
+  | Some caps when Array.length caps <> cfg.h ->
+    invalid_arg "Tandem.run: capacities arity mismatch"
+  | _ -> ());
   List.iteri
     (fun k (i, spec) ->
       if i < 0 || i >= cfg.h then
@@ -75,8 +91,40 @@ let run cfg =
       then
         invalid_arg (Printf.sprintf "Tandem.run: duplicate fault spec for node %d" i);
       Faults.validate spec)
-    cfg.faults;
-  let through_src = Source.create cfg.source ~n:cfg.n_through ~rng:(Desim.Prng.split rng) in
+    cfg.faults
+
+let node_capacities cfg =
+  match cfg.capacities with
+  | Some caps -> Array.copy caps
+  | None -> Array.make cfg.h cfg.capacity
+
+let policy_of cfg =
+  Scheduler.Policy.of_two_class cfg.scheduler ~through_deadline:cfg.through_deadline
+    ~cross_deadline:cfg.cross_deadline
+
+(* ------------------------------ slotted ------------------------------ *)
+
+let run_slotted cfg =
+  if Option.is_some cfg.prop_delay || Option.is_some cfg.loss then
+    invalid_arg
+      "Tandem.run: propagation delay / loss need the event engine (~engine:Event)";
+  let rng = Desim.Prng.create ~seed:cfg.seed in
+  let discipline =
+    match cfg.gps_weights with
+    | Some (w_through, w_cross) ->
+      Queue_node.Gps (Scheduler.Gps.v ~weights:[| w_through; w_cross |])
+    | None -> Queue_node.Delta_policy (policy_of cfg)
+  in
+  let caps = node_capacities cfg in
+  (* The through stream is split off even for a CBR source so the cross
+     and fault streams are independent of the through-source kind (and of
+     each other) — both engines derive identically. *)
+  let through_rng = Desim.Prng.split rng in
+  let through_src =
+    match cfg.through_kind with
+    | Markov -> Some (Source.create cfg.source ~n:cfg.n_through ~rng:through_rng)
+    | Cbr _ -> None
+  in
   let cross_srcs =
     Array.init cfg.h (fun _ -> Source.create cfg.source ~n:cfg.n_cross ~rng:(Desim.Prng.split rng))
   in
@@ -89,7 +137,7 @@ let run cfg =
           | None -> None
           | Some spec -> Some (Faults.make ~rng:(Desim.Prng.split rng) spec)
         in
-        Queue_node.create ?packet_size:cfg.packet_size ?faults ~capacity:cfg.capacity
+        Queue_node.create ?packet_size:cfg.packet_size ?faults ~capacity:caps.(i)
           ~classes:2 discipline)
   in
   let total_slots = cfg.slots + cfg.drain_limit in
@@ -106,7 +154,12 @@ let run cfg =
     let now = float_of_int t in
     (* Through arrivals (only during the arrival horizon). *)
     if t < cfg.slots then begin
-      let a = Source.step through_src in
+      let a =
+        match (cfg.through_kind, through_src) with
+        | (Markov, Some src) -> Source.step src
+        | (Cbr { period; burst }, _) -> if t mod period = 0 then burst else 0.
+        | (Markov, None) -> assert false
+      in
       acc_in := !acc_in +. a;
       cum_in.(t) <- !acc_in;
       Queue_node.offer nodes.(0) ~now ~cls:through_class a
@@ -159,7 +212,7 @@ let run cfg =
     end
   done;
   let utilization =
-    Array.map (fun s -> s /. (cfg.capacity *. float_of_int total_slots)) served_total
+    Array.mapi (fun i s -> s /. (caps.(i) *. float_of_int total_slots)) served_total
   in
   let fault_factor = Array.map Queue_node.fault_mean_factor nodes in
   if Telemetry.is_enabled () then begin
@@ -190,8 +243,85 @@ let run cfg =
     through_backlog;
     through_kb = !acc_in;
     censored_kb = !censored;
+    lost_kb = 0.;
     utilization;
     fault_factor;
+    events_processed = 0;
   }
+
+(* ------------------------------- event ------------------------------- *)
+
+let run_event cfg =
+  let policy = policy_of cfg in
+  let (discipline, node_discipline) =
+    match cfg.gps_weights with
+    | Some (w_through, w_cross) ->
+      let g = Scheduler.Gps.v ~weights:[| w_through; w_cross |] in
+      (Queue_node.Gps g, Desim.Node.Gps g)
+    | None -> (Queue_node.Delta_policy policy, Desim.Node.Policy policy)
+  in
+  let params =
+    {
+      Event_tandem.h = cfg.h;
+      capacities = node_capacities cfg;
+      discipline;
+      node_discipline;
+      packet_size = cfg.packet_size;
+      source = cfg.source;
+      through_kind = cfg.through_kind;
+      n_through = cfg.n_through;
+      n_cross = cfg.n_cross;
+      slots = cfg.slots;
+      drain_limit = cfg.drain_limit;
+      seed = cfg.seed;
+      faults = cfg.faults;
+      prop_delay = cfg.prop_delay;
+      loss = cfg.loss;
+    }
+  in
+  let o = Event_tandem.run params in
+  if Telemetry.is_enabled () then begin
+    Telemetry.Counter.add c_events o.Event_tandem.events_processed;
+    Telemetry.Gauge.set g_heap_hwm (float_of_int o.Event_tandem.heap_high_water);
+    Telemetry.event "tandem.done"
+      ~attrs:
+        [
+          ("engine", Telemetry.Str "event");
+          ("events", Telemetry.Int o.Event_tandem.events_processed);
+          ("heap_hwm", Telemetry.Int o.Event_tandem.heap_high_water);
+          ("through_kb", Telemetry.Float o.Event_tandem.through_kb);
+          ("censored_kb", Telemetry.Float o.Event_tandem.censored_kb);
+          ("delay_samples", Telemetry.Int (Desim.Stats.Sample.count o.Event_tandem.delays));
+        ]
+  end;
+  {
+    delays = o.Event_tandem.delays;
+    through_backlog = o.Event_tandem.through_backlog;
+    through_kb = o.Event_tandem.through_kb;
+    censored_kb = o.Event_tandem.censored_kb;
+    lost_kb = o.Event_tandem.lost_kb;
+    utilization = o.Event_tandem.utilization;
+    fault_factor = o.Event_tandem.fault_factor;
+    events_processed = o.Event_tandem.events_processed;
+  }
+
+let run ?(engine = Slotted) cfg =
+  validate cfg;
+  Telemetry.span "netsim.tandem.run"
+    ~attrs:
+      [
+        ("h", Telemetry.Int cfg.h);
+        ("slots", Telemetry.Int cfg.slots);
+        ("engine", Telemetry.Str (match engine with Slotted -> "slotted" | Event -> "event"));
+      ]
+  @@ fun () ->
+  match engine with Slotted -> run_slotted cfg | Event -> run_event cfg
+
+let engine_of_string = function
+  | "slotted" -> Ok Slotted
+  | "event" -> Ok Event
+  | s -> Error (Printf.sprintf "unknown engine %S (slotted | event)" s)
+
+let engine_to_string = function Slotted -> "slotted" | Event -> "event"
 
 let delay_quantile r q = Desim.Stats.Sample.quantile r.delays q

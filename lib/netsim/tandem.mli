@@ -1,17 +1,40 @@
-(** Slotted simulation of the paper's multi-node network (Fig. 1): a through
-    flow aggregate traversing [h] identical nodes, with an independent fresh
-    cross-traffic aggregate at every node.
+(** Simulation of the paper's multi-node network (Fig. 1): a through flow
+    aggregate traversing [h] nodes, with an independent fresh cross-traffic
+    aggregate at every node.
 
     Semantics: store-and-forward with 1-ms slots — traffic departing node
     [i] during slot [t] is offered to node [i+1] at slot [t+1]; within a
     slot a node transmits up to its capacity in precedence order.  The
     measured quantity is the virtual end-to-end delay of each slot's through
-    arrivals, [W t = inf { s | D (t +. s) >= A t }], matching Eq. (6). *)
+    arrivals, [W t = inf { s | D (t +. s) >= A t }], matching Eq. (6).
+
+    Two engines implement these semantics (see {!engine}); the slotted
+    engine is the reference ("the oracle"), and the event engine is
+    differentially tested against it — bit-identical delay samples on
+    slot-aligned configs, quantile-envelope agreement otherwise. *)
+
+type engine =
+  | Slotted  (** time-stepped reference loop: one pass per slot over every node *)
+  | Event
+      (** heap-based event engine ({!Event_tandem}): skips idle (node, slot)
+          pairs on slot-aligned configs (bit-identical samples, same seed
+          derivation), and runs continuous-time service for heterogeneous
+          configs ([prop_delay] / [loss]) *)
+
+type source_kind = Event_tandem.source_kind =
+  | Markov  (** aggregate of [n] on-off Markov flows (the paper's model) *)
+  | Cbr of { period : int; burst : float }
+      (** deterministic [burst] kb every [period] slots — engine-independent
+          by construction, and sparse traffic for engine benchmarks *)
 
 type config = {
   h : int;  (** path length (number of nodes) *)
   capacity : float;  (** kb per slot per node *)
+  capacities : float array option;
+  (** per-node capacities (length [h]); overrides [capacity] when set.
+      Supported by both engines (heterogeneous but still slot-aligned). *)
   source : Envelope.Mmpp.t;  (** per-flow traffic model *)
+  through_kind : source_kind;  (** through-aggregate kind; cross traffic is always Markov *)
   n_through : int;
   n_cross : int;  (** cross flows per node *)
   scheduler : Scheduler.Classes.two_class;
@@ -33,6 +56,13 @@ type config = {
       one with [faults = \[\]].
       Fault processes for [Gilbert] specs draw dedicated rng streams derived
       from [seed]. *)
+  prop_delay : float array option;
+  (** per-hop propagation delay after node [i] in slot units (length [h];
+      the last entry delays delivery to the sink).  Event engine only:
+      non-integer delays cannot be expressed on a slot clock. *)
+  loss : float array option;
+  (** per-link through-traffic drop probability after node [i] (length
+      [h]).  Event engine only. *)
 }
 
 val default_config : config
@@ -47,12 +77,22 @@ type result = {
       backlog bound *)
   through_kb : float;  (** through data injected *)
   censored_kb : float;  (** through data still in flight when the run ended *)
+  lost_kb : float;  (** through data dropped by link loss (event engine) *)
   utilization : float array;  (** measured per-node utilization *)
   fault_factor : float array;
   (** realized mean capacity factor per node ([1.] where healthy) *)
+  events_processed : int;
+  (** events popped by the event engine ([0] for a slotted run) — also
+      exported as the [netsim.desim.events] telemetry counter *)
 }
 
-val run : config -> result
+val run : ?engine:engine -> config -> result
+(** [engine] defaults to [Slotted].  @raise Invalid_argument when a
+    slotted run is asked for a config only the event engine can express
+    ([prop_delay] / [loss]), or on malformed configs. *)
+
+val engine_of_string : string -> (engine, string) Stdlib.result
+val engine_to_string : engine -> string
 
 val delay_quantile : result -> float -> float
 (** [delay_quantile r q] — convenience accessor on [r.delays]. *)

@@ -1,0 +1,24 @@
+(* Shared QCheck case-count control.
+
+   Every QCheck suite takes its [~count] through [Qc.count], so one
+   environment variable deepens the whole property battery: CI exports
+   DELTANET_QCHECK_COUNT=2000 for a deep run while a bare local
+   `dune runtest` keeps each suite's fast default.
+
+   [?cap] bounds the env override for properties whose single case is
+   expensive (e.g. a full tandem replication), so a deep CI run scales
+   the cheap generators 10-40x without blowing the wall clock on the
+   heavyweight ones. *)
+
+let env_count =
+  match Sys.getenv_opt "DELTANET_QCHECK_COUNT" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> Some n
+    | _ -> None)
+
+let count ?cap default =
+  match env_count with
+  | None -> default
+  | Some n -> ( match cap with Some c -> Stdlib.min n c | None -> n)

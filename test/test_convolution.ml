@@ -155,18 +155,18 @@ let gen_convex_curve =
 let arb_convex = QCheck.make ~print:(Fmt.to_to_string Curve.pp) gen_convex_curve
 
 let prop_convex_conv_matches_general =
-  QCheck.Test.make ~name:"convolve_convex agrees with convolve" ~count:100
+  QCheck.Test.make ~name:"convolve_convex agrees with convolve" ~count:(Qc.count 100)
     (QCheck.pair arb_convex arb_convex) (fun (f, g) ->
       let a = Conv.convolve f g and b = Conv.convolve_convex f g in
       Curve.equal ~tol:1e-7 a b)
 
 let prop_conv_commutes =
-  QCheck.Test.make ~name:"convolution commutes" ~count:100
+  QCheck.Test.make ~name:"convolution commutes" ~count:(Qc.count 100)
     (QCheck.pair arb_convex arb_convex) (fun (f, g) ->
       Curve.equal ~tol:1e-7 (Conv.convolve f g) (Conv.convolve g f))
 
 let prop_conv_below_both =
-  QCheck.Test.make ~name:"f*g <= min(f + g(0), g + f(0)) pointwise" ~count:100
+  QCheck.Test.make ~name:"f*g <= min(f + g(0), g + f(0)) pointwise" ~count:(Qc.count 100)
     (QCheck.pair arb_convex arb_convex) (fun (f, g) ->
       let c = Conv.convolve f g in
       List.for_all
@@ -176,7 +176,7 @@ let prop_conv_below_both =
         [ 0.; 0.7; 1.3; 4.; 9.; 20. ])
 
 let prop_conv_brute_force =
-  QCheck.Test.make ~name:"convolution matches brute force" ~count:60
+  QCheck.Test.make ~name:"convolution matches brute force" ~count:(Qc.count 60)
     (QCheck.pair arb_convex arb_convex) (fun (f, g) ->
       let c = Conv.convolve f g in
       List.for_all
@@ -189,7 +189,7 @@ let prop_conv_brute_force =
 let prop_deconv_duality =
   (* Duality: f <= g * h iff f ⊘ h <= g.  We check one direction on the
      triple (f*g, f, g): (f * g) ⊘ g <= f. *)
-  QCheck.Test.make ~name:"deconvolution duality" ~count:60
+  QCheck.Test.make ~name:"deconvolution duality" ~count:(Qc.count 60)
     (QCheck.pair arb_convex arb_convex) (fun (f, g) ->
       let c = Conv.convolve f g in
       List.for_all

@@ -210,7 +210,7 @@ let test_edf_negative_delta_below_fifo () =
 (* Property: Theorem 2's necessity — for concave (leaky-bucket) envelopes,
    min_delay is exactly the FIFO closed form under FIFO deltas. *)
 let prop_fifo_tightness =
-  QCheck.Test.make ~name:"Theorem 2 recovers exact FIFO bound" ~count:100
+  QCheck.Test.make ~name:"Theorem 2 recovers exact FIFO bound" ~count:(Qc.count 100)
     QCheck.(
       pair
         (list_of_size (Gen.int_range 1 4) (pair (float_range 0.1 2.) (float_range 0. 10.)))

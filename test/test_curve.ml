@@ -165,7 +165,7 @@ let test_v_validation () =
 (* -------------------- property tests -------------------- *)
 
 let prop_min_is_pointwise =
-  QCheck.Test.make ~name:"min is pointwise minimum" ~count:200
+  QCheck.Test.make ~name:"min is pointwise minimum" ~count:(Qc.count 200)
     (QCheck.pair arb_curve arb_curve) (fun (f, g) ->
       let m = Curve.min f g in
       List.for_all
@@ -173,7 +173,7 @@ let prop_min_is_pointwise =
         (sample_points f g))
 
 let prop_max_is_pointwise =
-  QCheck.Test.make ~name:"max is pointwise maximum" ~count:200
+  QCheck.Test.make ~name:"max is pointwise maximum" ~count:(Qc.count 200)
     (QCheck.pair arb_curve arb_curve) (fun (f, g) ->
       let m = Curve.max f g in
       List.for_all
@@ -181,7 +181,7 @@ let prop_max_is_pointwise =
         (sample_points f g))
 
 let prop_add_is_pointwise =
-  QCheck.Test.make ~name:"add is pointwise sum" ~count:200
+  QCheck.Test.make ~name:"add is pointwise sum" ~count:(Qc.count 200)
     (QCheck.pair arb_curve arb_curve) (fun (f, g) ->
       let s = Curve.add f g in
       List.for_all
@@ -189,7 +189,7 @@ let prop_add_is_pointwise =
         (sample_points f g))
 
 let prop_monotone =
-  QCheck.Test.make ~name:"curves are non-decreasing" ~count:200 arb_curve (fun f ->
+  QCheck.Test.make ~name:"curves are non-decreasing" ~count:(Qc.count 200) arb_curve (fun f ->
       let xs = sample_points f f in
       let rec go = function
         | a :: (b :: _ as rest) ->
@@ -199,7 +199,7 @@ let prop_monotone =
       go xs)
 
 let prop_inverse_galois =
-  QCheck.Test.make ~name:"pseudo-inverse Galois connection" ~count:200 arb_curve
+  QCheck.Test.make ~name:"pseudo-inverse Galois connection" ~count:(Qc.count 200) arb_curve
     (fun f ->
       List.for_all
         (fun y ->
@@ -211,7 +211,7 @@ let prop_shift_roundtrip =
   (* Sampled strictly between breakpoints: the roundtrip perturbs the
      breakpoints by an ulp, so sampling exactly at a jump would compare the
      two sides of the jump. *)
-  QCheck.Test.make ~name:"lshift after hshift is identity" ~count:200
+  QCheck.Test.make ~name:"lshift after hshift is identity" ~count:(Qc.count 200)
     (QCheck.pair arb_curve (QCheck.float_range 0.1 5.)) (fun (f, d) ->
       let g = Curve.lshift d (Curve.hshift d f) in
       List.for_all
@@ -219,7 +219,7 @@ let prop_shift_roundtrip =
         (List.concat_map (fun x -> [ x +. 0.03; x +. 0.07 ]) (Curve.breakpoints f)))
 
 let prop_gate_dominated =
-  QCheck.Test.make ~name:"gate theta f <= f, equal after theta" ~count:200
+  QCheck.Test.make ~name:"gate theta f <= f, equal after theta" ~count:(Qc.count 200)
     (QCheck.pair arb_curve (QCheck.float_range 0.1 5.)) (fun (f, theta) ->
       let g = Curve.gate theta f in
       List.for_all
@@ -229,7 +229,7 @@ let prop_gate_dominated =
         (sample_points f f))
 
 let prop_scale_linear =
-  QCheck.Test.make ~name:"scale is pointwise multiplication" ~count:200
+  QCheck.Test.make ~name:"scale is pointwise multiplication" ~count:(Qc.count 200)
     (QCheck.pair arb_curve (QCheck.float_range 0. 4.)) (fun (f, k) ->
       let g = Curve.scale k f in
       List.for_all
@@ -237,7 +237,7 @@ let prop_scale_linear =
         (sample_points f f))
 
 let prop_sub_clip_below_difference =
-  QCheck.Test.make ~name:"sub_clip stays below the clipped difference" ~count:200
+  QCheck.Test.make ~name:"sub_clip stays below the clipped difference" ~count:(Qc.count 200)
     (QCheck.pair arb_curve arb_curve) (fun (f, g) ->
       let d = Curve.sub_clip f g in
       List.for_all
@@ -246,7 +246,7 @@ let prop_sub_clip_below_difference =
         (sample_points f g))
 
 let prop_sub_clip_monotone =
-  QCheck.Test.make ~name:"sub_clip is non-decreasing" ~count:200
+  QCheck.Test.make ~name:"sub_clip is non-decreasing" ~count:(Qc.count 200)
     (QCheck.pair arb_curve arb_curve) (fun (f, g) ->
       let d = Curve.sub_clip f g in
       let xs = sample_points f g in
@@ -257,11 +257,11 @@ let prop_sub_clip_monotone =
       go xs)
 
 let prop_min_commutes =
-  QCheck.Test.make ~name:"min commutes" ~count:100 (QCheck.pair arb_curve arb_curve)
+  QCheck.Test.make ~name:"min commutes" ~count:(Qc.count 100) (QCheck.pair arb_curve arb_curve)
     (fun (f, g) -> Curve.equal ~tol:1e-7 (Curve.min f g) (Curve.min g f))
 
 let prop_add_assoc =
-  QCheck.Test.make ~name:"add associates" ~count:100
+  QCheck.Test.make ~name:"add associates" ~count:(Qc.count 100)
     (QCheck.triple arb_curve arb_curve arb_curve) (fun (f, g, h) ->
       Curve.equal ~tol:1e-7 (Curve.add f (Curve.add g h)) (Curve.add (Curve.add f g) h))
 

@@ -87,6 +87,64 @@ let test_geometric_mean () =
   (* failures before success: mean (1-p)/p = 3 *)
   check_float ~tol:0.03 "geometric mean" 3. (Stats.Online.mean acc)
 
+let test_prng_split_independent () =
+  (* Split streams are fully determined at the split: later draws on the
+     parent must not disturb an already-split child.  The engine parity
+     guarantee (test_desim_parity.ml) rests on exactly this property —
+     only per-stream step counts matter, not global interleaving. *)
+  let tape r = Array.init 50 (fun _ -> Prng.bits64 r) in
+  let a = Prng.create ~seed:99L in
+  let t1 = tape (Prng.split a) in
+  let b = Prng.create ~seed:99L in
+  let child = Prng.split b in
+  for _ = 1 to 17 do
+    ignore (Prng.bits64 b)
+  done;
+  let t2 = tape child in
+  Alcotest.(check bool) "child stream unaffected by parent draws" true
+    (Array.for_all2 Int64.equal t1 t2)
+
+let test_prng_split_streams_distinct () =
+  let tape r = Array.init 50 (fun _ -> Prng.bits64 r) in
+  let a = Prng.create ~seed:100L in
+  let s1 = tape (Prng.split a) in
+  let s2 = tape (Prng.split a) in
+  Alcotest.(check bool) "sibling splits diverge" true
+    (not (Array.for_all2 Int64.equal s1 s2));
+  let b = Prng.create ~seed:100L in
+  let r1 = tape (Prng.split b) in
+  let r2 = tape (Prng.split b) in
+  Alcotest.(check bool) "replayed first split identical" true
+    (Array.for_all2 Int64.equal s1 r1);
+  Alcotest.(check bool) "replayed second split identical" true
+    (Array.for_all2 Int64.equal s2 r2)
+
+let test_seeds_jobs_invariant () =
+  (* Replication seeds are derived up front from the base seed alone, so
+     fanning the work over any pool size yields bit-identical streams. *)
+  let seeds = Parallel.Seeds.derive ~base_seed:777L 32 in
+  let again = Parallel.Seeds.derive ~base_seed:777L 32 in
+  Alcotest.(check bool) "derivation deterministic" true
+    (Array.for_all2 Int64.equal seeds again);
+  let distinct = Array.to_list seeds |> List.sort_uniq Int64.compare in
+  Alcotest.(check int) "seeds pairwise distinct" 32 (List.length distinct);
+  let experiment seed =
+    let r = Prng.create ~seed in
+    let acc = ref 0. in
+    for _ = 1 to 200 do
+      acc := !acc +. Prng.float r
+    done;
+    !acc
+  in
+  let run jobs = Parallel.Pool.with_pool ~jobs (fun pool -> Parallel.Pool.map pool experiment seeds) in
+  let one = run 1 and four = run 4 in
+  Array.iteri
+    (fun i x ->
+      if not (Float.equal x four.(i)) then
+        Alcotest.failf "replication %d differs across pool sizes: %.17g vs %.17g" i x
+          four.(i))
+    one
+
 let test_exponential_mean () =
   let t = Prng.create ~seed:12L in
   let acc = Stats.Online.create () in
@@ -114,7 +172,7 @@ let test_heap_peek_pop () =
   Alcotest.(check (option int)) "next min" (Some 3) (Heap.peek h)
 
 let prop_heap_matches_sort =
-  QCheck.Test.make ~name:"heap drain equals List.sort" ~count:200
+  QCheck.Test.make ~name:"heap drain equals List.sort" ~count:(Qc.count 200)
     QCheck.(list_of_size (Gen.int_range 0 50) int) (fun xs ->
       let h = Heap.create ~cmp:compare in
       List.iter (Heap.push h) xs;
@@ -122,6 +180,84 @@ let prop_heap_matches_sort =
         match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
       in
       drain [] = List.sort compare xs)
+
+(* The engine's determinism rests on the heap being *stable*: events
+   with equal keys must pop in push order.  Both properties drive the
+   heap with a comparator that ignores the attached sequence number, so
+   any reordering of equal keys is visible. *)
+
+let key_only_cmp (a, _) (b, _) = Stdlib.compare (a : int) b
+
+let prop_heap_equal_keys_fifo =
+  QCheck.Test.make ~name:"equal keys pop in push order (stability)"
+    ~count:(Qc.count 200)
+    QCheck.(list_of_size (Gen.int_range 0 80) (int_range 0 5))
+    (fun keys ->
+      let h = Heap.create ~cmp:key_only_cmp in
+      List.iteri (fun i k -> Heap.push h (k, i)) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      let rec ok = function
+        | (k1, i1) :: ((k2, i2) :: _ as rest) ->
+          (k1 < k2 || (k1 = k2 && i1 < i2)) && ok rest
+        | _ -> true
+      in
+      ok (drain []))
+
+let prop_heap_interleaved_model =
+  (* Heap-order invariant under interleaved push/pop: every pop returns
+     exactly what a stable reference model (sort by key, then arrival)
+     would — [Some k] pushes, [None] pops. *)
+  QCheck.Test.make ~name:"interleaved push/pop matches the stable model"
+    ~count:(Qc.count 200)
+    QCheck.(list_of_size (Gen.int_range 0 100) (option (int_range 0 5)))
+    (fun ops ->
+      let h = Heap.create ~cmp:key_only_cmp in
+      let model = ref [] in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some k ->
+            Heap.push h (k, !seq);
+            model := (k, !seq) :: !model;
+            incr seq;
+            if Heap.length h <> List.length !model then false
+            else begin
+              (* peek must agree with the model's minimum at every step *)
+              let best =
+                List.fold_left
+                  (fun acc x ->
+                    match acc with
+                    | None -> Some x
+                    | Some (bk, bi) ->
+                      let (xk, xi) = x in
+                      if xk < bk || (xk = bk && xi < bi) then Some x else acc)
+                  None !model
+              in
+              match (Heap.peek h, best) with
+              | (Some (pk, pi), Some (bk, bi)) -> pk = bk && pi = bi
+              | _ -> false
+            end
+          | None -> (
+            let best =
+              List.fold_left
+                (fun acc x ->
+                  match acc with
+                  | None -> Some x
+                  | Some (bk, bi) ->
+                    let (xk, xi) = x in
+                    if xk < bk || (xk = bk && xi < bi) then Some x else acc)
+                None !model
+            in
+            match (Heap.pop h, best) with
+            | (None, None) -> true
+            | (Some (pk, pi), Some (bk, bi)) ->
+              model := List.filter (fun (_, i) -> i <> bi) !model;
+              pk = bk && pi = bi
+            | _ -> false))
+        ops)
 
 (* ---------------- Stats ---------------- *)
 
@@ -182,10 +318,15 @@ let suite =
     Alcotest.test_case "binomial reflected" `Slow test_binomial_reflected;
     Alcotest.test_case "binomial edges" `Quick test_binomial_edges;
     Alcotest.test_case "geometric mean" `Slow test_geometric_mean;
+    Alcotest.test_case "prng split independent" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng split streams distinct" `Quick test_prng_split_streams_distinct;
+    Alcotest.test_case "seeds jobs-invariant" `Quick test_seeds_jobs_invariant;
     Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
     Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
     Alcotest.test_case "heap peek/pop" `Quick test_heap_peek_pop;
     QCheck_alcotest.to_alcotest prop_heap_matches_sort;
+    QCheck_alcotest.to_alcotest prop_heap_equal_keys_fifo;
+    QCheck_alcotest.to_alcotest prop_heap_interleaved_model;
     Alcotest.test_case "online moments" `Quick test_online_moments;
     Alcotest.test_case "online merge" `Quick test_online_merge;
     Alcotest.test_case "sample quantiles" `Quick test_sample_quantiles;

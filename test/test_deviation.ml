@@ -78,7 +78,7 @@ let arb_pair =
     gen_pair
 
 let prop_hdev_sound =
-  QCheck.Test.make ~name:"E(t) <= S(t + hdev) everywhere" ~count:200 arb_pair
+  QCheck.Test.make ~name:"E(t) <= S(t + hdev) everywhere" ~count:(Qc.count 200) arb_pair
     (fun (arrival, service) ->
       let d = Dev.horizontal ~arrival ~service in
       List.for_all
@@ -87,7 +87,7 @@ let prop_hdev_sound =
         [ 0.; 0.3; 1.; 2.7; 5.; 13.; 40. ])
 
 let prop_hdev_tight =
-  QCheck.Test.make ~name:"hdev is not overly pessimistic" ~count:200 arb_pair
+  QCheck.Test.make ~name:"hdev is not overly pessimistic" ~count:(Qc.count 200) arb_pair
     (fun (arrival, service) ->
       let d = Dev.horizontal ~arrival ~service in
       (* strictly smaller d must be violated somewhere (check analytic value
@@ -104,7 +104,7 @@ let prop_hdev_tight =
       | _ -> true)
 
 let prop_vdev_sound =
-  QCheck.Test.make ~name:"E(t) - S(t) <= vdev everywhere" ~count:200 arb_pair
+  QCheck.Test.make ~name:"E(t) - S(t) <= vdev everywhere" ~count:(Qc.count 200) arb_pair
     (fun (arrival, service) ->
       let v = Dev.vertical ~arrival ~service in
       List.for_all

@@ -367,7 +367,7 @@ let path_arb =
    scheduler mix and every H.  [delay_given] (the kernel-backed public
    entry) must agree too. *)
 let prop_kernel_matches_reference =
-  QCheck.Test.make ~name:"kernel = reference bit-for-bit (Eq. 38)" ~count:400 path_arb
+  QCheck.Test.make ~name:"kernel = reference bit-for-bit (Eq. 38)" ~count:(Qc.count 400) path_arb
     (fun (p, u, extra) ->
       let gamma = E2e.gamma_max p *. u in
       let k = E2e.Kernel.make p in
@@ -424,7 +424,7 @@ let homog_arb =
    FIFO deltas, and upper-bounds it for every homogeneous delta. *)
 let prop_k_procedure_vs_enumeration =
   QCheck.Test.make ~name:"k_procedure vs candidate enumeration (homogeneous)"
-    ~count:400 homog_arb
+    ~count:(Qc.count 400) homog_arb
     (fun (p, u, extra) ->
       let gamma = E2e.gamma_max p *. u in
       let sigma = E2e.Reference.sigma_for p ~gamma ~epsilon:1e-9 +. extra in
@@ -459,7 +459,7 @@ let prop_k_procedure_vs_enumeration =
    kernel and reproduce delay_given bit-for-bit. *)
 let prop_fast_path_heterogeneous_bitwise =
   QCheck.Test.make ~name:"delay_given_fast = delay_given on heterogeneous paths"
-    ~count:200 path_arb
+    ~count:(Qc.count 200) path_arb
     (fun (p, u, extra) ->
       QCheck.assume (not (E2e.is_homogeneous p));
       let gamma = E2e.gamma_max p *. u in

@@ -73,7 +73,7 @@ let arb_terms =
   list_of_size (Gen.int_range 2 4) term
 
 let prop_combine_optimal =
-  QCheck.Test.make ~name:"Eq. (33) mixture is a lower bound on every split" ~count:100
+  QCheck.Test.make ~name:"Eq. (33) mixture is a lower bound on every split" ~count:(Qc.count 100)
     (QCheck.pair arb_terms (QCheck.float_range 5. 40.)) (fun (es, sigma) ->
       let c = Exp.combine es in
       let closed = Exp.eval_uncapped c sigma in
@@ -83,7 +83,7 @@ let prop_combine_optimal =
       closed <= even +. 1e-9 *. (1. +. even))
 
 let prop_invert_monotone =
-  QCheck.Test.make ~name:"invert is monotone in epsilon" ~count:100
+  QCheck.Test.make ~name:"invert is monotone in epsilon" ~count:(Qc.count 100)
     (QCheck.pair (QCheck.float_range 0.1 5.) (QCheck.float_range 0.1 3.))
     (fun (m, a) ->
       let e = Exp.v ~m ~a in

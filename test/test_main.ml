@@ -14,6 +14,7 @@ let () =
       ("envelope.models", Test_envelope.suite);
       ("scheduler", Test_scheduler.suite);
       ("desim", Test_desim.suite);
+      ("desim.parity", Test_desim_parity.suite);
       ("netsim", Test_netsim.suite);
       ("deltanet.theorems", Test_core_analysis.suite);
       ("deltanet.e2e", Test_e2e.suite);

@@ -254,6 +254,65 @@ let test_tandem_utilization_matches_load () =
   let u0 = r.Tandem.utilization.(0) in
   Alcotest.(check bool) (Fmt.str "u0 = %g in band" u0) true (u0 > 0.15 && u0 < 0.35)
 
+(* ---------------- sim vs bounds, every sweep point ---------------- *)
+
+(* Empirical tandem delay quantiles must stay below the Theorem-1/Eq.-42
+   analytical bound at a matching violation probability — at {e every}
+   point of the Fig.-4 path-length sweep (H = 1..10), for each scheduler,
+   under both engines.  This supersedes the sampled H ∈ {2, 5, 10}
+   replication check that used to live in test_parallel.ml.  Runs are
+   single fixed-seed simulations, so the assertion is deterministic:
+   the 1e-3 analytical bound dominates the 0.999 empirical quantile by
+   a wide margin at these parameters. *)
+let test_sim_vs_bounds_every_h () =
+  let n_through = 100 and n_cross = 504 (* U = 90% *) in
+  let slots = 2_000 in
+  let q = 0.999 in
+  for h = 1 to 10 do
+    let analytic sched =
+      Deltanet.Scenario.delay_bound ~s_points:8 ~scheduler:sched
+        {
+          (Deltanet.Scenario.paper_defaults ~h ~n_through:(float_of_int n_through)
+             ~n_cross:(float_of_int n_cross))
+          with
+          Deltanet.Scenario.epsilon = 1e-3;
+        }
+    in
+    (* one slot of store-and-forward latency per hop except the last is
+       architectural in the simulator and absent from the fluid model *)
+    let forwarding = float_of_int (h - 1) in
+    List.iter
+      (fun (name, sched) ->
+        let cfg =
+          {
+            Tandem.default_config with
+            Tandem.h;
+            n_through;
+            n_cross;
+            slots;
+            drain_limit = slots / 2;
+            scheduler = sched;
+            through_deadline = 10.;
+            cross_deadline = 100.;
+            seed = Int64.of_int (20100621 + h);
+          }
+        in
+        let bound = analytic sched +. forwarding in
+        List.iter
+          (fun (ename, engine) ->
+            let r = Tandem.run ~engine cfg in
+            let qv = Tandem.delay_quantile r q in
+            if not (qv <= bound) then
+              Alcotest.failf "H=%d %s (%s engine): sim quantile %.2f exceeds bound %.2f"
+                h name ename qv bound)
+          [ ("slotted", Tandem.Slotted); ("event", Tandem.Event) ])
+      [
+        ("FIFO", Scheduler.Classes.Fifo);
+        ("BMUX", Scheduler.Classes.Bmux);
+        ("EDF", Scheduler.Classes.Edf_gap (-90.));
+      ]
+  done
+
 let suite =
   [
     Alcotest.test_case "source mean rate" `Slow test_source_mean_rate;
@@ -276,4 +335,6 @@ let suite =
     Alcotest.test_case "tandem packetized mode" `Slow test_tandem_packetized_mode;
     Alcotest.test_case "tandem gps weights order" `Slow test_tandem_gps_between_sp_and_bmux;
     Alcotest.test_case "tandem utilization" `Slow test_tandem_utilization_matches_load;
+    Alcotest.test_case "sim below bounds at every sweep point" `Slow
+      test_sim_vs_bounds_every_h;
   ]

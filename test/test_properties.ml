@@ -44,7 +44,7 @@ let gamma_sigma p =
   else Some (gamma, E2e.sigma_for p ~gamma ~epsilon:1e-9)
 
 let prop_constraints_feasible =
-  QCheck.Test.make ~name:"optimal thetas satisfy every Eq.-38 constraint" ~count:300
+  QCheck.Test.make ~name:"optimal thetas satisfy every Eq.-38 constraint" ~count:(Qc.count 300)
     arb_path (fun p ->
       match gamma_sigma p with
       | None -> QCheck.assume_fail ()
@@ -65,7 +65,7 @@ let prop_constraints_feasible =
            |> List.for_all Fun.id)
 
 let prop_delay_curve_consistency =
-  QCheck.Test.make ~name:"materialized curve reproduces the optimizer" ~count:150
+  QCheck.Test.make ~name:"materialized curve reproduces the optimizer" ~count:(Qc.count 150)
     arb_path (fun p ->
       match gamma_sigma p with
       | None -> QCheck.assume_fail ()
@@ -79,7 +79,7 @@ let prop_delay_curve_consistency =
         end)
 
 let prop_kproc_upper_bound =
-  QCheck.Test.make ~name:"K-procedure never beats the exact optimum" ~count:300
+  QCheck.Test.make ~name:"K-procedure never beats the exact optimum" ~count:(Qc.count 300)
     arb_path (fun p ->
       match gamma_sigma p with
       | None -> QCheck.assume_fail ()
@@ -89,7 +89,7 @@ let prop_kproc_upper_bound =
         d <= k +. (1e-9 *. (1. +. Float.abs k)))
 
 let prop_monotone_in_sigma =
-  QCheck.Test.make ~name:"delay monotone in sigma" ~count:200 arb_path (fun p ->
+  QCheck.Test.make ~name:"delay monotone in sigma" ~count:(Qc.count 200) arb_path (fun p ->
       match gamma_sigma p with
       | None -> QCheck.assume_fail ()
       | Some (gamma, sigma) ->
@@ -97,7 +97,7 @@ let prop_monotone_in_sigma =
         <= E2e.delay_given p ~gamma ~sigma:(1.5 *. sigma) +. 1e-9)
 
 let prop_monotone_in_delta =
-  QCheck.Test.make ~name:"delay monotone in the precedence constant" ~count:200
+  QCheck.Test.make ~name:"delay monotone in the precedence constant" ~count:(Qc.count 200)
     arb_path (fun p ->
       match gamma_sigma p with
       | None -> QCheck.assume_fail ()
@@ -117,7 +117,7 @@ let prop_monotone_in_delta =
         nondecr ds)
 
 let prop_bmux_closed_form =
-  QCheck.Test.make ~name:"Eq. 43 on random BMUX paths" ~count:200 arb_path (fun p ->
+  QCheck.Test.make ~name:"Eq. 43 on random BMUX paths" ~count:(Qc.count 200) arb_path (fun p ->
       let nodes = Array.map (fun nd -> { nd with E2e.delta = Delta.Pos_inf }) p.E2e.nodes in
       let p = { p with E2e.nodes } in
       match gamma_sigma p with
@@ -128,7 +128,7 @@ let prop_bmux_closed_form =
         (not (Float.is_finite d)) || Float.abs (d -. c) <= 1e-9 *. (1. +. c))
 
 let prop_fifo_closed_form =
-  QCheck.Test.make ~name:"Eq. 44 on random FIFO paths" ~count:200 arb_path (fun p ->
+  QCheck.Test.make ~name:"Eq. 44 on random FIFO paths" ~count:(Qc.count 200) arb_path (fun p ->
       let nodes = Array.map (fun nd -> { nd with E2e.delta = Delta.Fin 0. }) p.E2e.nodes in
       let p = { p with E2e.nodes } in
       match gamma_sigma p with
@@ -140,7 +140,7 @@ let prop_fifo_closed_form =
 
 let prop_multiclass_matches_e2e =
   QCheck.Test.make ~name:"Multiclass agrees with E2e on random single-class paths"
-    ~count:200 arb_path (fun p ->
+    ~count:(Qc.count 200) arb_path (fun p ->
       match gamma_sigma p with
       | None -> QCheck.assume_fail ()
       | Some (gamma, sigma) ->

@@ -226,7 +226,7 @@ let test_gps_underload () =
   check_float "all served 1" 2. grants.(1)
 
 let prop_gps_never_exceeds =
-  QCheck.Test.make ~name:"GPS grants bounded by backlog and capacity" ~count:200
+  QCheck.Test.make ~name:"GPS grants bounded by backlog and capacity" ~count:(Qc.count 200)
     QCheck.(triple (float_range 0.1 20.) (float_range 0. 50.) (float_range 0. 50.))
     (fun (cap, b0, b1) ->
       let g = Gps.v ~weights:[| 1.; 2. |] in

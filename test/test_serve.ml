@@ -452,20 +452,20 @@ let gen_fuzz_line =
 let arb_fuzz = QCheck.make ~print:String.escaped gen_fuzz_line
 
 let prop_protocol_total =
-  QCheck.Test.make ~name:"protocol parse is total and typed" ~count:500 arb_fuzz
+  QCheck.Test.make ~name:"protocol parse is total and typed" ~count:(Qc.count 500) arb_fuzz
     (fun line ->
       match P.parse ~debug_ops:false line with
       | _, Ok _ -> true
       | _, Error { P.kind; _ } -> List.mem (P.exit_hint kind) [ 1; 2; 3 ])
 
 let prop_sjson_total =
-  QCheck.Test.make ~name:"sjson parse is total" ~count:500 arb_fuzz (fun line ->
+  QCheck.Test.make ~name:"sjson parse is total" ~count:(Qc.count 500) arb_fuzz (fun line ->
       match Sjson.parse line with Ok _ | Error _ -> true)
 
 let fuzz_engine = lazy (mk_engine ())
 
 let prop_engine_structured =
-  QCheck.Test.make ~name:"engine answers any line with structured JSON" ~count:150
+  QCheck.Test.make ~name:"engine answers any line with structured JSON" ~count:(Qc.count 150)
     arb_fuzz (fun line ->
       let e = Lazy.force fuzz_engine in
       match Sjson.parse (Engine.handle_line e line) with

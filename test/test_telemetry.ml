@@ -462,7 +462,7 @@ let test_prometheus_write_file () =
    (a factor of 2) above it. *)
 let prop_quantile_within_bucket =
   QCheck.Test.make ~name:"histogram quantile within one log-2 bucket of exact"
-    ~count:200
+    ~count:(Qc.count 200)
     QCheck.(
       pair
         (list_of_size Gen.(int_range 1 200) (float_range 1e-6 1e9))
