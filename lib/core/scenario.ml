@@ -97,11 +97,18 @@ let minimize_over_s_checked ~s_points t f =
     let lo = s_max *. 1e-4 and hi = s_max *. 0.999 in
     let ratio = (hi /. lo) ** (1. /. float_of_int (s_points - 1)) in
     (* each s-point runs a full inner gamma search (~40 grid + golden
-       evaluations, each ~E2e.eval_cost node-steps): the [?work] hint
-       lets tiny scenarios (H = 2, few points) skip domain fan-out *)
+       evaluations, each ~E2e.eval_cost node-steps — the grid half now
+       evaluated as E2e.Batch panels): the per-point [?work] hint lets
+       tiny scenarios (H = 2, few points) skip domain fan-out, and the
+       blocked scan hands the pool tasks of 4 s-points so its hint is
+       the true per-chunk cost.  Blocks preserve index order, so the
+       argmin folds below are unchanged bit for bit. *)
     let s_work = 120 * ((3 * t.h * t.h) + (8 * t.h) + 50) in
+    let eval_grid g =
+      Parallel.Grid.values_blocked ~work:s_work ~block:4 (Array.map f) g
+    in
     let grid = Parallel.Grid.log_spaced ~lo ~ratio ~points:s_points in
-    let vals = Parallel.Grid.values ~work:s_work f grid in
+    let vals = eval_grid grid in
     let best = ref (grid.(0), vals.(0)) in
     for i = 1 to s_points - 1 do
       if vals.(i) < snd !best then best := (grid.(i), vals.(i))
@@ -111,7 +118,7 @@ let minimize_over_s_checked ~s_points t f =
     let refine_points = 12 in
     let rr = (b /. a) ** (1. /. float_of_int (refine_points - 1)) in
     let rgrid = Parallel.Grid.log_spaced ~lo:a ~ratio:rr ~points:refine_points in
-    let rvals = Parallel.Grid.values ~work:s_work f rgrid in
+    let rvals = eval_grid rgrid in
     let sbest = ref (snd !best) in
     for i = 0 to refine_points - 1 do
       if rvals.(i) < !sbest then sbest := rvals.(i)

@@ -10,6 +10,25 @@ let log_spaced ~lo ~ratio ~points =
 
 let values ?work f xs = Default.map ?work f xs
 
+let values_blocked ?work ~block f xs =
+  if block < 1 then invalid_arg "Parallel.Grid.values_blocked: block must be >= 1";
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let nb = ((n + block) - 1) / block in
+    if nb = 1 then f xs
+    else begin
+      let starts = Array.init nb (fun b -> b * block) in
+      let parts =
+        Default.map
+          ?work:(Option.map (fun w -> w * block) work)
+          (fun s -> f (Array.sub xs s (Int.min block (n - s))))
+          starts
+      in
+      Array.concat (Array.to_list parts)
+    end
+  end
+
 let min_value ?work f xs =
   if Array.length xs = 0 then invalid_arg "Parallel.Grid.min_value: empty grid";
   let vals = Default.map ?work f xs in

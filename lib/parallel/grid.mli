@@ -29,3 +29,16 @@ val argmin : ?work:int -> ('a -> float) -> 'a array -> 'a * float
 
 val values : ?work:int -> ('a -> float) -> 'a array -> float array
 (** Just the parallel evaluations, in input order. *)
+
+val values_blocked :
+  ?work:int -> block:int -> ('a array -> float array) -> 'a array -> float array
+(** Contiguous blocks of at most [block] points, one pool task per
+    block: [f] receives each slice in index order and the results are
+    concatenated, so the output equals {!values} point for point
+    whenever [f] is a pointwise map.  [?work] stays the {e per-point}
+    cost hint; the pool sees [work * block] per task — the true
+    per-chunk cost — so the sequential-vs-parallel decision matches the
+    per-point fan-out.  Built for batched evaluators ([E2e.Batch]) that
+    amortize compilation and warm-start scratch state across a block.
+    A single-block grid is evaluated directly on the calling domain.
+    @raise Invalid_argument on [block < 1]. *)

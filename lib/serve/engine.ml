@@ -51,7 +51,7 @@ let default_config =
 
 type entry = {
   e_path : E2e.path;
-  e_kernel : E2e.Kernel.t;
+  e_batch : E2e.Batch.t;
   mutable e_exact : float option;
   mutable e_approx : float option;
 }
@@ -184,7 +184,7 @@ let scenario_of (p : P.admit_params) =
   { sc with Scenario.epsilon = p.P.epsilon }
 
 (* Pin one effective-bandwidth parameter per shape: a coarse log scan of
-   the cheap closed-form bound picks the s the cached kernel will serve
+   the cheap closed-form bound picks the s the cached batch will serve
    at.  Any stable s is sound; the scan only buys tightness. *)
 let make_entry (p : P.admit_params) two_class =
   let sc = scenario_of p in
@@ -209,7 +209,7 @@ let make_entry (p : P.admit_params) two_class =
       s := !s *. ratio
     done;
     let path = Scenario.path_at sc ~s:!s_best ~delta in
-    Some { e_path = path; e_kernel = E2e.Kernel.make path; e_exact = None; e_approx = None }
+    Some { e_path = path; e_batch = E2e.Batch.make path; e_exact = None; e_approx = None }
 
 (* ---------------- supervised per-request work ---------------- *)
 
@@ -248,7 +248,7 @@ let run_exact cfg (p : P.admit_params) two_class =
 let run_approx cfg entry (p : P.admit_params) =
   supervise (fun () ->
       let b =
-        E2e.delay_bound_cached ~gamma_points:cfg.gamma_points ~kernel:entry.e_kernel
+        E2e.delay_bound_cached ~gamma_points:cfg.gamma_points ~batch:entry.e_batch
           ~epsilon:p.P.epsilon entry.e_path
       in
       entry.e_approx <- Some b;
@@ -499,9 +499,12 @@ let handle_batch t lines =
   (* the cache maintains its own serve.cache.size gauge on mutation *)
   Telemetry.Gauge.set g_queue (float_of_int !compute_pending);
   (* exact jobs fan out on the default pool; each is pure (no cached
-     kernel) and individually supervised, so a poisoned request comes
-     back as a value and the pool survives.  The large work hint reflects
-     the true cost: a full s-grid optimization per job. *)
+     batch) and individually supervised, so a poisoned request comes
+     back as a value and the pool survives.  Inside each job the nested
+     gamma grids evaluate as E2e.Batch panels on the calling worker (the
+     pool degrades nested maps to sequential), one compiled batch per
+     grid block.  The large work hint reflects the true cost: a full
+     s-grid optimization per job. *)
   let exact_jobs =
     List.filter_map (function Exact j -> Some j | _ -> None) plans |> Array.of_list
   in

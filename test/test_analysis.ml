@@ -53,9 +53,9 @@ let test_race_neg () =
 let test_alloc_pos () =
   let fs = analyze "Fx_alloc_pos" in
   check (list string) "all zero-alloc"
-    (List.init 7 (fun _ -> "zero-alloc"))
+    (List.init 8 (fun _ -> "zero-alloc"))
     (rules_of fs);
-  check (list int) "one finding per seeded site" [ 5; 7; 9; 11; 14; 18; 22 ]
+  check (list int) "one finding per seeded site" [ 5; 7; 9; 11; 14; 18; 22; 30 ]
     (lines_of fs);
   List.iter
     (fun sub -> check bool (sub ^ " reported") true (mentions fs sub))

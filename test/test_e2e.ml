@@ -398,6 +398,135 @@ let prop_kernel_matches_reference =
         tref;
       true)
 
+(* ---------------- batch vs kernel vs reference ---------------- *)
+
+(* A path plus unsorted γ fractions and σ values: panels are allowed to
+   be non-monotone in both axes, so the warm-started candidate sort sees
+   adversarial orders, not just smooth sweeps. *)
+let panel_arb =
+  let through = Ebb.v ~m:1. ~rho:15. ~alpha:0.8 in
+  let gen =
+    QCheck.Gen.(
+      int_range 1 20 >>= fun h ->
+      array_repeat h node_gen >>= fun nodes ->
+      list_size (int_range 1 5) (float_range 1e-4 0.95) >>= fun us ->
+      list_size (int_range 1 5) (float_range 0. 500.) >>= fun sigmas ->
+      return ({ E2e.nodes; through }, us, sigmas))
+  in
+  let print (p, us, sigmas) =
+    Fmt.str "H=%d us=[%s] sigmas=[%s] nodes=[%s]"
+      (Array.length p.E2e.nodes)
+      (String.concat "; " (List.map (Fmt.str "%g") us))
+      (String.concat "; " (List.map (Fmt.str "%g") sigmas))
+      (String.concat "; " (Array.to_list (Array.map print_node p.E2e.nodes)))
+  in
+  QCheck.make ~print gen
+
+(* The panel evaluator's contract: every Batch entry point — full
+   panels, single-row and single-column panels, paired diagonal points,
+   γ-rows with [sigma_for] — replays [Kernel] and [Reference] bit for
+   bit.  One batch is reused across every shape, so the warm-start
+   permutation goes stale in arity and order between calls; the empty
+   panel must be a no-op, not an error. *)
+let prop_batch_matches_kernel =
+  QCheck.Test.make ~name:"batch = kernel = reference bit-for-bit (panels)"
+    ~count:(Qc.count 300) panel_arb
+    (fun (p, us, sigmas) ->
+      let gmax = E2e.gamma_max p in
+      let gammas = Array.of_list (List.map (fun u -> gmax *. u) us) in
+      let sigmas = Array.of_list sigmas in
+      let bt = E2e.Batch.make p in
+      let k = E2e.Kernel.make p in
+      let ng = Array.length gammas and ns = Array.length sigmas in
+      let out = Array.make (ng * ns) Float.nan in
+      E2e.Batch.run_panel bt ~gammas ~sigmas ~out;
+      for i = 0 to ng - 1 do
+        for j = 0 to ns - 1 do
+          let gamma = gammas.(i) and sigma = sigmas.(j) in
+          E2e.Kernel.set k ~gamma ~sigma;
+          let dk = E2e.Kernel.delay k in
+          if not (bit_eq out.((i * ns) + j) dk) then
+            QCheck.Test.fail_reportf "panel (%d,%d): batch %.17g kernel %.17g" i j
+              out.((i * ns) + j)
+              dk;
+          let dr = E2e.Reference.delay_given p ~gamma ~sigma in
+          if not (bit_eq dk dr) then
+            QCheck.Test.fail_reportf "panel (%d,%d): kernel %.17g reference %.17g" i
+              j dk dr
+        done
+      done;
+      let row = Array.make ns Float.nan in
+      E2e.Batch.run_panel bt ~gammas:[| gammas.(0) |] ~sigmas ~out:row;
+      for j = 0 to ns - 1 do
+        if not (bit_eq row.(j) out.(j)) then
+          QCheck.Test.fail_reportf "single-row panel diverges at %d" j
+      done;
+      let col = Array.make ng Float.nan in
+      E2e.Batch.run_panel bt ~gammas ~sigmas:[| sigmas.(0) |] ~out:col;
+      for i = 0 to ng - 1 do
+        if not (bit_eq col.(i) out.(i * ns)) then
+          QCheck.Test.fail_reportf "single-column panel diverges at %d" i
+      done;
+      E2e.Batch.run_panel bt ~gammas:[||] ~sigmas ~out:[||];
+      E2e.Batch.run_panel bt ~gammas ~sigmas:[||] ~out:[||];
+      E2e.Batch.run_gammas bt ~epsilon:1e-9 ~gammas:[||] ~out:[||];
+      let nd = min ng ns in
+      let dout = Array.make nd Float.nan in
+      E2e.Batch.run_points bt ~gammas:(Array.sub gammas 0 nd)
+        ~sigmas:(Array.sub sigmas 0 nd) ~out:dout;
+      for i = 0 to nd - 1 do
+        if not (bit_eq dout.(i) out.((i * ns) + i)) then
+          QCheck.Test.fail_reportf "diagonal %d: run_points %.17g panel %.17g" i
+            dout.(i)
+            out.((i * ns) + i)
+      done;
+      let d1 = E2e.Batch.delay_given_at bt ~gamma:gammas.(0) ~sigma:sigmas.(0) in
+      if not (bit_eq d1 out.(0)) then
+        QCheck.Test.fail_reportf "delay_given_at %.17g <> panel origin %.17g" d1
+          out.(0);
+      let gout = Array.make ng Float.nan in
+      E2e.Batch.run_gammas bt ~epsilon:1e-9 ~gammas ~out:gout;
+      for i = 0 to ng - 1 do
+        let dk = E2e.Kernel.delay_at_gamma k ~gamma:gammas.(i) ~epsilon:1e-9 in
+        if not (bit_eq gout.(i) dk) then
+          QCheck.Test.fail_reportf "run_gammas %d: batch %.17g kernel %.17g" i
+            gout.(i) dk;
+        let db = E2e.Batch.delay_at_gamma bt ~gamma:gammas.(i) ~epsilon:1e-9 in
+        if not (bit_eq db dk) then
+          QCheck.Test.fail_reportf "delay_at_gamma %d: batch %.17g kernel %.17g" i db
+            dk
+      done;
+      true)
+
+(* The grid-batching toggle can never change a result: [delay_bound]
+   (blocked Batch panels vs the per-point Kernel fan-out, including the
+   golden phase's compiled evaluator) and [delay_grid] across several
+   blocks must agree bitwise in both positions. *)
+let prop_grid_batching_toggle =
+  QCheck.Test.make ~name:"grid batching toggle is bit-neutral" ~count:(Qc.count 60)
+    path_arb
+    (fun (p, _u, _extra) ->
+      let epsilon = 1e-9 in
+      Fun.protect ~finally:(fun () -> E2e.set_grid_batching true) @@ fun () ->
+      let gmax = E2e.gamma_max p in
+      let gammas = Array.init 23 (fun i -> gmax *. (0.04 +. (0.04 *. float_of_int i))) in
+      E2e.set_grid_batching true;
+      let bound_on = E2e.delay_bound ~epsilon p in
+      let grid_on = E2e.delay_grid ~epsilon p gammas in
+      E2e.set_grid_batching false;
+      let bound_off = E2e.delay_bound ~epsilon p in
+      let grid_off = E2e.delay_grid ~epsilon p gammas in
+      if not (bit_eq bound_on bound_off) then
+        QCheck.Test.fail_reportf "delay_bound: batched %.17g unbatched %.17g"
+          bound_on bound_off;
+      Array.iteri
+        (fun i v ->
+          if not (bit_eq v grid_off.(i)) then
+            QCheck.Test.fail_reportf "delay_grid %d: batched %.17g unbatched %.17g" i
+              v grid_off.(i))
+        grid_on;
+      true)
+
 (* Homogeneous path + (gamma, sigma) for the K-procedure properties. *)
 let homog_arb =
   let through = Ebb.v ~m:1. ~rho:15. ~alpha:0.8 in
@@ -564,6 +693,8 @@ let suite =
     Alcotest.test_case "additive superlinear" `Slow test_additive_superlinear_growth;
     Alcotest.test_case "additive per-node increasing" `Quick test_additive_per_node_increasing;
     QCheck_alcotest.to_alcotest prop_kernel_matches_reference;
+    QCheck_alcotest.to_alcotest prop_batch_matches_kernel;
+    QCheck_alcotest.to_alcotest prop_grid_batching_toggle;
     QCheck_alcotest.to_alcotest prop_k_procedure_vs_enumeration;
     QCheck_alcotest.to_alcotest prop_fast_path_heterogeneous_bitwise;
     Alcotest.test_case "smallest_k O(H) = reference up to H=1000" `Quick
